@@ -1,0 +1,112 @@
+// Command litmus-eval reproduces the paper's evaluation tables end to
+// end: Table 2 (known assessments of 313 real-change cases) and Table 4
+// (8010 synthetic-injection cases), comparing the study-group-only
+// baseline, Difference in Differences, and the Litmus robust spatial
+// regression.
+//
+// Usage:
+//
+//	litmus-eval -table 2          # Table 2 (known assessments, exact)
+//	litmus-eval -table 4          # Table 4 (full 8010 cases; minutes)
+//	litmus-eval -table 4 -scale 0.1   # Table 4 at 10% volume (seconds)
+//	litmus-eval -table all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		table    = flag.String("table", "all", `which table to reproduce: "2", "4" or "all"`)
+		scale    = flag.Float64("scale", 1.0, "case-volume scale for Table 4 (1.0 = the paper's 8010 cases)")
+		rows     = flag.Bool("rows", false, "also print Table 2's per-change rows")
+		ablation = flag.Bool("ablation", false, "run the design-choice ablation grid instead of the tables")
+	)
+	flag.Parse()
+
+	if *ablation {
+		runAblation(*scale)
+		return
+	}
+	switch *table {
+	case "2":
+		runTable2(*rows)
+	case "4":
+		runTable4(*scale)
+	case "all":
+		runTable2(*rows)
+		fmt.Println()
+		runTable4(*scale)
+	default:
+		fmt.Fprintf(os.Stderr, "litmus-eval: unknown table %q (want 2, 4 or all)\n", *table)
+		os.Exit(2)
+	}
+}
+
+func runAblation(scale float64) {
+	cfg := eval.DefaultSyntheticConfig()
+	if scale != 1.0 {
+		cfg = cfg.ScaleCases(scale)
+	}
+	start := time.Now()
+	res, err := eval.RunAblation(cfg, nil)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("Design-choice ablation (%d cases per variant, %v)\n",
+		res.Cases, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("%-20s %10s %10s %10s %10s\n", "variant", "precision", "recall", "tnr", "accuracy")
+	for _, v := range res.Variants {
+		m := res.Matrices[v.Name]
+		fmt.Printf("%-20s %9.2f%% %9.2f%% %9.2f%% %9.2f%%\n", v.Name,
+			100*m.Precision(), 100*m.Recall(), 100*m.TrueNegativeRate(), 100*m.Accuracy())
+	}
+}
+
+func runTable2(rows bool) {
+	start := time.Now()
+	res, err := eval.RunKnownAssessments(eval.DefaultKnownConfig())
+	if err != nil {
+		fatal(err)
+	}
+	title := fmt.Sprintf("Table 2 — evaluation using known assessments (%d cases, %v)",
+		res.TotalCases(), time.Since(start).Round(time.Millisecond))
+	if err := report.WriteSummaryTable(os.Stdout, title, res.Matrices); err != nil {
+		fatal(err)
+	}
+	if rows {
+		fmt.Println()
+		if err := report.WriteKnownRows(os.Stdout, res); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func runTable4(scale float64) {
+	cfg := eval.DefaultSyntheticConfig()
+	if scale != 1.0 {
+		cfg = cfg.ScaleCases(scale)
+	}
+	start := time.Now()
+	res, err := eval.RunSynthetic(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	title := fmt.Sprintf("Table 4 — evaluation using synthetic injection (%d cases, %v)",
+		res.TotalCases(), time.Since(start).Round(time.Millisecond))
+	if err := report.WriteSummaryTable(os.Stdout, title, res.Matrices); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "litmus-eval:", err)
+	os.Exit(1)
+}

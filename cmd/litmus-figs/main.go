@@ -1,0 +1,84 @@
+// Command litmus-figs regenerates the data behind every time-series
+// figure of the paper (Figs. 1, 3–11) and renders it either as terminal
+// sparkline summaries or as CSV files for plotting.
+//
+// Usage:
+//
+//	litmus-figs                 # sparkline summaries of all figures
+//	litmus-figs -fig 10         # one figure
+//	litmus-figs -csv ./figdata  # write fig<N>.csv files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/figures"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		figID  = flag.String("fig", "all", `figure to regenerate ("1", "3".."11", or "all")`)
+		csvDir = flag.String("csv", "", "write CSV files to this directory instead of printing summaries")
+		seed   = flag.Int64("seed", 0, "world seed (0 = default)")
+	)
+	flag.Parse()
+
+	cfg := figures.DefaultConfig()
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	var figs []figures.Figure
+	if *figID == "all" {
+		all, err := figures.All(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		figs = all
+	} else {
+		f, err := figures.ByID(cfg, *figID)
+		if err != nil {
+			fatal(err)
+		}
+		figs = []figures.Figure{f}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+		for _, f := range figs {
+			path := filepath.Join(*csvDir, "fig"+f.ID+".csv")
+			out, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := report.WriteFigureCSV(out, f); err != nil {
+				out.Close()
+				fatal(err)
+			}
+			if err := out.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s (%d series)\n", path, len(f.Series))
+		}
+		return
+	}
+	for i, f := range figs {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := report.WriteFigureSummary(os.Stdout, f); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "litmus-figs:", err)
+	os.Exit(1)
+}

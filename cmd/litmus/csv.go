@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/timeseries"
+
+	litmus "repro"
+)
+
+// parseGrid validates that timestamps form a regular grid and returns its
+// index.
+func parseGrid(stamps []time.Time) (litmus.Index, error) {
+	if len(stamps) < 2 {
+		return litmus.Index{}, fmt.Errorf("need at least 2 rows, got %d", len(stamps))
+	}
+	step := stamps[1].Sub(stamps[0])
+	if step <= 0 {
+		return litmus.Index{}, fmt.Errorf("non-increasing timestamps")
+	}
+	for i := 1; i < len(stamps); i++ {
+		if stamps[i].Sub(stamps[i-1]) != step {
+			return litmus.Index{}, fmt.Errorf("irregular grid at row %d: step %v, want %v", i+1, stamps[i].Sub(stamps[i-1]), step)
+		}
+	}
+	return litmus.NewIndex(stamps[0], step, len(stamps)), nil
+}
+
+// readCSV loads a CSV file with a header row and at least minCols columns.
+func readCSV(path string, minCols int) ([]string, [][]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	records, err := r.ReadAll()
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(records) < 3 {
+		return nil, nil, fmt.Errorf("%s: need a header and at least 2 data rows", path)
+	}
+	if len(records[0]) < minCols {
+		return nil, nil, fmt.Errorf("%s: need >= %d columns, got %d", path, minCols, len(records[0]))
+	}
+	return records[0], records[1:], nil
+}
+
+func parseRows(rows [][]string) ([]time.Time, [][]float64, error) {
+	stamps := make([]time.Time, len(rows))
+	values := make([][]float64, len(rows))
+	for i, row := range rows {
+		ts, err := time.Parse(time.RFC3339, row[0])
+		if err != nil {
+			return nil, nil, fmt.Errorf("row %d: bad timestamp %q: %v", i+2, row[0], err)
+		}
+		stamps[i] = ts
+		vals := make([]float64, len(row)-1)
+		for j, cell := range row[1:] {
+			if cell == "" {
+				vals[j] = math.NaN() // missing observation
+				continue
+			}
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("row %d col %d: bad value %q: %v", i+2, j+2, cell, err)
+			}
+			vals[j] = v
+		}
+		values[i] = vals
+	}
+	return stamps, values, nil
+}
+
+// loadSingleSeriesCSV loads a "timestamp,value" file.
+func loadSingleSeriesCSV(path string) (litmus.Series, error) {
+	_, rows, err := readCSV(path, 2)
+	if err != nil {
+		return litmus.Series{}, err
+	}
+	stamps, values, err := parseRows(rows)
+	if err != nil {
+		return litmus.Series{}, fmt.Errorf("%s: %w", path, err)
+	}
+	ix, err := parseGrid(stamps)
+	if err != nil {
+		return litmus.Series{}, fmt.Errorf("%s: %w", path, err)
+	}
+	vals := make([]float64, len(values))
+	for i, row := range values {
+		vals[i] = row[0]
+	}
+	return litmus.NewSeries(ix, vals), nil
+}
+
+// loadPanelCSV loads a "timestamp,id1,id2,..." file.
+func loadPanelCSV(path string) (*litmus.Panel, error) {
+	header, rows, err := readCSV(path, 2)
+	if err != nil {
+		return nil, err
+	}
+	stamps, values, err := parseRows(rows)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	ix, err := parseGrid(stamps)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	panel := timeseries.NewPanel(ix)
+	for j, id := range header[1:] {
+		col := make([]float64, len(values))
+		for i, row := range values {
+			if j >= len(row) {
+				return nil, fmt.Errorf("%s: row %d has %d values, want %d", path, i+2, len(row), len(header)-1)
+			}
+			col[i] = row[j]
+		}
+		panel.Add(id, litmus.NewSeries(ix, col))
+	}
+	return panel, nil
+}

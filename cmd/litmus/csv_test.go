@@ -1,0 +1,98 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/kpi"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadSingleSeriesCSV(t *testing.T) {
+	path := writeFile(t, "study.csv", `timestamp,value
+2012-06-01T00:00:00Z,0.98
+2012-06-01T06:00:00Z,0.97
+2012-06-01T12:00:00Z,
+2012-06-01T18:00:00Z,0.99
+`)
+	s, err := loadSingleSeriesCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("len = %d, want 4", s.Len())
+	}
+	if s.Index.Step != 6*time.Hour {
+		t.Errorf("step = %v, want 6h", s.Index.Step)
+	}
+	if s.Values[0] != 0.98 || s.Values[3] != 0.99 {
+		t.Errorf("values = %v", s.Values)
+	}
+	if !math.IsNaN(s.Values[2]) {
+		t.Errorf("empty cell should load as NaN, got %v", s.Values[2])
+	}
+}
+
+func TestLoadPanelCSV(t *testing.T) {
+	path := writeFile(t, "controls.csv", `timestamp,nb-1,nb-2
+2012-06-01T00:00:00Z,0.98,0.97
+2012-06-01T06:00:00Z,0.97,0.96
+2012-06-01T12:00:00Z,0.99,0.98
+`)
+	p, err := loadPanelCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 {
+		t.Fatalf("panel len = %d, want 2", p.Len())
+	}
+	s := p.MustSeries("nb-2")
+	if s.Values[2] != 0.98 {
+		t.Errorf("nb-2 values = %v", s.Values)
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name, content string
+	}{
+		{"too-few-rows", "timestamp,value\n2012-06-01T00:00:00Z,1\n"},
+		{"bad-timestamp", "timestamp,value\nnope,1\nalso-nope,2\n"},
+		{"bad-value", "timestamp,value\n2012-06-01T00:00:00Z,abc\n2012-06-01T06:00:00Z,1\n"},
+		{"irregular-grid", "timestamp,value\n2012-06-01T00:00:00Z,1\n2012-06-01T06:00:00Z,2\n2012-06-01T13:00:00Z,3\n"},
+		{"non-increasing", "timestamp,value\n2012-06-01T06:00:00Z,1\n2012-06-01T00:00:00Z,2\n"},
+	}
+	for _, c := range cases {
+		path := writeFile(t, c.name+".csv", c.content)
+		if _, err := loadSingleSeriesCSV(path); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	if _, err := loadSingleSeriesCSV(filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestKPIByName(t *testing.T) {
+	k, err := kpiByName("dropped-call-ratio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != kpi.DroppedCallRatio {
+		t.Errorf("kpiByName = %v", k)
+	}
+	if _, err := kpiByName("nope"); err == nil {
+		t.Error("unknown KPI accepted")
+	}
+}

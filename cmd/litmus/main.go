@@ -1,0 +1,122 @@
+// Command litmus assesses the service-performance impact of a network
+// change from CSV time-series: the study element's KPI series and the
+// control group's series, split at the change time, are compared with
+// the Litmus robust spatial regression (plus the study-only and
+// Difference-in-Differences baselines for contrast).
+//
+// Usage:
+//
+//	litmus -study study.csv -controls controls.csv \
+//	       -change 2012-06-15T00:00:00Z -kpi voice-retainability
+//
+// study.csv has a header "timestamp,value"; controls.csv has
+// "timestamp,<id1>,<id2>,...". Timestamps must be RFC 3339 on a regular
+// grid. Use cmd/litmus-sim to generate a matching pair.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/kpi"
+
+	litmus "repro"
+)
+
+func main() {
+	var (
+		studyPath    = flag.String("study", "", "CSV file with the study element's series (timestamp,value)")
+		controlsPath = flag.String("controls", "", "CSV file with control series (timestamp,id1,id2,...)")
+		changeStr    = flag.String("change", "", "change time, RFC 3339")
+		kpiName      = flag.String("kpi", "voice-retainability", "KPI name (controls direction semantics)")
+		alpha        = flag.Float64("alpha", 0.05, "two-sided significance level")
+		floor        = flag.Float64("floor", 0, "practical-significance floor in KPI units (0 disables)")
+		iterations   = flag.Int("iterations", 0, "sampling iterations (0 = default 50)")
+		fraction     = flag.Float64("fraction", 0, "control sample fraction per iteration (0 = default 2/3)")
+		diagnose     = flag.Bool("diagnose", false, "also print per-control quality diagnostics")
+	)
+	flag.Parse()
+	if *studyPath == "" || *controlsPath == "" || *changeStr == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	changeAt, err := time.Parse(time.RFC3339, *changeStr)
+	if err != nil {
+		fatalf("invalid -change %q: %v", *changeStr, err)
+	}
+	metric, err := kpiByName(*kpiName)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	study, err := loadSingleSeriesCSV(*studyPath)
+	if err != nil {
+		fatalf("loading study series: %v", err)
+	}
+	controls, err := loadPanelCSV(*controlsPath)
+	if err != nil {
+		fatalf("loading controls: %v", err)
+	}
+	if !study.Index.Equal(controls.Index()) {
+		fatalf("study and control files are on different time grids")
+	}
+
+	assessor, err := litmus.NewAssessor(litmus.Config{
+		Alpha:          *alpha,
+		EffectFloor:    *floor,
+		Iterations:     *iterations,
+		SampleFraction: *fraction,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	res, err := assessor.AssessElement("study", study, controls, changeAt, metric)
+	if err != nil {
+		fatalf("assessment failed: %v", err)
+	}
+	fmt.Printf("litmus robust spatial regression: %s\n", res.Verdict)
+	fmt.Printf("  pre-change fit R²: %.3f  (control group: %d elements)\n", res.FitR2, controls.Len())
+
+	if so, err := litmus.StudyOnly(study, changeAt, metric, *alpha); err == nil {
+		fmt.Printf("study-group-only baseline:        %s\n", so)
+	}
+	if did, _, err := litmus.DiD(study, controls, changeAt, metric, *alpha); err == nil {
+		fmt.Printf("difference-in-differences:        %s\n", did)
+	}
+
+	if *diagnose {
+		d, err := litmus.DiagnoseControls(study, controls, changeAt)
+		if err != nil {
+			fatalf("diagnostics failed: %v", err)
+		}
+		health := "healthy"
+		if !d.Healthy() {
+			health = "POORLY SELECTED (majority of controls are bad predictors)"
+		}
+		fmt.Printf("\ncontrol group diagnostics: joint R²=%.3f, %d/%d flagged — %s\n",
+			d.JointR2, d.FlaggedCount, len(d.PerControl), health)
+		for _, c := range d.PerControl {
+			flag := ""
+			if c.Flagged {
+				flag = "  <- bad predictor"
+			}
+			fmt.Printf("  %-20s corr=%+.3f  r²=%.3f%s\n", c.ControlID, c.Correlation, c.UnivariateR2, flag)
+		}
+	}
+}
+
+func kpiByName(name string) (kpi.KPI, error) {
+	for _, k := range kpi.All() {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown KPI %q; known: %v", name, kpi.All())
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "litmus: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+// Hurricane SON assessment: the paper's §5.3 case study as a runnable
+// program. A hurricane hits the Northeast; every tower degrades. The
+// question the engineering teams asked Litmus: did the SON (Self
+// Optimizing Network) features — automatic neighbor discovery and load
+// balancing, deployed on part of the fleet well before the storm — earn
+// their network-wide rollout?
+//
+// Study group: SON-enabled towers. Control group: towers without SON.
+// Study-only analysis sees only the hurricane's absolute degradation;
+// Litmus sees the SON towers holding up relatively better.
+//
+// Run with: go run ./examples/hurricane-son
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/extfactor"
+	"repro/internal/gen"
+	"repro/internal/kpi"
+	"repro/internal/netsim"
+	"repro/internal/timeseries"
+
+	litmus "repro"
+)
+
+func main() {
+	// Build the network; ~30% of towers carry SON features.
+	topo := netsim.DefaultTopologyConfig()
+	topo.SONFraction = 0.3
+	net := netsim.Build(topo)
+
+	sonTowers := net.Filter(func(e *netsim.Element) bool {
+		return e.Kind == netsim.NodeB && e.Region == netsim.Northeast && e.Config.SONEnabled
+	})
+	plainTowers := net.Filter(func(e *netsim.Element) bool {
+		return e.Kind == netsim.NodeB && e.Region == netsim.Northeast && !e.Config.SONEnabled
+	})
+	fmt.Printf("Northeast fleet: %d SON-enabled towers (study), %d without (control)\n\n",
+		len(sonTowers), len(plainTowers))
+
+	// Timeline: two weeks either side of landfall.
+	start := time.Date(2012, 10, 15, 0, 0, 0, 0, time.UTC)
+	ix := timeseries.NewIndex(start, 6*time.Hour, 28*4)
+	landfall := start.AddDate(0, 0, 14)
+
+	sandy := extfactor.WeatherEvent{
+		Kind: extfactor.Hurricane, Label: "hurricane-sandy",
+		Center: netsim.RegionCenter(netsim.Northeast), RadiusKm: 600,
+		Start: landfall, End: landfall.Add(12 * 24 * time.Hour),
+		Severity: 6, Ramp: 36 * time.Hour,
+	}
+	// Ground truth for the synthetic world: SON mitigates part of the
+	// storm stress by re-balancing load around failures.
+	sonHelp := gen.Effect{
+		Label: "son-mitigation",
+		Match: func(e *netsim.Element) bool { return e.Config.SONEnabled },
+		Start: landfall, Quality: 2.5,
+	}
+	gcfg := gen.DefaultConfig(ix)
+	gcfg.Seed = 11
+	gcfg.Factors = extfactor.Stack{sandy}
+	gcfg.Effects = []gen.Effect{sonHelp}
+	gcfg.FailureScale = 2
+	g := gen.New(net, gcfg)
+
+	assessor := litmus.MustNewAssessor(litmus.Config{EffectFloor: 0.004})
+	for _, metric := range []kpi.KPI{kpi.VoiceAccessibility, kpi.VoiceRetainability} {
+		// Assess the whole SON group with voting, against the non-SON
+		// control panel.
+		studies := g.Panel(metric, sonTowers)
+		controlPanel := g.Panel(metric, plainTowers)
+		group, err := assessor.AssessGroup(studies, controlPanel, landfall, metric)
+		if err != nil {
+			log.Fatal(err)
+		}
+		naive, err := litmus.StudyOnly(studies.MustSeries(sonTowers[0]), landfall, metric, 0.05)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n", metric)
+		fmt.Printf("  study-only (1 SON tower):  %-12s  (the hurricane's absolute hit)\n", naive.Impact)
+		fmt.Printf("  litmus group vote:         %-12s  votes: %d improvement / %d no-impact / %d degradation\n",
+			group.Overall, group.Votes[kpi.Improvement], group.Votes[kpi.NoImpact], group.Votes[kpi.Degradation])
+	}
+	fmt.Println("\nConclusion (as in the paper): despite the absolute degradation, SON towers")
+	fmt.Println("performed relatively better — supporting the network-wide SON rollout.")
+}

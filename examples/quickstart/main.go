@@ -1,0 +1,85 @@
+// Quickstart: assess a change from raw KPI series with the Litmus robust
+// spatial regression.
+//
+// The scenario is the paper's core setting in miniature: a study cell
+// tower gets a configuration change halfway through the observation
+// window; a storm degrades the whole region at the same time. Study-only
+// analysis blames the change for the storm; Litmus, comparing against
+// the co-degraded control towers, reads it correctly.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/internal/kpi"
+
+	litmus "repro"
+)
+
+func main() {
+	const (
+		days      = 28 // 14 before + 14 after the change
+		perDay    = 4  // 6-hourly KPI buckets
+		controls  = 10 // control towers
+		changeDay = 14
+	)
+	start := time.Date(2012, 6, 1, 0, 0, 0, 0, time.UTC)
+	ix := litmus.NewIndex(start, 6*time.Hour, days*perDay)
+	changeAt := start.AddDate(0, 0, changeDay)
+
+	// Synthesize voice retainability for one study tower and its control
+	// group. All towers share a regional state (spatial correlation, the
+	// property Litmus exploits); from the change time on, a storm drags
+	// everyone down by ~1.5 percentage points, while the change itself
+	// improves the study tower by 1 point.
+	rng := rand.New(rand.NewSource(7))
+	regional := make([]float64, ix.N)
+	for i := 1; i < ix.N; i++ {
+		regional[i] = 0.8*regional[i-1] + 0.002*rng.NormFloat64()
+	}
+	storm := func(i int) float64 {
+		if ix.TimeAt(i).Before(changeAt) {
+			return 0
+		}
+		return -0.015
+	}
+	tower := func(base, sens, changeGain float64) litmus.Series {
+		vals := make([]float64, ix.N)
+		for i := range vals {
+			vals[i] = base + sens*(regional[i]+storm(i)) + 0.002*rng.NormFloat64()
+			if !ix.TimeAt(i).Before(changeAt) {
+				vals[i] += changeGain
+			}
+		}
+		return litmus.NewSeries(ix, vals)
+	}
+
+	study := tower(0.975, 1.0, +0.010) // the change helps by 1 point
+	panel := litmus.NewPanel(ix)
+	for c := 0; c < controls; c++ {
+		sens := 0.8 + 0.04*float64(c) // heterogeneous factor response
+		panel.Add(fmt.Sprintf("control-%d", c+1), tower(0.975, sens, 0))
+	}
+
+	assessor := litmus.MustNewAssessor(litmus.Config{})
+	res, err := assessor.AssessElement("study-tower", study, panel, changeAt, kpi.VoiceRetainability)
+	if err != nil {
+		log.Fatal(err)
+	}
+	naive, err := litmus.StudyOnly(study, changeAt, kpi.VoiceRetainability, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("change under test: config change at the study tower (true effect: +1.0pp)")
+	fmt.Println("confounder:        regional storm from the change time on (-1.5pp everywhere)")
+	fmt.Println()
+	fmt.Printf("study-only reading:  %v  <- blames the storm on the change\n", naive)
+	fmt.Printf("litmus reading:      %v  <- the relative improvement\n", res.Verdict)
+	fmt.Printf("pre-change fit R²:   %.3f across %d sampling iterations\n", res.FitR2, assessor.Config().Iterations)
+}

@@ -1,0 +1,449 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/kpi"
+	"repro/internal/linalg"
+	"repro/internal/stats"
+	"repro/internal/timeseries"
+)
+
+// Config parameterizes the Litmus assessor. The zero value is usable:
+// every field falls back to the documented default.
+type Config struct {
+	// Alpha is the two-sided significance level of the rank-order test
+	// (default 0.05).
+	Alpha float64
+	// SampleFraction is the fraction of the control group drawn per
+	// sampling iteration; the paper requires k > N/2 (default 2/3).
+	// Values ≤ 0.5 are rejected by Validate.
+	SampleFraction float64
+	// Iterations is the number of uniform-sampling iterations whose
+	// forecasts are median-aggregated (default 50).
+	Iterations int
+	// Seed drives the sampling; fixed for reproducible assessments
+	// (default 1).
+	Seed int64
+	// MinControls is the smallest usable control group (default 2).
+	MinControls int
+	// EffectFloor is a practical-significance floor in KPI units: shifts
+	// with |shift| below it are reported as NoImpact even when
+	// statistically significant. Zero (default) disables the floor,
+	// matching the paper's purely statistical decision.
+	EffectFloor float64
+	// Aggregation selects how per-iteration forecasts are combined
+	// (default AggregateMedian, the paper's choice; AggregateMean exists
+	// for ablation — it forfeits robustness to contaminated samples).
+	Aggregation Aggregation
+	// Test selects the two-sample test on the forecast differences
+	// (default TestFlignerPolicello, the paper's robust rank-order test;
+	// TestMannWhitney and TestWelch exist for ablation).
+	Test TestKind
+}
+
+// Aggregation selects the cross-iteration forecast combiner.
+type Aggregation int
+
+// Forecast aggregation choices.
+const (
+	// AggregateMedian is the paper's robust per-timepoint median (Eq. 4).
+	AggregateMedian Aggregation = iota
+	// AggregateMean is the non-robust ablation variant.
+	AggregateMean
+)
+
+func (a Aggregation) String() string {
+	if a == AggregateMean {
+		return "mean"
+	}
+	return "median"
+}
+
+// TestKind selects the before/after two-sample test.
+type TestKind int
+
+// Two-sample test choices.
+const (
+	// TestFlignerPolicello is the paper's robust rank-order test.
+	TestFlignerPolicello TestKind = iota
+	// TestMannWhitney is the classic rank-sum test (assumes equal
+	// variances under the null).
+	TestMannWhitney
+	// TestWelch is the parametric unequal-variance t-test.
+	TestWelch
+)
+
+func (t TestKind) String() string {
+	switch t {
+	case TestMannWhitney:
+		return "mann-whitney"
+	case TestWelch:
+		return "welch"
+	default:
+		return "fligner-policello"
+	}
+}
+
+// Defaults for Config fields.
+const (
+	DefaultAlpha          = 0.05
+	DefaultSampleFraction = 2.0 / 3.0
+	DefaultIterations     = 50
+	DefaultMinControls    = 2
+)
+
+func (c Config) withDefaults() Config {
+	if c.Alpha == 0 {
+		c.Alpha = DefaultAlpha
+	}
+	if c.SampleFraction == 0 {
+		c.SampleFraction = DefaultSampleFraction
+	}
+	if c.Iterations == 0 {
+		c.Iterations = DefaultIterations
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MinControls == 0 {
+		c.MinControls = DefaultMinControls
+	}
+	return c
+}
+
+// Validate reports configuration errors: significance level outside
+// (0,1), sample fraction not in (0.5, 1], or negative knobs.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.Alpha <= 0 || c.Alpha >= 1 {
+		return fmt.Errorf("core: alpha %v outside (0,1)", c.Alpha)
+	}
+	if c.SampleFraction <= 0.5 || c.SampleFraction > 1 {
+		return fmt.Errorf("core: sample fraction %v outside (0.5, 1] — the paper requires k > N/2", c.SampleFraction)
+	}
+	if c.Iterations < 1 {
+		return fmt.Errorf("core: iterations %d < 1", c.Iterations)
+	}
+	if c.EffectFloor < 0 {
+		return fmt.Errorf("core: negative effect floor %v", c.EffectFloor)
+	}
+	return nil
+}
+
+// Assessor runs the Litmus robust spatial regression.
+type Assessor struct {
+	cfg Config
+}
+
+// NewAssessor returns an assessor with cfg (zero fields defaulted). It
+// returns an error for invalid configurations.
+func NewAssessor(cfg Config) (*Assessor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Assessor{cfg: cfg.withDefaults()}, nil
+}
+
+// MustNewAssessor is NewAssessor for known-good configurations.
+func MustNewAssessor(cfg Config) *Assessor {
+	a, err := NewAssessor(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Config returns the effective (defaulted) configuration.
+func (a *Assessor) Config() Config { return a.cfg }
+
+// maxLeverage caps hat-matrix diagonals in the leave-one-out adjustment;
+// a row with leverage near 1 would otherwise blow its residual up
+// arbitrarily.
+const maxLeverage = 0.9
+
+// Errors returned by the assessor.
+var (
+	// ErrControlTooSmall means the control group has fewer members than
+	// Config.MinControls.
+	ErrControlTooSmall = errors.New("core: control group too small")
+	// ErrWindowTooShort means a before/after window has too few
+	// observations to fit the regression or run the test.
+	ErrWindowTooShort = errors.New("core: assessment window too short")
+)
+
+// AssessElement assesses the impact of a change at time changeAt on one
+// study element, given its KPI series and the control group panel on the
+// same index. It implements §3.2 of the paper:
+//
+//  1. split study series Y and control panel X into before/after windows;
+//  2. for each of Iterations uniform samples of k = ⌈f·N⌉ control
+//     columns (the same sample used before and after), fit Y_b = βX_b by
+//     least squares (with intercept) and forecast both windows;
+//  3. aggregate forecasts by the per-timepoint median across iterations;
+//  4. compute forecast differences Y − median(Y′) before and after;
+//  5. compare them with the Fligner–Policello robust rank-order test.
+//
+// A significant increase of the forecast difference after the change is a
+// relative increase of the KPI at the study element; KPI direction
+// semantics translate it into improvement or degradation.
+func (a *Assessor) AssessElement(elementID string, study timeseries.Series, controls *timeseries.Panel, changeAt time.Time, metric kpi.KPI) (ElementResult, error) {
+	if !study.Index.Equal(controls.Index()) {
+		return ElementResult{}, fmt.Errorf("core: study and control indexes differ")
+	}
+	n := controls.Len()
+	if n < a.cfg.MinControls {
+		return ElementResult{}, fmt.Errorf("%w: %d controls, need >= %d", ErrControlTooSmall, n, a.cfg.MinControls)
+	}
+	yBefore, yAfter := study.SplitAt(changeAt)
+	xBefore, xAfter := controls.SplitAt(changeAt)
+
+	// Rows usable for fitting: those where the study observation exists.
+	// (Missing control observations are median-imputed by DesignMatrix.)
+	fitRows := finiteRows(yBefore.Values)
+	if len(fitRows) < 3 || yAfter.Len() < 3 {
+		return ElementResult{}, fmt.Errorf("%w: need >= 3 observations on each side, got %d and %d", ErrWindowTooShort, len(fitRows), yAfter.Len())
+	}
+	k := a.sampleSize(n, len(fitRows))
+	if k < 1 {
+		return ElementResult{}, fmt.Errorf("%w: %d pre-change observations cannot support any regressor", ErrWindowTooShort, len(fitRows))
+	}
+
+	xbFull := xBefore.DesignMatrix()
+	xaFull := xAfter.DesignMatrix()
+	yb := yBefore.Values
+	ya := yAfter.Values
+	ybFit := make([]float64, len(fitRows))
+	for i, r := range fitRows {
+		ybFit[i] = yb[r]
+	}
+
+	rng := rand.New(rand.NewSource(a.cfg.Seed))
+	iters := a.cfg.Iterations
+	forecastsB := make([][]float64, 0, iters)
+	forecastsA := make([][]float64, 0, iters)
+	r2s := make([]float64, 0, iters)
+	for it := 0; it < iters; it++ {
+		cols := sampleColumns(rng, n, k)
+		xb := xbFull.SelectCols(cols).WithInterceptColumn()
+		xa := xaFull.SelectCols(cols).WithInterceptColumn()
+		xbFit := xb.SelectRows(fitRows)
+		beta, err := linalg.LeastSquares(xbFit, ybFit)
+		if err != nil {
+			// A degenerate draw (e.g. all-constant columns); skip it. The
+			// median aggregation tolerates missing iterations.
+			continue
+		}
+		fb := xb.MulVec(beta)
+		// In-sample residuals are optimistically small, which would make
+		// the before-window forecast differences artificially tight and
+		// manufacture significance. Replace the fitted values at fitted
+		// rows with leave-one-out forecasts, y − e/(1−h), putting both
+		// windows on the out-of-sample error scale.
+		if hs, errH := linalg.Leverages(xbFit); errH == nil {
+			for fi, r := range fitRows {
+				h := hs[fi]
+				if h > maxLeverage {
+					h = maxLeverage
+				}
+				fb[r] = ybFit[fi] - (ybFit[fi]-fb[r])/(1-h)
+			}
+		}
+		forecastsB = append(forecastsB, fb)
+		forecastsA = append(forecastsA, xa.MulVec(beta))
+		r2s = append(r2s, linalg.RSquared(xbFit, beta, ybFit))
+	}
+	if len(forecastsB) == 0 {
+		return ElementResult{}, fmt.Errorf("core: all %d sampling iterations failed to fit", iters)
+	}
+
+	medB := a.aggregate(forecastsB, yBefore.Len())
+	medA := a.aggregate(forecastsA, yAfter.Len())
+
+	diffB := make([]float64, len(yb))
+	for i := range yb {
+		diffB[i] = yb[i] - medB[i]
+	}
+	diffA := make([]float64, len(ya))
+	for i := range ya {
+		diffA[i] = ya[i] - medA[i]
+	}
+
+	cleanB := dropNonFinite(diffB)
+	cleanA := dropNonFinite(diffA)
+	test, err := a.runTest(cleanB, cleanA)
+	if err != nil {
+		return ElementResult{}, fmt.Errorf("core: %v test failed: %v", a.cfg.Test, err)
+	}
+	// The forecast differences retain serial dependence (whatever share of
+	// the regional process the regression did not capture). Rank tests
+	// assume exchangeable observations, so positive autocorrelation
+	// inflates the statistic; shrink it by the Bartlett effective-sample-
+	// size factor √((1−ρ)/(1+ρ)) estimated from the pooled windows.
+	if rho := pooledLag1(cleanB, cleanA); rho > 0 {
+		test.Statistic *= math.Sqrt((1 - rho) / (1 + rho))
+		test.P = stats.TwoSidedP(test.Statistic)
+	}
+	shift := stats.Median(cleanA) - stats.Median(cleanB)
+	dir := test.Direction(a.cfg.Alpha)
+	if a.cfg.EffectFloor > 0 && math.Abs(shift) < a.cfg.EffectFloor {
+		dir = 0
+	}
+
+	return ElementResult{
+		Verdict: Verdict{
+			Impact:    kpi.ImpactOfShift(metric, dir),
+			Statistic: test.Statistic,
+			P:         test.P,
+			Shift:     shift,
+		},
+		ElementID:      elementID,
+		KPI:            metric,
+		FitR2:          stats.Median(r2s),
+		ForecastBefore: timeseries.NewSeries(yBefore.Index, medB),
+		ForecastAfter:  timeseries.NewSeries(yAfter.Index, medA),
+		DiffBefore:     diffB,
+		DiffAfter:      diffA,
+	}, nil
+}
+
+// AssessGroup assesses every study element against the shared control
+// panel and summarizes by majority vote. Elements whose individual
+// assessment fails (e.g. a series too short) are skipped; the error is
+// returned only if every element fails.
+func (a *Assessor) AssessGroup(studies *timeseries.Panel, controls *timeseries.Panel, changeAt time.Time, metric kpi.KPI) (GroupResult, error) {
+	ids := studies.IDs()
+	if len(ids) == 0 {
+		return GroupResult{}, fmt.Errorf("core: empty study group")
+	}
+	results := make([]ElementResult, 0, len(ids))
+	var firstErr error
+	for _, id := range ids {
+		res, err := a.AssessElement(id, studies.MustSeries(id), controls, changeAt, metric)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("core: element %s: %w", id, err)
+			}
+			continue
+		}
+		results = append(results, res)
+	}
+	if len(results) == 0 {
+		return GroupResult{}, firstErr
+	}
+	overall, votes := vote(results)
+	return GroupResult{KPI: metric, PerElement: results, Overall: overall, Votes: votes}, nil
+}
+
+// runTest applies the configured two-sample test.
+func (a *Assessor) runTest(before, after []float64) (stats.TestResult, error) {
+	switch a.cfg.Test {
+	case TestMannWhitney:
+		return stats.MannWhitney(before, after)
+	case TestWelch:
+		return stats.WelchT(before, after)
+	default:
+		return stats.FlignerPolicello(before, after)
+	}
+}
+
+// sampleSize returns k = ⌈f·N⌉ capped so the regression does not overfit
+// the pre-change window: at least three observations per coefficient
+// (including the intercept). Overfitting would deflate the before-change
+// forecast differences and manufacture false positives. When the cap
+// binds, the paper's k > N/2 rule is relaxed — operationally Litmus runs
+// on hourly KPIs (1–2 week windows, hundreds of points) where it never
+// binds.
+func (a *Assessor) sampleSize(n, tBefore int) int {
+	k := int(math.Ceil(a.cfg.SampleFraction * float64(n)))
+	if k > n {
+		k = n
+	}
+	if maxK := tBefore/3 - 1; k > maxK {
+		k = maxK
+	}
+	return k
+}
+
+// sampleColumns draws k distinct column indexes uniformly from [0, n).
+func sampleColumns(rng *rand.Rand, n, k int) []int {
+	perm := rng.Perm(n)
+	cols := perm[:k]
+	sort.Ints(cols)
+	return cols
+}
+
+// aggregate combines per-iteration forecasts per the configuration.
+func (a *Assessor) aggregate(forecasts [][]float64, length int) []float64 {
+	if a.cfg.Aggregation == AggregateMean {
+		return pointwiseMean(forecasts, length)
+	}
+	return pointwiseMedian(forecasts, length)
+}
+
+// pointwiseMean returns the per-position mean across the forecasts — the
+// non-robust ablation combiner.
+func pointwiseMean(forecasts [][]float64, length int) []float64 {
+	out := make([]float64, length)
+	for i := 0; i < length; i++ {
+		var s float64
+		for _, f := range forecasts {
+			s += f[i]
+		}
+		out[i] = s / float64(len(forecasts))
+	}
+	return out
+}
+
+// pointwiseMedian returns the per-position median across the given
+// equal-length forecast vectors.
+func pointwiseMedian(forecasts [][]float64, length int) []float64 {
+	out := make([]float64, length)
+	buf := make([]float64, len(forecasts))
+	for i := 0; i < length; i++ {
+		for j, f := range forecasts {
+			buf[j] = f[i]
+		}
+		out[i] = stats.Median(buf)
+	}
+	return out
+}
+
+// pooledLag1 estimates the lag-1 autocorrelation of the forecast
+// differences as the sample-size-weighted average over the two windows
+// (each centered separately, so the level shift under test does not
+// masquerade as autocorrelation).
+func pooledLag1(b, a []float64) float64 {
+	wb, wa := float64(len(b)), float64(len(a))
+	if wb+wa == 0 {
+		return 0
+	}
+	return (stats.Lag1Autocorrelation(b)*wb + stats.Lag1Autocorrelation(a)*wa) / (wb + wa)
+}
+
+// finiteRows returns the indices of finite values.
+func finiteRows(xs []float64) []int {
+	out := make([]int, 0, len(xs))
+	for i, v := range xs {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// dropNonFinite removes NaN/Inf values.
+func dropNonFinite(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, v := range xs {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/linalg"
+	"repro/internal/stats"
+	"repro/internal/timeseries"
+)
+
+// ControlDiagnostic is the pre-assessment quality report for one control
+// element — the operational answer to §3.2's bad-predictor problem (the
+// business-district tower controlled by a lakeside tower): before
+// trusting an assessment, check how well each control co-moves with the
+// study element on the pre-change window.
+type ControlDiagnostic struct {
+	// ControlID identifies the control element.
+	ControlID string
+	// Correlation is the Pearson correlation with the study series on the
+	// pre-change window.
+	Correlation float64
+	// UnivariateR2 is the R² of the single-control regression
+	// study ~ α + β·control on the pre-change window.
+	UnivariateR2 float64
+	// Flagged marks controls whose correlation falls below the
+	// bad-predictor threshold; the robust regression tolerates a few, but
+	// a majority of flagged controls means the group was poorly selected
+	// (§3.3).
+	Flagged bool
+}
+
+// GroupDiagnostics summarizes control-group quality for one study
+// element.
+type GroupDiagnostics struct {
+	// PerControl holds each control's diagnostic, ordered best first.
+	PerControl []ControlDiagnostic
+	// JointR2 is the fit quality of the full-group regression on the
+	// pre-change window (all controls, no sampling).
+	JointR2 float64
+	// FlaggedCount is the number of bad-predictor controls.
+	FlaggedCount int
+}
+
+// BadPredictorThreshold is the pre-change correlation below which a
+// control is flagged as a poor predictor.
+const BadPredictorThreshold = 0.2
+
+// Healthy reports whether the control group supports a trustworthy
+// assessment: a strict minority of flagged controls (the regime the
+// robust regression is designed for, §3.3).
+func (d GroupDiagnostics) Healthy() bool {
+	return d.FlaggedCount*2 < len(d.PerControl)
+}
+
+// DiagnoseControls evaluates control-group quality for a study element
+// over the pre-change window. It returns an error when the window is too
+// short to estimate anything.
+func DiagnoseControls(study timeseries.Series, controls *timeseries.Panel, changeAt time.Time) (GroupDiagnostics, error) {
+	if !study.Index.Equal(controls.Index()) {
+		return GroupDiagnostics{}, fmt.Errorf("core: study and control indexes differ")
+	}
+	yBefore, _ := study.SplitAt(changeAt)
+	xBefore, _ := controls.SplitAt(changeAt)
+	fitRows := finiteRows(yBefore.Values)
+	if len(fitRows) < 4 {
+		return GroupDiagnostics{}, fmt.Errorf("%w: %d usable pre-change observations", ErrWindowTooShort, len(fitRows))
+	}
+	y := make([]float64, len(fitRows))
+	for i, r := range fitRows {
+		y[i] = yBefore.Values[r]
+	}
+	design := xBefore.DesignMatrix().SelectRows(fitRows)
+
+	var out GroupDiagnostics
+	ids := controls.IDs()
+	for j, id := range ids {
+		col := design.Col(j)
+		corr := stats.PearsonCorrelation(col, y)
+		x1 := linalg.NewMatrixFromCols([][]float64{col}).WithInterceptColumn()
+		r2 := 0.0
+		if beta, err := linalg.LeastSquares(x1, y); err == nil {
+			r2 = linalg.RSquared(x1, beta, y)
+		}
+		d := ControlDiagnostic{
+			ControlID:    id,
+			Correlation:  corr,
+			UnivariateR2: r2,
+			Flagged:      corr < BadPredictorThreshold,
+		}
+		if d.Flagged {
+			out.FlaggedCount++
+		}
+		out.PerControl = append(out.PerControl, d)
+	}
+	sort.Slice(out.PerControl, func(i, j int) bool {
+		return out.PerControl[i].Correlation > out.PerControl[j].Correlation
+	})
+
+	// Joint fit across all controls (capped like the assessor's sampler to
+	// avoid a useless overfit estimate).
+	k := len(ids)
+	if maxK := len(fitRows)/3 - 1; k > maxK {
+		k = maxK
+	}
+	if k >= 1 {
+		cols := make([]int, k)
+		for i := range cols {
+			cols[i] = i
+		}
+		xj := design.SelectCols(cols).WithInterceptColumn()
+		if beta, err := linalg.LeastSquares(xj, y); err == nil {
+			out.JointR2 = linalg.RSquared(xj, beta, y)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/timeseries"
+)
+
+func TestDiagnoseControlsFlagsBadPredictor(t *testing.T) {
+	// Nine well-correlated controls and one anti-phased "lakeside" tower
+	// (the paper's §3.2 bad-predictor example).
+	w := newSynthWorld(41, 28, 14)
+	controls := timeseries.NewPanel(w.ix)
+	for i := 0; i < 9; i++ {
+		controls.Add(controlID(i), w.series(10, 0.8+0.05*float64(i), 0))
+	}
+	controls.Add("lakeside", w.series(10, -1.0, 0)) // anti-correlated
+	study := w.series(10, 1.0, 0)
+
+	d, err := DiagnoseControls(study, controls, w.changeAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.FlaggedCount != 1 {
+		t.Errorf("flagged = %d, want 1", d.FlaggedCount)
+	}
+	if !d.Healthy() {
+		t.Error("group with one bad predictor out of ten should still be healthy")
+	}
+	// The flagged one is the lakeside tower, sorted last.
+	last := d.PerControl[len(d.PerControl)-1]
+	if last.ControlID != "lakeside" || !last.Flagged {
+		t.Errorf("worst control = %+v, want flagged lakeside", last)
+	}
+	if best := d.PerControl[0]; best.Correlation < 0.5 || best.UnivariateR2 < 0.25 {
+		t.Errorf("best control unexpectedly weak: %+v", best)
+	}
+	if d.JointR2 < 0.5 {
+		t.Errorf("joint R² = %v, want substantial on a forecastable world", d.JointR2)
+	}
+}
+
+func TestDiagnoseControlsUnhealthyGroup(t *testing.T) {
+	// A control group of pure noise (zero sensitivity): every control
+	// should be flagged and the group reported unhealthy.
+	w := newSynthWorld(42, 28, 14)
+	w.noiseSD = 0.5
+	controls := timeseries.NewPanel(w.ix)
+	for i := 0; i < 6; i++ {
+		controls.Add(controlID(i), w.series(10, 0, 0))
+	}
+	study := w.series(10, 1.0, 0)
+	d, err := DiagnoseControls(study, controls, w.changeAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Healthy() {
+		t.Errorf("noise-only control group reported healthy (flagged %d/6)", d.FlaggedCount)
+	}
+}
+
+func TestDiagnoseControlsErrors(t *testing.T) {
+	w := newSynthWorld(43, 28, 14)
+	controls := w.controls(5, 0.8, 1.2)
+	study := w.series(10, 1, 0)
+	// Empty pre-change window.
+	if _, err := DiagnoseControls(study, controls, epoch); err == nil {
+		t.Error("empty pre-change window accepted")
+	}
+	// Mismatched indexes.
+	other := timeseries.NewZeroSeries(timeseries.NewIndex(epoch, 1e9, 28))
+	if _, err := DiagnoseControls(other, controls, w.changeAt); err == nil {
+		t.Error("mismatched indexes accepted")
+	}
+	// Study with too many missing values.
+	holey := w.series(10, 1, 0)
+	for i := 0; i < 12; i++ {
+		holey.Values[i] = math.NaN()
+	}
+	if _, err := DiagnoseControls(holey, controls, w.changeAt); err == nil {
+		t.Error("nearly-empty fit window accepted")
+	}
+}

@@ -1,0 +1,68 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Ablation quantifies the contribution of each Litmus design choice the
+// paper argues for (§3.2) but does not tabulate: median vs mean forecast
+// aggregation, the robust rank-order test vs classic alternatives, the
+// number of sampling iterations, and the sampling fraction. Each variant
+// is run on the same synthetic-injection case stream and summarized with
+// the usual confusion-matrix metrics.
+
+// AblationVariant is one assessor configuration under study.
+type AblationVariant struct {
+	// Name identifies the variant in reports.
+	Name string
+	// Config is the assessor configuration to evaluate.
+	Config core.Config
+}
+
+// AblationVariants returns the paper-motivated design-choice grid:
+// the reference configuration, mean aggregation, alternative tests,
+// a single-iteration (no-sampling) variant, and sampling fractions.
+func AblationVariants() []AblationVariant {
+	return []AblationVariant{
+		{Name: "litmus-reference", Config: core.Config{}},
+		{Name: "mean-aggregation", Config: core.Config{Aggregation: core.AggregateMean}},
+		{Name: "mann-whitney-test", Config: core.Config{Test: core.TestMannWhitney}},
+		{Name: "welch-test", Config: core.Config{Test: core.TestWelch}},
+		{Name: "single-iteration", Config: core.Config{Iterations: 1}},
+		{Name: "fraction-0.55", Config: core.Config{SampleFraction: 0.55}},
+		{Name: "fraction-0.95", Config: core.Config{SampleFraction: 0.95}},
+	}
+}
+
+// AblationResult holds each variant's confusion matrix over the shared
+// case stream.
+type AblationResult struct {
+	Variants []AblationVariant
+	Matrices map[string]*Matrix
+	Cases    int
+}
+
+// RunAblation evaluates every variant on the same synthetic-injection
+// cases (cfg's scenario mix at its configured volume). The baselines are
+// not re-run — only the Litmus variant differs per pass — so differences
+// isolate the design choice.
+func RunAblation(cfg SyntheticConfig, variants []AblationVariant) (AblationResult, error) {
+	if len(variants) == 0 {
+		variants = AblationVariants()
+	}
+	out := AblationResult{Variants: variants, Matrices: make(map[string]*Matrix, len(variants))}
+	for _, v := range variants {
+		vcfg := cfg
+		vcfg.Assessor = v.Config
+		res, err := RunSynthetic(vcfg)
+		if err != nil {
+			return AblationResult{}, fmt.Errorf("eval: ablation variant %q: %w", v.Name, err)
+		}
+		m := *res.Matrices[LitmusRegression]
+		out.Matrices[v.Name] = &m
+		out.Cases = res.TotalCases()
+	}
+	return out, nil
+}

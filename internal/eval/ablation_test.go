@@ -1,0 +1,61 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestAblationVariantsValid(t *testing.T) {
+	for _, v := range AblationVariants() {
+		if v.Name == "" {
+			t.Error("variant without name")
+		}
+		if err := v.Config.Validate(); err != nil {
+			t.Errorf("variant %q: invalid config: %v", v.Name, err)
+		}
+	}
+}
+
+func TestAblationRunsAllVariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation is slow")
+	}
+	cfg := DefaultSyntheticConfig().ScaleCases(0.01)
+	res, err := RunAblation(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matrices) != len(AblationVariants()) {
+		t.Fatalf("matrices = %d, want %d", len(res.Matrices), len(AblationVariants()))
+	}
+	for name, m := range res.Matrices {
+		if m.Total() != res.Cases {
+			t.Errorf("variant %q evaluated %d cases, want %d", name, m.Total(), res.Cases)
+		}
+	}
+}
+
+// TestAblationMedianBeatsMeanUnderContamination verifies the robustness
+// argument of §3.2 directly: with heavily contaminated control groups,
+// median aggregation must not do worse than mean aggregation on accuracy.
+func TestAblationMedianBeatsMeanUnderContamination(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation is slow")
+	}
+	cfg := DefaultSyntheticConfig().ScaleCases(0.02)
+	cfg.ContaminationFraction = 1.0 // every case contaminated
+	cfg.ContaminatedControls = 3
+	res, err := RunAblation(cfg, []AblationVariant{
+		{Name: "median", Config: core.Config{}},
+		{Name: "mean", Config: core.Config{Aggregation: core.AggregateMean}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := res.Matrices["median"].Accuracy()
+	mean := res.Matrices["mean"].Accuracy()
+	if med < mean-0.03 {
+		t.Errorf("median aggregation accuracy %.3f clearly below mean %.3f under contamination", med, mean)
+	}
+}

@@ -1,0 +1,300 @@
+package eval
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kpi"
+)
+
+func TestLabelMatrix(t *testing.T) {
+	// The full Table 1 of the paper.
+	cases := []struct {
+		expected, observed kpi.Impact
+		want               Outcome
+	}{
+		{kpi.Improvement, kpi.Improvement, TruePositive},
+		{kpi.Improvement, kpi.Degradation, FalseNegative},
+		{kpi.Improvement, kpi.NoImpact, FalseNegative},
+		{kpi.Degradation, kpi.Improvement, FalseNegative},
+		{kpi.Degradation, kpi.Degradation, TruePositive},
+		{kpi.Degradation, kpi.NoImpact, FalseNegative},
+		{kpi.NoImpact, kpi.Improvement, FalsePositive},
+		{kpi.NoImpact, kpi.Degradation, FalsePositive},
+		{kpi.NoImpact, kpi.NoImpact, TrueNegative},
+	}
+	for _, c := range cases {
+		if got := Label(c.expected, c.observed); got != c.want {
+			t.Errorf("Label(%v, %v) = %v, want %v", c.expected, c.observed, got, c.want)
+		}
+	}
+}
+
+func TestMatrixMetrics(t *testing.T) {
+	m := Matrix{TP: 234, TN: 79, FP: 0, FN: 0}
+	if m.Accuracy() != 1 || m.Precision() != 1 || m.Recall() != 1 || m.TrueNegativeRate() != 1 {
+		t.Errorf("perfect matrix metrics wrong: %v", m)
+	}
+	// The paper's DiD summary row.
+	did := Matrix{TP: 186, TN: 79, FP: 0, FN: 48}
+	if got := did.Accuracy(); !almost(got, 0.8466, 0.0001) {
+		t.Errorf("DiD accuracy = %v, want 0.8466", got)
+	}
+	if got := did.Recall(); !almost(got, 0.7949, 0.0001) {
+		t.Errorf("DiD recall = %v, want 0.7949", got)
+	}
+	// Empty matrix: ratios are defined as 0, not NaN.
+	var empty Matrix
+	if empty.Accuracy() != 0 || empty.Precision() != 0 {
+		t.Error("empty matrix metrics must be 0")
+	}
+}
+
+func TestMatrixAddMerge(t *testing.T) {
+	var a, b Matrix
+	a.Add(TruePositive)
+	a.Add(FalseNegative)
+	b.Add(TrueNegative)
+	b.Add(FalsePositive)
+	a.Merge(b)
+	if a.TP != 1 || a.TN != 1 || a.FP != 1 || a.FN != 1 || a.Total() != 4 {
+		t.Errorf("merged matrix = %+v", a)
+	}
+}
+
+func TestMatrixCountsConsistent(t *testing.T) {
+	f := func(expRaw, obsRaw uint8) bool {
+		var m Matrix
+		exp := kpi.Impact(int(expRaw) % 3)
+		obs := kpi.Impact(int(obsRaw) % 3)
+		m.AddLabel(exp, obs)
+		return m.Total() == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func almost(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+func TestScenarioExpectations(t *testing.T) {
+	// Table 3 column 3.
+	wantImpact := map[Scenario]bool{
+		InjectNone:          false,
+		InjectStudy:         true,
+		InjectControl:       true,
+		InjectBothSame:      false,
+		InjectBothDifferent: true,
+	}
+	for sc, want := range wantImpact {
+		if got := sc.ExpectsImpact(); got != want {
+			t.Errorf("%v.ExpectsImpact() = %v, want %v", sc, got, want)
+		}
+	}
+	if len(Scenarios()) != 5 {
+		t.Error("Table 3 has five scenarios")
+	}
+}
+
+// TestTable3CaseMatrix verifies the qualitative outcome matrix of Table 3
+// on clean, strong-signal cases: study-only analysis succeeds only when
+// the injection is at the study group with matching direction, while the
+// study/control dependency analysis is correct in every scenario.
+func TestTable3CaseMatrix(t *testing.T) {
+	cfg := DefaultSyntheticConfig()
+	cfg.CasesPerScenario = map[Scenario]int{
+		InjectNone: 8, InjectStudy: 8, InjectControl: 8,
+		InjectBothSame: 8, InjectBothDifferent: 8,
+	}
+	cfg.ContaminationFraction = 0           // clean control group
+	cfg.FactorLo, cfg.FactorHi = 0.01, 0.02 // negligible factor
+	cfg.InjectLo, cfg.InjectHi = 2.5, 3.5   // unmistakable injections
+	// A material-shift floor, as operators use: without one, the rank
+	// tests flag sub-0.1pp regression-transfer imperfections.
+	cfg.EffectFloor = 0.004
+	cfg.Assessor.EffectFloor = 0.004
+	// Degradation-side injections: improvement injections of this size
+	// would saturate the success ratios near 100% and blur ground truth.
+	cfg.InjectSign = -1
+	res, err := RunSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := map[Scenario]*Matrix{}
+	for _, c := range res.Cases {
+		if per[c.Scenario] == nil {
+			per[c.Scenario] = &Matrix{}
+		}
+		per[c.Scenario].Add(c.Outcomes[LitmusRegression])
+	}
+	// Litmus: TN on no-impact scenarios, TP on impact scenarios (allow
+	// one slip per scenario out of 8).
+	for _, sc := range Scenarios() {
+		m := per[sc]
+		if sc.ExpectsImpact() {
+			if m.TP < 7 {
+				t.Errorf("Litmus scenario %v: %v, want >= 7 TP", sc, m)
+			}
+		} else if m.TN < 7 {
+			t.Errorf("Litmus scenario %v: %v, want >= 7 TN", sc, m)
+		}
+	}
+	// Study-only: per Table 3, wrong on control-side and both-different
+	// scenarios.
+	soControl := &Matrix{}
+	soDiff := &Matrix{}
+	for _, c := range res.Cases {
+		switch c.Scenario {
+		case InjectControl:
+			soControl.Add(c.Outcomes[StudyOnlyAnalysis])
+		case InjectBothDifferent:
+			soDiff.Add(c.Outcomes[StudyOnlyAnalysis])
+		}
+	}
+	if soControl.FN < 7 {
+		t.Errorf("study-only on control injection: %v, want >= 7 FN", soControl)
+	}
+	if soDiff.FN < 7 {
+		t.Errorf("study-only on both-different injection: %v, want >= 7 FN (wrong direction)", soDiff)
+	}
+}
+
+// TestSyntheticShape verifies the paper's Table 4 shape at reduced
+// volume: Litmus beats Difference-in-Differences beats study-only on
+// accuracy; Litmus has the best recall; study-only's true negative rate
+// collapses under external factors.
+func TestSyntheticShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synthetic shape test is slow")
+	}
+	cfg := DefaultSyntheticConfig().ScaleCases(0.08)
+	res, err := RunSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so := res.Matrices[StudyOnlyAnalysis]
+	did := res.Matrices[DifferenceInDifferences]
+	lit := res.Matrices[LitmusRegression]
+
+	if !(lit.Accuracy() > did.Accuracy() && did.Accuracy() > so.Accuracy()) {
+		t.Errorf("accuracy ordering violated: litmus %.3f, did %.3f, study-only %.3f",
+			lit.Accuracy(), did.Accuracy(), so.Accuracy())
+	}
+	if !(lit.Recall() > did.Recall() && did.Recall() > so.Recall()) {
+		t.Errorf("recall ordering violated: litmus %.3f, did %.3f, study-only %.3f",
+			lit.Recall(), did.Recall(), so.Recall())
+	}
+	if so.TrueNegativeRate() > 0.25 {
+		t.Errorf("study-only TNR = %.3f, want near zero under external factors", so.TrueNegativeRate())
+	}
+	if did.TrueNegativeRate() < lit.TrueNegativeRate()-0.05 {
+		t.Errorf("DiD TNR %.3f should not be clearly below Litmus TNR %.3f (paper Table 4)",
+			did.TrueNegativeRate(), lit.TrueNegativeRate())
+	}
+}
+
+// TestKnownAssessmentsReproducesTable2 verifies the Table 2 reproduction
+// bit-exactly: Litmus 100% on all metrics; DiD 84.66% accuracy with
+// 79.49% recall and no false positives; study-only 41.53% accuracy.
+func TestKnownAssessmentsReproducesTable2(t *testing.T) {
+	res, err := RunKnownAssessments(DefaultKnownConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.TotalCases(); got != 313 {
+		t.Fatalf("total cases = %d, want 313", got)
+	}
+	lit := res.Matrices[LitmusRegression]
+	if *lit != (Matrix{TP: 234, TN: 79, FP: 0, FN: 0}) {
+		t.Errorf("Litmus matrix = %v, want 234/79/0/0", lit)
+	}
+	did := res.Matrices[DifferenceInDifferences]
+	if *did != (Matrix{TP: 186, TN: 79, FP: 0, FN: 48}) {
+		t.Errorf("DiD matrix = %v, want 186/79/0/48", did)
+	}
+	so := res.Matrices[StudyOnlyAnalysis]
+	if !almost(so.Accuracy(), 0.4153, 0.0001) {
+		t.Errorf("study-only accuracy = %v, want 0.4153", so.Accuracy())
+	}
+	if so.TP != 129 {
+		t.Errorf("study-only TP = %d, want 129", so.TP)
+	}
+}
+
+func TestKnownRowsStructure(t *testing.T) {
+	rows := KnownRows()
+	if len(rows) != 19 {
+		t.Fatalf("rows = %d, want 19 (Table 2)", len(rows))
+	}
+	total := 0
+	for _, r := range rows {
+		if r.NumElements <= 0 || len(r.KPIs) == 0 {
+			t.Errorf("row %q has no cases", r.Name)
+		}
+		total += r.Cases()
+	}
+	if total != 313 {
+		t.Errorf("total cases = %d, want 313", total)
+	}
+}
+
+func TestSyntheticConfigDefaults(t *testing.T) {
+	cfg := DefaultSyntheticConfig()
+	total := 0
+	impact := 0
+	for sc, n := range cfg.CasesPerScenario {
+		total += n
+		if sc.ExpectsImpact() {
+			impact += n
+		}
+	}
+	if total != 8010 {
+		t.Errorf("default case volume = %d, want 8010 (Table 4)", total)
+	}
+	if impact != 6000 {
+		t.Errorf("impact-expected cases = %d, want 6000", impact)
+	}
+}
+
+func TestScaleCases(t *testing.T) {
+	cfg := DefaultSyntheticConfig().ScaleCases(0.001)
+	for sc, n := range cfg.CasesPerScenario {
+		if n < 1 {
+			t.Errorf("scenario %v scaled to %d, want >= 1", sc, n)
+		}
+	}
+}
+
+func TestRunSyntheticValidation(t *testing.T) {
+	bad := DefaultSyntheticConfig()
+	bad.WindowDays = 1
+	if _, err := RunSynthetic(bad); err == nil {
+		t.Error("window of 1 day accepted")
+	}
+	bad2 := DefaultSyntheticConfig()
+	bad2.Regions = nil
+	if _, err := RunSynthetic(bad2); err == nil {
+		t.Error("empty regions accepted")
+	}
+}
+
+func TestAlgorithmsOrder(t *testing.T) {
+	algs := Algorithms()
+	if len(algs) != 3 || algs[0] != StudyOnlyAnalysis || algs[2] != LitmusRegression {
+		t.Errorf("Algorithms() = %v, want paper column order", algs)
+	}
+	for _, a := range algs {
+		if a.String() == "" {
+			t.Error("empty algorithm name")
+		}
+	}
+	if Outcome(99).String() == "" || Algorithm(99).String() == "" {
+		t.Error("out-of-range stringers must not be empty")
+	}
+}

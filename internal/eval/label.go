@@ -1,0 +1,150 @@
+// Package eval implements the paper's evaluation methodology (§4):
+// outcome labeling per Table 1, the confusion-matrix metrics (precision,
+// recall, true negative rate, accuracy), the known-assessment scenarios
+// of Table 2, and the synthetic-injection harness of Tables 3–4.
+package eval
+
+import "fmt"
+
+import "repro/internal/kpi"
+
+// Outcome labels one assessment against ground truth (paper Table 1).
+type Outcome int
+
+// Outcomes.
+const (
+	TruePositive Outcome = iota
+	TrueNegative
+	FalsePositive
+	FalseNegative
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case TruePositive:
+		return "TP"
+	case TrueNegative:
+		return "TN"
+	case FalsePositive:
+		return "FP"
+	case FalseNegative:
+		return "FN"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Label applies the paper's Table 1: given the expected (ground truth)
+// impact and the algorithm's observed impact:
+//
+//   - expected improvement observed improvement → TP; anything else → FN
+//   - expected degradation observed degradation → TP; anything else → FN
+//   - expected no-impact observed no-impact → TN; anything else → FP
+//
+// Note a detected impact in the wrong direction counts as a false
+// negative, not a false positive.
+func Label(expected, observed kpi.Impact) Outcome {
+	if expected == kpi.NoImpact {
+		if observed == kpi.NoImpact {
+			return TrueNegative
+		}
+		return FalsePositive
+	}
+	if observed == expected {
+		return TruePositive
+	}
+	return FalseNegative
+}
+
+// Matrix is a confusion matrix with the paper's four derived metrics.
+type Matrix struct {
+	TP, TN, FP, FN int
+}
+
+// Add counts one labeled outcome.
+func (m *Matrix) Add(o Outcome) {
+	switch o {
+	case TruePositive:
+		m.TP++
+	case TrueNegative:
+		m.TN++
+	case FalsePositive:
+		m.FP++
+	case FalseNegative:
+		m.FN++
+	default:
+		panic(fmt.Sprintf("eval: invalid outcome %d", int(o)))
+	}
+}
+
+// AddLabel labels and counts in one step.
+func (m *Matrix) AddLabel(expected, observed kpi.Impact) Outcome {
+	o := Label(expected, observed)
+	m.Add(o)
+	return o
+}
+
+// Merge accumulates another matrix into m.
+func (m *Matrix) Merge(other Matrix) {
+	m.TP += other.TP
+	m.TN += other.TN
+	m.FP += other.FP
+	m.FN += other.FN
+}
+
+// Total returns the number of labeled cases.
+func (m Matrix) Total() int { return m.TP + m.TN + m.FP + m.FN }
+
+// ratio returns num/den as a fraction, or NaN-free 0 when den == 0.
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Precision returns TP/(TP+FP).
+func (m Matrix) Precision() float64 { return ratio(m.TP, m.TP+m.FP) }
+
+// Recall returns TP/(TP+FN).
+func (m Matrix) Recall() float64 { return ratio(m.TP, m.TP+m.FN) }
+
+// TrueNegativeRate returns TN/(TN+FP).
+func (m Matrix) TrueNegativeRate() float64 { return ratio(m.TN, m.TN+m.FP) }
+
+// Accuracy returns (TP+TN)/total.
+func (m Matrix) Accuracy() float64 { return ratio(m.TP+m.TN, m.Total()) }
+
+func (m Matrix) String() string {
+	return fmt.Sprintf("TP=%d TN=%d FP=%d FN=%d | precision=%.2f%% recall=%.2f%% tnr=%.2f%% accuracy=%.2f%%",
+		m.TP, m.TN, m.FP, m.FN,
+		100*m.Precision(), 100*m.Recall(), 100*m.TrueNegativeRate(), 100*m.Accuracy())
+}
+
+// Algorithm identifies the three compared assessment algorithms (§4.1).
+type Algorithm int
+
+// The algorithms compared throughout the evaluation.
+const (
+	StudyOnlyAnalysis Algorithm = iota
+	DifferenceInDifferences
+	LitmusRegression
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case StudyOnlyAnalysis:
+		return "study-group-only"
+	case DifferenceInDifferences:
+		return "difference-in-differences"
+	case LitmusRegression:
+		return "litmus-robust-spatial-regression"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Algorithms returns the three algorithms in the paper's column order.
+func Algorithms() []Algorithm {
+	return []Algorithm{StudyOnlyAnalysis, DifferenceInDifferences, LitmusRegression}
+}

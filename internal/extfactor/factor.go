@@ -1,0 +1,87 @@
+// Package extfactor models the external factors that over-shadow change
+// assessment in operational cellular networks (CoNEXT'13 §2.5):
+// seasonality from foliage, weather events (rain, storms, hurricanes,
+// tornadoes), traffic-pattern changes (holidays, big events), and network
+// events (outages).
+//
+// Every factor implements Factor: a deterministic function from (element,
+// time) to a service stress value. Stress is dimensionless; the KPI
+// generator (internal/gen) maps it into each KPI's units. Positive stress
+// degrades service quality, negative stress improves it. Factors that also
+// change offered load (holidays, big events) implement LoadFactor.
+package extfactor
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// Factor is one external influence on service performance.
+type Factor interface {
+	// Name identifies the factor in reports and logs.
+	Name() string
+	// Stress returns the dimensionless service stress applied to element e
+	// at time t. Zero means no influence.
+	Stress(e *netsim.Element, t time.Time) float64
+}
+
+// LoadFactor is a Factor that additionally scales offered traffic load
+// (e.g. a stadium event multiplies call volume, paper Fig. 5).
+type LoadFactor interface {
+	Factor
+	// LoadMultiplier returns the multiplicative load scaling at element e
+	// and time t; 1 means unchanged.
+	LoadMultiplier(e *netsim.Element, t time.Time) float64
+}
+
+// Stack is an ordered collection of factors whose stresses add and whose
+// load multipliers compose multiplicatively.
+type Stack []Factor
+
+// Stress sums the stress of all factors in the stack.
+func (s Stack) Stress(e *netsim.Element, t time.Time) float64 {
+	var total float64
+	for _, f := range s {
+		total += f.Stress(e, t)
+	}
+	return total
+}
+
+// LoadMultiplier multiplies the load factors of all LoadFactor members.
+func (s Stack) LoadMultiplier(e *netsim.Element, t time.Time) float64 {
+	m := 1.0
+	for _, f := range s {
+		if lf, ok := f.(LoadFactor); ok {
+			m *= lf.LoadMultiplier(e, t)
+		}
+	}
+	return m
+}
+
+// window reports whether t lies in [start, end).
+func window(t, start, end time.Time) bool {
+	return !t.Before(start) && t.Before(end)
+}
+
+// rampWeight returns the [0,1] intensity of an event at time t with linear
+// ramp-in and ramp-out inside [start, end). A zero ramp produces a step.
+func rampWeight(t, start, end time.Time, ramp time.Duration) float64 {
+	if !window(t, start, end) {
+		return 0
+	}
+	if ramp <= 0 {
+		return 1
+	}
+	w := 1.0
+	if in := t.Sub(start); in < ramp {
+		w = float64(in) / float64(ramp)
+	}
+	if out := end.Sub(t); out < ramp {
+		o := float64(out) / float64(ramp)
+		if o < w {
+			w = o
+		}
+	}
+	return w
+}

@@ -1,0 +1,232 @@
+package extfactor
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+var epoch = time.Date(2012, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func neElement() *netsim.Element {
+	return &netsim.Element{
+		ID: "nb-ne-1", Kind: netsim.NodeB, Region: netsim.Northeast,
+		Location: netsim.RegionCenter(netsim.Northeast), FoliageExposure: 0.9,
+		Traffic: netsim.TrafficBusiness,
+	}
+}
+
+func seElement() *netsim.Element {
+	return &netsim.Element{
+		ID: "nb-se-1", Kind: netsim.NodeB, Region: netsim.Southeast,
+		Location: netsim.RegionCenter(netsim.Southeast), FoliageExposure: 0,
+		Traffic: netsim.TrafficRecreational,
+	}
+}
+
+func TestLeafOnFractionShape(t *testing.T) {
+	jan := time.Date(2012, 1, 15, 0, 0, 0, 0, time.UTC)
+	jul := time.Date(2012, 7, 15, 0, 0, 0, 0, time.UTC)
+	nov := time.Date(2012, 11, 15, 0, 0, 0, 0, time.UTC)
+	if f := LeafOnFraction(jan); f != 0 {
+		t.Errorf("January leaf-on = %v, want 0", f)
+	}
+	if f := LeafOnFraction(jul); f < 0.9 {
+		t.Errorf("July leaf-on = %v, want near 1", f)
+	}
+	if f := LeafOnFraction(nov); f != 0 {
+		t.Errorf("November leaf-on = %v, want 0", f)
+	}
+	// Monotone rise April → July.
+	apr := LeafOnFraction(time.Date(2012, 4, 20, 0, 0, 0, 0, time.UTC))
+	jun := LeafOnFraction(time.Date(2012, 6, 15, 0, 0, 0, 0, time.UTC))
+	if !(0 < apr && apr < jun && jun < LeafOnFraction(jul)) {
+		t.Errorf("leaf-on not rising through spring: apr=%v jun=%v jul=%v", apr, jun, LeafOnFraction(jul))
+	}
+}
+
+func TestFoliageRegionalContrast(t *testing.T) {
+	f := Foliage{Amplitude: 1}
+	jul := time.Date(2012, 7, 15, 0, 0, 0, 0, time.UTC)
+	if s := f.Stress(neElement(), jul); s <= 0.8 {
+		t.Errorf("NE summer foliage stress = %v, want high", s)
+	}
+	if s := f.Stress(seElement(), jul); s != 0 {
+		t.Errorf("SE foliage stress = %v, want 0 (no foliage change)", s)
+	}
+}
+
+func TestWeeklyCycleProfiles(t *testing.T) {
+	w := WeeklyCycle{Amplitude: 0.3}
+	monday := time.Date(2012, 1, 2, 12, 0, 0, 0, time.UTC)
+	saturday := time.Date(2012, 1, 7, 12, 0, 0, 0, time.UTC)
+	biz, lake := neElement(), seElement()
+	if w.LoadMultiplier(biz, monday) <= w.LoadMultiplier(biz, saturday) {
+		t.Error("business load must peak on weekdays")
+	}
+	if w.LoadMultiplier(lake, saturday) <= w.LoadMultiplier(lake, monday) {
+		t.Error("recreational load must peak on weekends")
+	}
+	// Business and lake move in opposite directions — the paper's bad
+	// predictor example (§3.2).
+	if (w.LoadMultiplier(biz, monday) > 1) == (w.LoadMultiplier(lake, monday) > 1) {
+		t.Error("business and recreational profiles should be anti-phased")
+	}
+}
+
+func TestDiurnalCycle(t *testing.T) {
+	d := DiurnalCycle{Amplitude: 0.5}
+	peak := d.LoadMultiplier(nil, time.Date(2012, 1, 2, 16, 0, 0, 0, time.UTC))
+	trough := d.LoadMultiplier(nil, time.Date(2012, 1, 2, 4, 0, 0, 0, time.UTC))
+	if peak <= 1.4 || trough >= 0.6 {
+		t.Errorf("diurnal swing wrong: peak=%v trough=%v", peak, trough)
+	}
+}
+
+func TestWeatherEventFootprint(t *testing.T) {
+	ev := WeatherEvent{
+		Kind: Tornado, Center: netsim.RegionCenter(netsim.Northeast), RadiusKm: 100,
+		Start: epoch.Add(48 * time.Hour), End: epoch.Add(96 * time.Hour), Severity: 3,
+	}
+	inside, outside := neElement(), seElement()
+	during := epoch.Add(50 * time.Hour)
+	if s := ev.Stress(inside, during); s != 3 {
+		t.Errorf("stress inside footprint = %v, want 3", s)
+	}
+	if s := ev.Stress(outside, during); s != 0 {
+		t.Errorf("stress outside footprint = %v, want 0", s)
+	}
+	if s := ev.Stress(inside, epoch); s != 0 {
+		t.Errorf("stress before event = %v, want 0", s)
+	}
+	if s := ev.Stress(inside, epoch.Add(96*time.Hour)); s != 0 {
+		t.Errorf("stress at end boundary = %v, want 0 (half-open window)", s)
+	}
+}
+
+func TestWeatherEventRamp(t *testing.T) {
+	ev := WeatherEvent{
+		Kind: Hurricane, Center: netsim.RegionCenter(netsim.Northeast), RadiusKm: 500,
+		Start: epoch, End: epoch.Add(100 * time.Hour), Severity: 4, Ramp: 10 * time.Hour,
+	}
+	e := neElement()
+	early := ev.Stress(e, epoch.Add(1*time.Hour))
+	mid := ev.Stress(e, epoch.Add(50*time.Hour))
+	late := ev.Stress(e, epoch.Add(99*time.Hour))
+	if !(early < mid && late < mid) {
+		t.Errorf("ramp shape wrong: early=%v mid=%v late=%v", early, mid, late)
+	}
+	if mid != 4 {
+		t.Errorf("mid-event stress = %v, want full severity", mid)
+	}
+}
+
+func TestRegionWeatherEvent(t *testing.T) {
+	ev := RegionWeatherEvent{Kind: Thunderstorm, Region: netsim.Northeast,
+		Start: epoch, End: epoch.Add(24 * time.Hour), Severity: 2}
+	if s := ev.Stress(neElement(), epoch.Add(time.Hour)); s != 2 {
+		t.Errorf("in-region stress = %v, want 2", s)
+	}
+	if s := ev.Stress(seElement(), epoch.Add(time.Hour)); s != 0 {
+		t.Errorf("out-of-region stress = %v, want 0", s)
+	}
+}
+
+func TestTrafficEventLoadAndCongestion(t *testing.T) {
+	ev := TrafficEvent{
+		Kind: BigEvent, Center: netsim.RegionCenter(netsim.Northeast), RadiusKm: 50,
+		Start: epoch, End: epoch.Add(6 * time.Hour),
+		LoadMult: 4, CongestionStressPerLoad: 0.5,
+	}
+	e := neElement()
+	during := epoch.Add(3 * time.Hour)
+	if m := ev.LoadMultiplier(e, during); m != 4 {
+		t.Errorf("event load multiplier = %v, want 4", m)
+	}
+	if s := ev.Stress(e, during); s != 1.5 {
+		t.Errorf("congestion stress = %v, want (4-1)*0.5 = 1.5", s)
+	}
+	if m := ev.LoadMultiplier(e, epoch.Add(48*time.Hour)); m != 1 {
+		t.Errorf("post-event load multiplier = %v, want 1", m)
+	}
+	if s := ev.Stress(seElement(), during); s != 0 {
+		t.Error("event stress leaked outside the venue radius")
+	}
+}
+
+func TestHolidayRegionScope(t *testing.T) {
+	ev := TrafficEvent{
+		Kind: Holiday, Region: netsim.Northeast,
+		Start: epoch, End: epoch.Add(14 * 24 * time.Hour),
+		LoadMult: 1.5, CongestionStressPerLoad: 0.4,
+	}
+	if m := ev.LoadMultiplier(neElement(), epoch.Add(24*time.Hour)); m != 1.5 {
+		t.Errorf("holiday load in region = %v, want 1.5", m)
+	}
+	if m := ev.LoadMultiplier(seElement(), epoch.Add(24*time.Hour)); m != 1 {
+		t.Errorf("holiday load out of region = %v, want 1", m)
+	}
+}
+
+func TestLoadReductionYieldsNoStress(t *testing.T) {
+	ev := TrafficEvent{
+		Kind: Holiday, Region: netsim.Northeast,
+		Start: epoch, End: epoch.Add(24 * time.Hour),
+		LoadMult: 0.5, CongestionStressPerLoad: 0.4,
+	}
+	if s := ev.Stress(neElement(), epoch.Add(time.Hour)); s != 0 {
+		t.Errorf("reduced load produced stress %v, want 0", s)
+	}
+}
+
+func TestOutage(t *testing.T) {
+	o := NewOutage("fiber-cut", []string{"nb-ne-1"}, epoch, epoch.Add(4*time.Hour), 6)
+	if s := o.Stress(neElement(), epoch.Add(time.Hour)); s != 6 {
+		t.Errorf("outage stress = %v, want 6", s)
+	}
+	if s := o.Stress(seElement(), epoch.Add(time.Hour)); s != 0 {
+		t.Error("outage stress applied to uncovered element")
+	}
+	if s := o.Stress(neElement(), epoch.Add(5*time.Hour)); s != 0 {
+		t.Error("outage stress applied outside window")
+	}
+}
+
+func TestStackComposition(t *testing.T) {
+	stack := Stack{
+		Foliage{Amplitude: 1},
+		RegionWeatherEvent{Kind: Rain, Region: netsim.Northeast, Start: epoch, End: epoch.Add(24 * time.Hour), Severity: 0.5},
+		WeeklyCycle{Amplitude: 0.2},
+	}
+	e := neElement()
+	jan2 := time.Date(2012, 1, 2, 12, 0, 0, 0, time.UTC) // Monday, during rain window? epoch=Jan1; Jan2 noon is within 24h? No: 36h after epoch.
+	s := stack.Stress(e, epoch.Add(time.Hour))
+	if s != 0.5 { // foliage 0 in January; rain 0.5; weekly 0 stress
+		t.Errorf("stack stress = %v, want 0.5", s)
+	}
+	m := stack.LoadMultiplier(e, jan2)
+	if m != 1.2 { // business weekday
+		t.Errorf("stack load multiplier = %v, want 1.2", m)
+	}
+}
+
+func TestFactorNames(t *testing.T) {
+	factors := []Factor{
+		Foliage{}, WeeklyCycle{}, DiurnalCycle{},
+		WeatherEvent{Kind: Hurricane}, WeatherEvent{Kind: Hurricane, Label: "sandy"},
+		RegionWeatherEvent{Kind: Hail, Region: netsim.Midwest},
+		TrafficEvent{Kind: Holiday}, TrafficEvent{Kind: BigEvent, Label: "superbowl"},
+		NewOutage("", nil, epoch, epoch, 1),
+	}
+	seen := map[string]bool{}
+	for _, f := range factors {
+		if f.Name() == "" {
+			t.Errorf("%T has empty name", f)
+		}
+		seen[f.Name()] = true
+	}
+	if !seen["sandy"] || !seen["superbowl"] {
+		t.Error("labels must override default names")
+	}
+}

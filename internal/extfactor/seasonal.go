@@ -1,0 +1,111 @@
+package extfactor
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// Foliage models the yearly seasonality of Fig. 3: a performance dip from
+// April to August while leaves bud and fill ("leaf-on"), recovering from
+// September through January as leaves fall. The stress is scaled by each
+// element's FoliageExposure, so Southeastern elements (exposure ≈ 0) show
+// no seasonality while Northeastern ones do — exactly the regional
+// contrast the paper validates.
+type Foliage struct {
+	// Amplitude is the peak stress at full exposure (mid-summer). The
+	// generator maps one unit of stress to one unit of its quality scale.
+	Amplitude float64
+}
+
+// Name implements Factor.
+func (Foliage) Name() string { return "foliage-seasonality" }
+
+// Stress implements Factor. The leaf-on curve is a smoothed annual cycle:
+// zero through winter, rising through April–June, peaking July–August,
+// decaying through autumn.
+func (f Foliage) Stress(e *netsim.Element, t time.Time) float64 {
+	if e.FoliageExposure == 0 {
+		return 0
+	}
+	return f.Amplitude * e.FoliageExposure * LeafOnFraction(t)
+}
+
+// LeafOnFraction returns the [0,1] fraction of full foliage at time t:
+// the deterministic annual curve shared by Foliage stress and anything
+// that needs to plot the seasonal pattern (Fig. 3). Day 0 is January 1.
+func LeafOnFraction(t time.Time) float64 {
+	day := float64(t.YearDay())
+	// Raised-cosine bump centered at day 196 (mid-July) with half-width
+	// ~105 days: budding begins around day 91 (April), leaves gone by
+	// day 301 (late October).
+	const center, halfWidth = 196.0, 105.0
+	d := math.Abs(day - center)
+	if d > halfWidth {
+		return 0
+	}
+	return 0.5 * (1 + math.Cos(math.Pi*d/halfWidth))
+}
+
+// WeeklyCycle models the weekday/weekend usage seasonality (paper §2.5):
+// business areas load up on weekdays, recreational areas (lakes, parks) on
+// weekends and evenings. It is a LoadFactor: it changes offered load, and
+// through load, stress.
+type WeeklyCycle struct {
+	// Amplitude is the peak-to-baseline load swing (e.g. 0.3 = ±30%).
+	Amplitude float64
+}
+
+// Name implements Factor.
+func (WeeklyCycle) Name() string { return "weekly-cycle" }
+
+// Stress implements Factor; the weekly cycle stresses service only
+// through load, so direct stress is zero.
+func (WeeklyCycle) Stress(*netsim.Element, time.Time) float64 { return 0 }
+
+// LoadMultiplier implements LoadFactor.
+func (w WeeklyCycle) LoadMultiplier(e *netsim.Element, t time.Time) float64 {
+	weekend := t.Weekday() == time.Saturday || t.Weekday() == time.Sunday
+	var sign float64
+	switch e.Traffic {
+	case netsim.TrafficBusiness:
+		if weekend {
+			sign = -1
+		} else {
+			sign = 1
+		}
+	case netsim.TrafficRecreational:
+		if weekend {
+			sign = 1
+		} else {
+			sign = -1
+		}
+	case netsim.TrafficVenue:
+		// Venues idle except during events (modeled by TrafficEvent).
+		sign = -0.5
+	default:
+		sign = 0
+	}
+	return 1 + sign*w.Amplitude
+}
+
+// DiurnalCycle models the time-of-day load curve: busy hour in the
+// evening, quiet pre-dawn hours. Only meaningful for sub-daily indexes.
+type DiurnalCycle struct {
+	// Amplitude is the peak-to-baseline swing.
+	Amplitude float64
+}
+
+// Name implements Factor.
+func (DiurnalCycle) Name() string { return "diurnal-cycle" }
+
+// Stress implements Factor.
+func (DiurnalCycle) Stress(*netsim.Element, time.Time) float64 { return 0 }
+
+// LoadMultiplier implements LoadFactor: a sinusoid with trough at 4 AM and
+// peak at 4 PM local-equivalent (UTC is used throughout the simulation).
+func (d DiurnalCycle) LoadMultiplier(_ *netsim.Element, t time.Time) float64 {
+	h := float64(t.Hour()) + float64(t.Minute())/60
+	return 1 + d.Amplitude*math.Sin(2*math.Pi*(h-10)/24)
+}

@@ -1,0 +1,273 @@
+// Package figures regenerates the data behind every time-series figure of
+// the paper (CoNEXT'13): the motivating examples of §1–2 (Figs. 1, 3–6),
+// the intuition scenarios of §3.1 (Fig. 7), and the operational case
+// studies of §5 (Figs. 8–11). Each generator returns a Figure — named
+// series on a shared time grid plus the assessment verdicts where the
+// figure's point is a verdict — and is deterministic in its seed.
+package figures
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/extfactor"
+	"repro/internal/gen"
+	"repro/internal/kpi"
+	"repro/internal/netsim"
+	"repro/internal/timeseries"
+)
+
+// Series is one named line of a figure.
+type Series struct {
+	Name   string
+	Values timeseries.Series
+	// Group tags the series ("study", "control", or "" for single-series
+	// figures).
+	Group string
+}
+
+// Verdicts holds the algorithmic readings attached to a figure, keyed by
+// a short label (e.g. "litmus", "study-only").
+type Verdicts map[string]core.Verdict
+
+// Figure is the regenerated data of one paper figure.
+type Figure struct {
+	// ID is the paper's figure number ("1", "3", ..., "11").
+	ID string
+	// Title describes the figure.
+	Title string
+	// KPI is the metric plotted.
+	KPI kpi.KPI
+	// Series are the plotted lines.
+	Series []Series
+	// ChangeAt is the change time marked in the figure (zero if none).
+	ChangeAt time.Time
+	// Verdicts are the assessment outcomes the figure's caption states.
+	Verdicts Verdicts
+	// Notes captures the qualitative claim the figure supports.
+	Notes string
+}
+
+// epoch anchors figure timelines.
+var epoch = time.Date(2012, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// Config bundles shared knobs for the figure generators.
+type Config struct {
+	// Seed drives the synthetic worlds (default 21).
+	Seed int64
+}
+
+// DefaultConfig returns the default figure configuration.
+func DefaultConfig() Config { return Config{Seed: 21} }
+
+func (c Config) seed() int64 {
+	if c.Seed == 0 {
+		return 21
+	}
+	return c.Seed
+}
+
+// All regenerates every figure.
+func All(cfg Config) ([]Figure, error) {
+	gens := []func(Config) (Figure, error){
+		Figure01, Figure03, Figure04, Figure05, Figure06,
+		Figure07, Figure08, Figure09, Figure10, Figure11,
+	}
+	out := make([]Figure, 0, len(gens))
+	for _, g := range gens {
+		f, err := g(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// ByID regenerates one figure by its paper number.
+func ByID(cfg Config, id string) (Figure, error) {
+	all, err := All(cfg)
+	if err != nil {
+		return Figure{}, err
+	}
+	for _, f := range all {
+		if f.ID == id {
+			return f, nil
+		}
+	}
+	return Figure{}, fmt.Errorf("figures: no figure %q (figure 2 is the architecture diagram; see internal/netsim)", id)
+}
+
+// smallWorld builds the compact network used by most figures.
+func smallWorld(seed int64) *netsim.Network {
+	topo := netsim.DefaultTopologyConfig()
+	topo.Seed = seed
+	return netsim.Build(topo)
+}
+
+// Figure01 reproduces Fig. 1: a configuration change whose assessment
+// window is hit by extremely strong winds — the dropped voice call ratio
+// spikes from the weather, not the change.
+func Figure01(cfg Config) (Figure, error) {
+	net := smallWorld(cfg.seed())
+	towers := net.Filter(func(e *netsim.Element) bool {
+		return e.Kind == netsim.NodeB && e.Region == netsim.Midwest
+	})
+	study := towers[0]
+	ix := timeseries.NewIndex(epoch, 6*time.Hour, 28*4)
+	changeAt := epoch.Add(14 * 24 * time.Hour)
+
+	g := gen.New(net, genCfg(cfg, ix, gen.Config{
+		Factors: extfactor.Stack{extfactor.RegionWeatherEvent{
+			Kind: extfactor.StrongWind, Label: "strong-winds", Region: netsim.Midwest,
+			Start: changeAt.Add(-24 * time.Hour), End: changeAt.Add(5 * 24 * time.Hour),
+			Severity: 3.5, Ramp: 12 * time.Hour,
+		}},
+		// The change itself is benign.
+		Effects: []gen.Effect{gen.EffectOn("config-change", []string{study}, changeAt, time.Time{}, 0)},
+	}))
+	return Figure{
+		ID:    "1",
+		Title: "Config change co-occurring with strong winds (dropped voice call ratio)",
+		KPI:   kpi.DroppedCallRatio,
+		Series: []Series{
+			{Name: study, Group: "study", Values: g.Series(study, kpi.DroppedCallRatio)},
+		},
+		ChangeAt: changeAt,
+		Notes:    "The spike after the change time is the wind, not the change; assessing without weather knowledge reaches the wrong conclusion.",
+	}, nil
+}
+
+// Figure03 reproduces Fig. 3: two years of daily voice retainability for
+// Northeastern towers showing foliage seasonality (dip April–August) on
+// top of the carrier's secular improvement trend, with a Southeastern
+// tower as the flat contrast.
+func Figure03(cfg Config) (Figure, error) {
+	net := smallWorld(cfg.seed())
+	ne := net.Filter(func(e *netsim.Element) bool {
+		return e.Kind == netsim.NodeB && e.Region == netsim.Northeast
+	})[0]
+	se := net.Filter(func(e *netsim.Element) bool {
+		return e.Kind == netsim.NodeB && e.Region == netsim.Southeast
+	})[0]
+	ix := timeseries.NewIndex(epoch, 24*time.Hour, 730)
+	g := gen.New(net, genCfg(cfg, ix, gen.Config{
+		Factors:            extfactor.Stack{extfactor.Foliage{Amplitude: 1.6}},
+		AnnualQualityTrend: 0.5,
+	}))
+	return Figure{
+		ID:    "3",
+		Title: "Two-year foliage seasonality in Northeastern voice retainability",
+		KPI:   kpi.VoiceRetainability,
+		Series: []Series{
+			{Name: "northeast-tower", Group: "study", Values: g.Series(ne, kpi.VoiceRetainability)},
+			{Name: "southeast-tower", Group: "control", Values: g.Series(se, kpi.VoiceRetainability)},
+		},
+		Notes: "Northeast dips April–August both years (leaves budding) and recovers into winter, atop a rising trend; the Southeast shows no seasonality.",
+	}, nil
+}
+
+// Figure04 reproduces Fig. 4: severe storms and damaging hail degrading
+// voice accessibility across multiple RNCs at once.
+func Figure04(cfg Config) (Figure, error) {
+	net := smallWorld(cfg.seed())
+	rncs := net.Filter(func(e *netsim.Element) bool {
+		return e.Kind == netsim.RNC && e.Region == netsim.Southwest
+	})
+	ix := timeseries.NewIndex(epoch, 24*time.Hour, 40)
+	stormStart := epoch.Add(18 * 24 * time.Hour)
+	g := gen.New(net, genCfg(cfg, ix, gen.Config{
+		Factors: extfactor.Stack{extfactor.RegionWeatherEvent{
+			Kind: extfactor.Hail, Label: "severe-storms-tornado", Region: netsim.Southwest,
+			Start: stormStart, End: stormStart.Add(4 * 24 * time.Hour),
+			Severity: 4, Ramp: 12 * time.Hour,
+		}},
+	}))
+	fig := Figure{
+		ID:    "4",
+		Title: "Storm/hail degradation across multiple RNCs (voice accessibility)",
+		KPI:   kpi.VoiceAccessibility,
+		Notes: "Every RNC in the region dips together during the storm window — external factors induce correlated impact across elements.",
+	}
+	for _, id := range rncs {
+		fig.Series = append(fig.Series, Series{Name: id, Group: "study", Values: g.Series(id, kpi.VoiceAccessibility)})
+	}
+	return fig, nil
+}
+
+// Figure05 reproduces Fig. 5: a big event multiplying voice call volume
+// and dragging voice retainability down at the venue's towers.
+func Figure05(cfg Config) (Figure, error) {
+	net := smallWorld(cfg.seed())
+	venue := net.Filter(func(e *netsim.Element) bool {
+		return e.Kind == netsim.NodeB && e.Region == netsim.West
+	})[0]
+	ix := timeseries.NewIndex(epoch, time.Hour, 7*24)
+	evStart := epoch.Add(4 * 24 * time.Hour)
+	g := gen.New(net, genCfg(cfg, ix, gen.Config{
+		Factors: extfactor.Stack{extfactor.TrafficEvent{
+			Kind: extfactor.BigEvent, Label: "stadium-game",
+			Center: net.MustElement(venue).Location, RadiusKm: 20,
+			Start: evStart, End: evStart.Add(6 * time.Hour),
+			LoadMult: 5, CongestionStressPerLoad: 0.8, Ramp: time.Hour,
+		}},
+	}))
+	return Figure{
+		ID:    "5",
+		Title: "Big event: voice call volume up, retainability down",
+		KPI:   kpi.VoiceRetainability,
+		Series: []Series{
+			{Name: "voice-retainability", Group: "study", Values: g.Series(venue, kpi.VoiceRetainability)},
+			{Name: "voice-call-volume", Group: "study", Values: g.Series(venue, kpi.VoiceCallVolume)},
+		},
+		ChangeAt: evStart,
+		Notes:    "During the event the call volume multiplies and retainability drops — load changes alone move the KPIs.",
+	}, nil
+}
+
+// Figure06 reproduces Fig. 6: a software upgrade at an upstream RNC
+// improving voice retainability at the cell towers it serves.
+func Figure06(cfg Config) (Figure, error) {
+	net := smallWorld(cfg.seed())
+	rnc := net.Filter(func(e *netsim.Element) bool {
+		return e.Kind == netsim.RNC && e.Region == netsim.Southeast
+	})[0]
+	towers := net.Children(rnc)[:5]
+	ix := timeseries.NewIndex(epoch, 24*time.Hour, 20)
+	upgradeAt := epoch.Add(10 * 24 * time.Hour)
+	scope := append([]string{rnc}, net.Descendants(rnc)...)
+	g := gen.New(net, genCfg(cfg, ix, gen.Config{
+		Effects: []gen.Effect{gen.EffectOn("rnc-software-upgrade", scope, upgradeAt, time.Time{}, 1.8)},
+	}))
+	fig := Figure{
+		ID:       "6",
+		Title:    "Upstream RNC software upgrade improves its towers (voice retainability)",
+		KPI:      kpi.VoiceRetainability,
+		ChangeAt: upgradeAt,
+		Notes:    "All towers under the upgraded RNC improve together; a tower-level change assessed in isolation would wrongly take the credit.",
+	}
+	for i, id := range towers {
+		fig.Series = append(fig.Series, Series{Name: fmt.Sprintf("cell-tower-%d", i+1), Group: "study", Values: g.Series(id, kpi.VoiceRetainability)})
+	}
+	return fig, nil
+}
+
+// genCfg merges figure-specific generator settings over the defaults.
+func genCfg(cfg Config, ix timeseries.Index, over gen.Config) gen.Config {
+	g := gen.DefaultConfig(ix)
+	g.Seed = cfg.seed()
+	g.RegionalNoiseSD = 0.35
+	g.ElementNoiseSD = 0.05
+	g.AnnualQualityTrend = over.AnnualQualityTrend
+	g.Factors = over.Factors
+	g.Effects = over.Effects
+	if over.RegionalNoiseSD != 0 {
+		g.RegionalNoiseSD = over.RegionalNoiseSD
+	}
+	if over.SensitivityOverrides != nil {
+		g.SensitivityOverrides = over.SensitivityOverrides
+	}
+	g.FailureScale = 2
+	return g
+}

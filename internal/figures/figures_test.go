@@ -1,0 +1,257 @@
+package figures
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/kpi"
+	"repro/internal/stats"
+	"repro/internal/timeseries"
+)
+
+func windowMean(s timeseries.Series, from, to time.Time) float64 {
+	return stats.Mean(s.Window(from, to).CleanValues())
+}
+
+func TestAllFiguresGenerate(t *testing.T) {
+	figs, err := All(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs := []string{"1", "3", "4", "5", "6", "7", "8", "9", "10", "11"}
+	if len(figs) != len(wantIDs) {
+		t.Fatalf("got %d figures, want %d", len(figs), len(wantIDs))
+	}
+	for i, f := range figs {
+		if f.ID != wantIDs[i] {
+			t.Errorf("figure %d ID = %q, want %q", i, f.ID, wantIDs[i])
+		}
+		if len(f.Series) == 0 {
+			t.Errorf("figure %s has no series", f.ID)
+		}
+		if f.Title == "" || f.Notes == "" {
+			t.Errorf("figure %s missing title or notes", f.ID)
+		}
+		for _, s := range f.Series {
+			if s.Values.Len() == 0 {
+				t.Errorf("figure %s series %q empty", f.ID, s.Name)
+			}
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	f, err := ByID(DefaultConfig(), "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID != "3" {
+		t.Errorf("ByID returned figure %q", f.ID)
+	}
+	if _, err := ByID(DefaultConfig(), "2"); err == nil {
+		t.Error("figure 2 (architecture diagram) should not be generatable")
+	}
+}
+
+func TestFigure01WindSpike(t *testing.T) {
+	f, err := Figure01(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := f.Series[0].Values
+	calm := windowMean(s, epoch, f.ChangeAt.Add(-2*24*time.Hour))
+	windy := windowMean(s, f.ChangeAt, f.ChangeAt.Add(4*24*time.Hour))
+	if windy < calm+0.01 {
+		t.Errorf("dropped-call ratio during winds = %v, want clearly above calm %v", windy, calm)
+	}
+}
+
+func TestFigure03SeasonalShape(t *testing.T) {
+	f, err := Figure03(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ne := f.Series[0].Values
+	se := f.Series[1].Values
+	for year := 0; year < 2; year++ {
+		y := epoch.AddDate(year, 0, 0)
+		winter := windowMean(ne, y, y.AddDate(0, 2, 0))
+		summer := windowMean(ne, y.AddDate(0, 6, 0), y.AddDate(0, 8, 0))
+		if winter-summer < 0.008 {
+			t.Errorf("year %d: NE seasonal dip = %v, want visible", year+1, winter-summer)
+		}
+		seWinter := windowMean(se, y, y.AddDate(0, 2, 0))
+		seSummer := windowMean(se, y.AddDate(0, 6, 0), y.AddDate(0, 8, 0))
+		if d := seWinter - seSummer; d > 0.006 {
+			t.Errorf("year %d: SE shows seasonality (%v) but should not", year+1, d)
+		}
+	}
+	// Secular trend: the second winter beats the first.
+	w1 := windowMean(ne, epoch, epoch.AddDate(0, 2, 0))
+	w2 := windowMean(ne, epoch.AddDate(1, 0, 0), epoch.AddDate(1, 2, 0))
+	if w2 <= w1 {
+		t.Errorf("no rising trend: winter1 %v, winter2 %v", w1, w2)
+	}
+}
+
+func TestFigure04CorrelatedStormDip(t *testing.T) {
+	f, err := Figure04(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) < 3 {
+		t.Fatalf("want multiple RNCs, got %d", len(f.Series))
+	}
+	stormStart := epoch.Add(18 * 24 * time.Hour)
+	for _, s := range f.Series {
+		before := windowMean(s.Values, epoch, stormStart)
+		during := windowMean(s.Values, stormStart.Add(24*time.Hour), stormStart.Add(3*24*time.Hour))
+		if during >= before-0.01 {
+			t.Errorf("RNC %s: storm dip missing (before %v, during %v)", s.Name, before, during)
+		}
+	}
+}
+
+func TestFigure05EventVolumeAndRetainability(t *testing.T) {
+	f, err := Figure05(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := f.Series[0].Values
+	vol := f.Series[1].Values
+	evStart := f.ChangeAt
+	evEnd := evStart.Add(6 * time.Hour)
+	volBefore := windowMean(vol, evStart.Add(-24*time.Hour), evStart)
+	volDuring := windowMean(vol, evStart, evEnd)
+	if volDuring < 2.5*volBefore {
+		t.Errorf("event volume %v not a multiple of baseline %v", volDuring, volBefore)
+	}
+	retBefore := windowMean(ret, evStart.Add(-24*time.Hour), evStart)
+	retDuring := windowMean(ret, evStart, evEnd)
+	if retDuring >= retBefore {
+		t.Errorf("retainability did not drop during event: %v -> %v", retBefore, retDuring)
+	}
+}
+
+func TestFigure06UpstreamImprovement(t *testing.T) {
+	f, err := Figure06(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range f.Series {
+		before := windowMean(s.Values, epoch, f.ChangeAt)
+		after := windowMean(s.Values, f.ChangeAt, f.ChangeAt.Add(10*24*time.Hour))
+		if after < before+0.008 {
+			t.Errorf("%s: upgrade improvement missing (%v -> %v)", s.Name, before, after)
+		}
+	}
+}
+
+func TestFigure07Verdicts(t *testing.T) {
+	f, err := Figure07(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (a): study-only reads the weather as degradation; Litmus reads the
+	// change as relative improvement.
+	if got := f.Verdicts["a-study-only"].Impact; got != kpi.Degradation {
+		t.Errorf("scenario a study-only = %v, want degradation", got)
+	}
+	if got := f.Verdicts["a-litmus"].Impact; got != kpi.Improvement {
+		t.Errorf("scenario a litmus = %v, want relative improvement", got)
+	}
+	// (b): both degrade equally → study-only degradation, Litmus no change.
+	if got := f.Verdicts["b-study-only"].Impact; got != kpi.Degradation {
+		t.Errorf("scenario b study-only = %v, want degradation", got)
+	}
+	if got := f.Verdicts["b-litmus"].Impact; got != kpi.NoImpact {
+		t.Errorf("scenario b litmus = %v, want no impact", got)
+	}
+	// (c): both improve, study lags → study-only improvement, Litmus
+	// degradation.
+	if got := f.Verdicts["c-study-only"].Impact; got != kpi.Improvement {
+		t.Errorf("scenario c study-only = %v, want improvement", got)
+	}
+	if got := f.Verdicts["c-litmus"].Impact; got != kpi.Degradation {
+		t.Errorf("scenario c litmus = %v, want relative degradation", got)
+	}
+}
+
+func TestFigure08FeatureDegradationDetected(t *testing.T) {
+	f, err := Figure08(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Verdicts["litmus"].Impact; got != kpi.Degradation {
+		t.Errorf("litmus = %v, want degradation (dropped calls increased)", got)
+	}
+	// The controls stay flat: their median dropped-call ratio moves less
+	// than the study's.
+	study := f.Series[0].Values
+	before, after := study.SplitAt(f.ChangeAt)
+	studyShift := stats.Median(after.CleanValues()) - stats.Median(before.CleanValues())
+	if studyShift < 0.005 {
+		t.Errorf("study dropped-call shift = %v, want visible increase", studyShift)
+	}
+}
+
+func TestFigure09FoliageNoRelativeChange(t *testing.T) {
+	f, err := Figure09(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Verdicts["study-only"].Impact; got != kpi.Improvement {
+		t.Errorf("study-only = %v, want (spurious) improvement from foliage", got)
+	}
+	if got := f.Verdicts["litmus"].Impact; got != kpi.NoImpact {
+		t.Errorf("litmus = %v, want no relative change", got)
+	}
+}
+
+func TestFigure10SandyRelativeImprovement(t *testing.T) {
+	f, err := Figure10(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, metric := range []string{kpi.VoiceAccessibility.String(), kpi.VoiceRetainability.String()} {
+		if got := f.Verdicts[metric+"-study-only"].Impact; got != kpi.Degradation {
+			t.Errorf("%s study-only = %v, want absolute degradation from the hurricane", metric, got)
+		}
+		if got := f.Verdicts[metric+"-litmus"].Impact; got != kpi.Improvement {
+			t.Errorf("%s litmus = %v, want relative improvement from SON", metric, got)
+		}
+	}
+}
+
+func TestFigure11HolidayNoImpact(t *testing.T) {
+	f, err := Figure11(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Verdicts["study-only"].Impact; got != kpi.Improvement {
+		t.Errorf("study-only = %v, want (spurious) improvement from the holiday", got)
+	}
+	if got := f.Verdicts["litmus"].Impact; got != kpi.NoImpact {
+		t.Errorf("litmus = %v, want no relative impact", got)
+	}
+}
+
+func TestFiguresDeterministic(t *testing.T) {
+	a, err := Figure08(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Figure08(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	av, bv := a.Series[0].Values.Values, b.Series[0].Values.Values
+	for i := range av {
+		if av[i] != bv[i] {
+			t.Fatal("figure data not deterministic")
+		}
+	}
+	if a.Verdicts["litmus"] != b.Verdicts["litmus"] {
+		t.Error("figure verdicts not deterministic")
+	}
+}

@@ -1,0 +1,98 @@
+// Package gen generates synthetic KPI time-series for a netsim network:
+// the substitution for the two years of proprietary AT&T performance
+// counters the paper evaluates on.
+//
+// The generative model follows the structure the paper's method assumes
+// and exploits (§3.1):
+//
+//   - a latent regional stress process (AR(1)) shared by all elements of a
+//     region — the source of spatial auto-correlation;
+//   - external factors (package extfactor) adding common-mode stress and
+//     load across study and control groups;
+//   - per-element sensitivity to the regional process, making each
+//     element an affine function of the shared latent state (so a study
+//     element is forecastable from its control group by linear
+//     regression);
+//   - injected change effects with known ground truth; and
+//   - counter-level sampling noise: the generator first produces raw
+//     performance counters (attempts, failures, drops, bytes) and then
+//     derives KPIs through package kpi, so ratio KPIs carry realistic
+//     binomial noise floors that shrink with traffic volume.
+//
+// Everything is deterministic in Config.Seed and element identity.
+package gen
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// Effect is an injected change to an element's service quality and/or
+// load with known ground truth — what a network change (or a synthetic
+// injection, §4.3) does to the elements it touches.
+type Effect struct {
+	// Label identifies the effect in logs.
+	Label string
+	// Elements is the set of element IDs the effect applies to. If nil,
+	// Match is consulted instead.
+	Elements map[string]bool
+	// Match selects elements when Elements is nil.
+	Match func(*netsim.Element) bool
+	// Start and End bound the effect window (half-open). A zero End means
+	// the effect persists to the end of the index.
+	Start, End time.Time
+	// Ramp is the linear onset duration after Start.
+	Ramp time.Duration
+	// Quality is the latent service-quality shift in stress units:
+	// positive improves success-ratio KPIs (and throughput), negative
+	// degrades. One unit corresponds to one unit of external-factor
+	// stress.
+	Quality float64
+	// LoadMult multiplies offered load while active (0 means "leave load
+	// unchanged", i.e. treated as 1).
+	LoadMult float64
+	// ScaleWithSensitivity multiplies Quality by each covered element's
+	// stress sensitivity, modeling impacts that act through the same
+	// channel as external factors (an element that reacts strongly to
+	// weather also reacts strongly to an interference-reducing feature).
+	ScaleWithSensitivity bool
+}
+
+// AppliesTo reports whether the effect covers element e.
+func (ef Effect) AppliesTo(e *netsim.Element) bool {
+	if ef.Elements != nil {
+		return ef.Elements[e.ID]
+	}
+	if ef.Match != nil {
+		return ef.Match(e)
+	}
+	return false
+}
+
+// weightAt returns the [0,1] activation of the effect at time t.
+func (ef Effect) weightAt(t time.Time, indexEnd time.Time) float64 {
+	end := ef.End
+	if end.IsZero() {
+		end = indexEnd
+	}
+	if t.Before(ef.Start) || !t.Before(end) {
+		return 0
+	}
+	if ef.Ramp <= 0 {
+		return 1
+	}
+	if in := t.Sub(ef.Start); in < ef.Ramp {
+		return float64(in) / float64(ef.Ramp)
+	}
+	return 1
+}
+
+// EffectOn builds an Effect covering the given IDs.
+func EffectOn(label string, ids []string, start, end time.Time, quality float64) Effect {
+	set := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		set[id] = true
+	}
+	return Effect{Label: label, Elements: set, Start: start, End: end, Quality: quality}
+}

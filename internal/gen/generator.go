@@ -1,0 +1,403 @@
+package gen
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"repro/internal/extfactor"
+	"repro/internal/kpi"
+	"repro/internal/netsim"
+	"repro/internal/timeseries"
+)
+
+// Config parameterizes the generator. Zero values are replaced by the
+// defaults documented on each field (see DefaultConfig).
+type Config struct {
+	// Index is the time grid every generated series lives on.
+	Index timeseries.Index
+	// Seed drives all randomness; equal seeds and element IDs reproduce
+	// identical series.
+	Seed int64
+	// Factors are the external factors active during the simulation.
+	Factors extfactor.Stack
+	// Effects are injected change effects with known ground truth.
+	Effects []Effect
+	// RegionalAR is the AR(1) coefficient of the shared regional stress
+	// process (default 0.7).
+	RegionalAR float64
+	// RegionalNoiseSD is the innovation standard deviation of the regional
+	// process, in stress units (default 0.25).
+	RegionalNoiseSD float64
+	// ElementNoiseSD is the per-element idiosyncratic stress noise
+	// (default 0.08).
+	ElementNoiseSD float64
+	// ElementNoiseAR is the AR(1) coefficient of the idiosyncratic noise
+	// (default 0: white). Real per-element KPI noise is bursty —
+	// interference episodes and local congestion persist for hours — and
+	// a positive coefficient reproduces that.
+	ElementNoiseAR float64
+	// SensitivitySpread makes each element's response to the regional
+	// process sens = 1 ± U(0, spread) (default 0.5). Heterogeneous
+	// sensitivity is what biases Difference-in-Differences under
+	// non-stationary external factors while leaving regression unharmed.
+	SensitivitySpread float64
+	// LoadStressCoeff converts excess load into congestion stress
+	// (default 0.25): stress += coeff · max(0, loadMult − 1).
+	LoadStressCoeff float64
+	// AnnualQualityTrend is the secular stress relief per year from the
+	// carrier's continuous improvements (paper Fig. 3's rising trend;
+	// default 0.4).
+	AnnualQualityTrend float64
+	// FailureScale multiplies the baseline failure/drop probabilities
+	// (default 1 when zero). Worlds that inject strong improvements use
+	// values > 1 so the probabilities keep headroom above the clamp floor
+	// — a saturated KPI cannot show further improvement.
+	FailureScale float64
+	// DisableSamplingNoise replaces binomial counter sampling with exact
+	// expectations — used by tests that need noise-free series.
+	DisableSamplingNoise bool
+	// SensitivityOverrides pins specific elements' sensitivity to the
+	// shared stress (regional process and external factors), overriding
+	// the random draw. The evaluation harness uses it to reproduce the
+	// paper's scenarios where a study element responds to a factor more
+	// strongly than its controls ("different intensities of foliage",
+	// §5.2) — the regime where Difference-in-Differences is biased.
+	SensitivityOverrides map[string]float64
+}
+
+// DefaultConfig returns the generator configuration used across the
+// evaluation harness, on the given index.
+func DefaultConfig(ix timeseries.Index) Config {
+	return Config{
+		Index:              ix,
+		Seed:               1,
+		RegionalAR:         0.7,
+		RegionalNoiseSD:    0.25,
+		ElementNoiseSD:     0.08,
+		SensitivitySpread:  0.5,
+		LoadStressCoeff:    0.25,
+		AnnualQualityTrend: 0.4,
+	}
+}
+
+// Generator produces KPI series and raw counters for network elements.
+type Generator struct {
+	net *netsim.Network
+	cfg Config
+
+	regional map[netsim.Region][]float64 // cached regional stress paths
+	counters map[string][]kpi.Counters   // cached per-element counters
+}
+
+// New returns a Generator for the network under cfg. Callers should
+// start from DefaultConfig and override fields — explicit zero values
+// (e.g. a zero trend) are respected. New panics on an empty index —
+// generating zero-length series indicates broken setup — and on a
+// negative or ≥1 AR coefficient.
+func New(net *netsim.Network, cfg Config) *Generator {
+	if cfg.Index.N == 0 {
+		panic("gen: config with empty index")
+	}
+	if cfg.RegionalAR < 0 || cfg.RegionalAR >= 1 || cfg.ElementNoiseAR < 0 || cfg.ElementNoiseAR >= 1 {
+		panic("gen: AR coefficients must lie in [0, 1)")
+	}
+	return &Generator{
+		net:      net,
+		cfg:      cfg,
+		regional: make(map[netsim.Region][]float64),
+		counters: make(map[string][]kpi.Counters),
+	}
+}
+
+// Network returns the underlying network.
+func (g *Generator) Network() *netsim.Network { return g.net }
+
+// Index returns the generation time grid.
+func (g *Generator) Index() timeseries.Index { return g.cfg.Index }
+
+// hashSeed derives a child RNG seed from the generator seed and a label,
+// so each (seed, element) pair gets an independent, reproducible stream.
+func (g *Generator) hashSeed(parts ...string) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(g.cfg.Seed >> (8 * i))
+	}
+	h.Write(b[:])
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return int64(h.Sum64())
+}
+
+// regionalStress returns (computing once) the shared AR(1) stress path of
+// a region.
+func (g *Generator) regionalStress(r netsim.Region) []float64 {
+	if path, ok := g.regional[r]; ok {
+		return path
+	}
+	rng := rand.New(rand.NewSource(g.hashSeed("region", string(r))))
+	n := g.cfg.Index.N
+	path := make([]float64, n)
+	// Stationary start.
+	sd := g.cfg.RegionalNoiseSD
+	ar := g.cfg.RegionalAR
+	path[0] = rng.NormFloat64() * sd / math.Sqrt(1-ar*ar)
+	for i := 1; i < n; i++ {
+		path[i] = ar*path[i-1] + rng.NormFloat64()*sd
+	}
+	g.regional[r] = path
+	return path
+}
+
+// sensitivity returns element e's multiplier on the shared stress
+// (regional process and external factors), deterministic in (seed,
+// element ID) unless overridden.
+func (g *Generator) sensitivity(id string) float64 {
+	if s, ok := g.cfg.SensitivityOverrides[id]; ok {
+		return s
+	}
+	rng := rand.New(rand.NewSource(g.hashSeed("sens", id)))
+	return 1 + (rng.Float64()*2-1)*g.cfg.SensitivitySpread
+}
+
+// baseRates holds an element's offered-traffic scale.
+type baseRates struct {
+	voicePerHour float64
+	dataPerHour  float64
+	mbpsBase     float64 // per-user throughput baseline
+	pVoiceFail   float64 // baseline voice setup failure probability
+	pVoiceDrop   float64 // baseline voice drop probability
+	pDataFail    float64
+	pDataDrop    float64
+	pBearerFail  float64
+}
+
+// ratesFor derives an element's baseline rates from its kind and identity.
+// Controllers and core elements aggregate more traffic than single towers.
+func (g *Generator) ratesFor(e *netsim.Element) baseRates {
+	rng := rand.New(rand.NewSource(g.hashSeed("base", e.ID)))
+	scale := 1.0
+	switch {
+	case e.Kind == netsim.Cell:
+		scale = 0.35
+	case e.Kind.IsTower() && e.Kind != netsim.ENodeB:
+		scale = 1
+	case e.Kind == netsim.ENodeB:
+		scale = 1.4
+	case e.Kind.IsController():
+		scale = 12
+	case e.Kind.IsCore():
+		scale = 120
+	}
+	jitter := func(base, spread float64) float64 {
+		return base * (1 + (rng.Float64()*2-1)*spread)
+	}
+	fs := g.cfg.FailureScale
+	if fs <= 0 {
+		fs = 1
+	}
+	return baseRates{
+		voicePerHour: jitter(420*scale, 0.3),
+		dataPerHour:  jitter(900*scale, 0.3),
+		mbpsBase:     jitter(7.5, 0.25),
+		pVoiceFail:   jitter(0.016*fs, 0.25),
+		pVoiceDrop:   jitter(0.014*fs, 0.25),
+		pDataFail:    jitter(0.020*fs, 0.25),
+		pDataDrop:    jitter(0.017*fs, 0.25),
+		pBearerFail:  jitter(0.010*fs, 0.25),
+	}
+}
+
+// stressToProb converts one unit of stress into added failure probability.
+// One stress unit ≈ one percentage point of degradation on ratio KPIs,
+// matching the scale external factors and injected effects are written in.
+const stressToProb = 0.010
+
+// Counters returns the raw per-bucket performance counters for element id,
+// computing and caching them on first use.
+func (g *Generator) Counters(id string) []kpi.Counters {
+	if cs, ok := g.counters[id]; ok {
+		return cs
+	}
+	e := g.net.MustElement(id)
+	rates := g.ratesFor(e)
+	rng := rand.New(rand.NewSource(g.hashSeed("series", id)))
+	regional := g.regionalStress(e.Region)
+	sens := g.sensitivity(id)
+	n := g.cfg.Index.N
+	stepHours := g.cfg.Index.Step.Hours()
+	out := make([]kpi.Counters, n)
+	var elemNoise float64
+	if g.cfg.ElementNoiseAR > 0 {
+		// Stationary start for the AR noise path.
+		elemNoise = g.cfg.ElementNoiseSD * rng.NormFloat64() / math.Sqrt(1-g.cfg.ElementNoiseAR*g.cfg.ElementNoiseAR)
+	}
+	for i := 0; i < n; i++ {
+		t := g.cfg.Index.TimeAt(i)
+
+		// Load: external factors × injected load effects × mild noise.
+		loadMult := g.cfg.Factors.LoadMultiplier(e, t)
+		quality := 0.0
+		for _, ef := range g.cfg.Effects {
+			if !ef.AppliesTo(e) {
+				continue
+			}
+			w := ef.weightAt(t, g.cfg.Index.End())
+			if w == 0 {
+				continue
+			}
+			q := ef.Quality
+			if ef.ScaleWithSensitivity {
+				q *= sens
+			}
+			quality += q * w
+			if ef.LoadMult > 0 {
+				loadMult *= 1 + (ef.LoadMult-1)*w
+			}
+		}
+		loadMult *= 1 + 0.04*rng.NormFloat64()
+		if loadMult < 0.05 {
+			loadMult = 0.05
+		}
+
+		// Stress: sensitivity-scaled shared stress (external factors and
+		// the regional latent process — elements respond to both with
+		// their own intensity, §5.2) + idiosyncratic noise + congestion −
+		// secular trend − injected quality.
+		stress := sens * (g.cfg.Factors.Stress(e, t) + regional[i])
+		if ar := g.cfg.ElementNoiseAR; ar > 0 {
+			elemNoise = ar*elemNoise + g.cfg.ElementNoiseSD*rng.NormFloat64()
+			stress += elemNoise
+		} else {
+			stress += g.cfg.ElementNoiseSD * rng.NormFloat64()
+		}
+		if loadMult > 1 {
+			stress += g.cfg.LoadStressCoeff * (loadMult - 1)
+		}
+		years := t.Sub(g.cfg.Index.Start).Hours() / (24 * 365)
+		stress -= g.cfg.AnnualQualityTrend * years
+		stress -= quality
+
+		out[i] = g.sampleCounters(rng, rates, stepHours, loadMult, stress)
+	}
+	g.counters[id] = out
+	return out
+}
+
+// sampleCounters draws one bucket of counters from the latent state.
+func (g *Generator) sampleCounters(rng *rand.Rand, r baseRates, stepHours, loadMult, stress float64) kpi.Counters {
+	addP := stress * stressToProb
+	prob := func(base float64) float64 {
+		p := base + addP
+		if p < 0.0002 {
+			p = 0.0002
+		}
+		if p > 0.95 {
+			p = 0.95
+		}
+		return p
+	}
+	voiceAttempts := g.count(rng, r.voicePerHour*stepHours*loadMult)
+	voiceFails := g.binomial(rng, voiceAttempts, prob(r.pVoiceFail))
+	established := voiceAttempts - voiceFails
+	voiceDrops := g.binomial(rng, established, prob(r.pVoiceDrop))
+	bearers := g.count(rng, r.voicePerHour*stepHours*loadMult*0.9)
+	bearerFails := g.binomial(rng, bearers, prob(r.pBearerFail))
+
+	dataAttempts := g.count(rng, r.dataPerHour*stepHours*loadMult)
+	dataFails := g.binomial(rng, dataAttempts, prob(r.pDataFail))
+	dataEst := dataAttempts - dataFails
+	dataDrops := g.binomial(rng, dataEst, prob(r.pDataDrop))
+
+	// Throughput: baseline Mbps degraded by stress, mildly by overload.
+	mbps := r.mbpsBase * (1 - 0.06*stress)
+	if loadMult > 1 {
+		mbps /= 1 + 0.15*(loadMult-1)
+	}
+	if mbps < 0.1 {
+		mbps = 0.1
+	}
+	activeSeconds := int64(3600 * stepHours * loadMult / 4)
+	if activeSeconds < 1 {
+		activeSeconds = 1
+	}
+	bytes := int64(mbps * 1e6 / 8 * float64(activeSeconds))
+
+	return kpi.Counters{
+		VoiceAttempts:     voiceAttempts,
+		VoiceSetupFails:   voiceFails,
+		VoiceDrops:        voiceDrops,
+		VoiceRadioBearers: bearers,
+		VoiceBearerFails:  bearerFails,
+		DataAttempts:      dataAttempts,
+		DataSetupFails:    dataFails,
+		DataDrops:         dataDrops,
+		BytesDelivered:    bytes,
+		ActiveSeconds:     activeSeconds,
+	}
+}
+
+// count draws a Poisson-like count via a normal approximation (exact mean
+// when sampling noise is disabled).
+func (g *Generator) count(rng *rand.Rand, mean float64) int64 {
+	if mean < 0 {
+		mean = 0
+	}
+	if g.cfg.DisableSamplingNoise {
+		return int64(math.Round(mean))
+	}
+	v := mean + math.Sqrt(mean)*rng.NormFloat64()
+	if v < 0 {
+		v = 0
+	}
+	return int64(math.Round(v))
+}
+
+// binomial draws Binomial(n, p) via a normal approximation (exact mean
+// when sampling noise is disabled), clamped to [0, n].
+func (g *Generator) binomial(rng *rand.Rand, n int64, p float64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	mean := float64(n) * p
+	if g.cfg.DisableSamplingNoise {
+		return clampInt64(int64(math.Round(mean)), 0, n)
+	}
+	sd := math.Sqrt(float64(n) * p * (1 - p))
+	v := int64(math.Round(mean + sd*rng.NormFloat64()))
+	return clampInt64(v, 0, n)
+}
+
+func clampInt64(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Series returns the KPI time-series for element id, derived from the
+// element's generated counters.
+func (g *Generator) Series(id string, k kpi.KPI) timeseries.Series {
+	cs := g.Counters(id)
+	vals := make([]float64, len(cs))
+	for i, c := range cs {
+		vals[i] = c.Compute(k)
+	}
+	return timeseries.NewSeries(g.cfg.Index, vals)
+}
+
+// Panel returns the KPI panel for the given element IDs, columns in the
+// given order.
+func (g *Generator) Panel(k kpi.KPI, ids []string) *timeseries.Panel {
+	p := timeseries.NewPanel(g.cfg.Index)
+	for _, id := range ids {
+		p.Add(id, g.Series(id, k))
+	}
+	return p
+}

@@ -1,0 +1,419 @@
+package gen
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/extfactor"
+	"repro/internal/kpi"
+	"repro/internal/netsim"
+	"repro/internal/stats"
+	"repro/internal/timeseries"
+)
+
+var epoch = time.Date(2012, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func dailyIndex(days int) timeseries.Index {
+	return timeseries.NewIndex(epoch, 24*time.Hour, days)
+}
+
+func testNetwork() *netsim.Network {
+	cfg := netsim.DefaultTopologyConfig()
+	cfg.Regions = []netsim.Region{netsim.Northeast, netsim.Southeast}
+	return netsim.Build(cfg)
+}
+
+func TestDeterminism(t *testing.T) {
+	net := testNetwork()
+	cfg := DefaultConfig(dailyIndex(30))
+	g1 := New(net, cfg)
+	g2 := New(net, cfg)
+	id := net.OfKind(netsim.NodeB)[0]
+	s1 := g1.Series(id, kpi.VoiceRetainability)
+	s2 := g2.Series(id, kpi.VoiceRetainability)
+	for i := range s1.Values {
+		if s1.Values[i] != s2.Values[i] {
+			t.Fatalf("series differ at %d: %v vs %v", i, s1.Values[i], s2.Values[i])
+		}
+	}
+	cfg.Seed = 99
+	g3 := New(net, cfg)
+	s3 := g3.Series(id, kpi.VoiceRetainability)
+	same := true
+	for i := range s1.Values {
+		if s1.Values[i] != s3.Values[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical series")
+	}
+}
+
+func TestCountersValid(t *testing.T) {
+	net := testNetwork()
+	g := New(net, DefaultConfig(dailyIndex(30)))
+	for _, id := range []string{net.OfKind(netsim.NodeB)[0], net.OfKind(netsim.RNC)[0], net.OfKind(netsim.MSC)[0]} {
+		for i, c := range g.Counters(id) {
+			if err := c.Validate(); err != nil {
+				t.Fatalf("element %s bucket %d: %v", id, i, err)
+			}
+		}
+	}
+}
+
+func TestKPIRanges(t *testing.T) {
+	net := testNetwork()
+	g := New(net, DefaultConfig(dailyIndex(60)))
+	id := net.OfKind(netsim.NodeB)[1]
+	for _, k := range []kpi.KPI{kpi.VoiceAccessibility, kpi.VoiceRetainability, kpi.DataAccessibility, kpi.DataRetainability, kpi.DroppedCallRatio, kpi.RadioBearerSuccess} {
+		s := g.Series(id, k)
+		for i, v := range s.Values {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("%v[%d] = %v outside [0,1]", k, i, v)
+			}
+		}
+	}
+	thr := g.Series(id, kpi.DataThroughput)
+	for i, v := range thr.Values {
+		if v <= 0 {
+			t.Fatalf("throughput[%d] = %v, want positive", i, v)
+		}
+	}
+}
+
+func TestHealthyBaselineLevels(t *testing.T) {
+	net := testNetwork()
+	g := New(net, DefaultConfig(dailyIndex(30)))
+	id := net.OfKind(netsim.NodeB)[2]
+	ret := stats.Mean(g.Series(id, kpi.VoiceRetainability).Values)
+	if ret < 0.93 || ret > 0.999 {
+		t.Errorf("baseline voice retainability = %v, want healthy ~0.98", ret)
+	}
+	acc := stats.Mean(g.Series(id, kpi.VoiceAccessibility).Values)
+	if acc < 0.93 || acc > 0.999 {
+		t.Errorf("baseline voice accessibility = %v, want healthy", acc)
+	}
+}
+
+func TestSpatialCorrelationWithinRegion(t *testing.T) {
+	// Observation (i) of §3.1: geographically close elements are
+	// statistically correlated; cross-region pairs are less so.
+	net := testNetwork()
+	cfg := DefaultConfig(dailyIndex(120))
+	cfg.RegionalNoiseSD = 0.5 // strengthen the shared signal for the test
+	g := New(net, cfg)
+	ne := net.Filter(func(e *netsim.Element) bool {
+		return e.Kind == netsim.NodeB && e.Region == netsim.Northeast
+	})
+	se := net.Filter(func(e *netsim.Element) bool {
+		return e.Kind == netsim.NodeB && e.Region == netsim.Southeast
+	})
+	a := g.Series(ne[0], kpi.VoiceRetainability).Values
+	b := g.Series(ne[1], kpi.VoiceRetainability).Values
+	c := g.Series(se[0], kpi.VoiceRetainability).Values
+	within := stats.PearsonCorrelation(a, b)
+	across := stats.PearsonCorrelation(a, c)
+	if within < 0.3 {
+		t.Errorf("within-region correlation = %v, want substantial", within)
+	}
+	if within <= across {
+		t.Errorf("within-region correlation %v not above cross-region %v", within, across)
+	}
+}
+
+func TestEffectShiftsKPI(t *testing.T) {
+	net := testNetwork()
+	id := net.OfKind(netsim.NodeB)[3]
+	ix := dailyIndex(28)
+	changeAt := epoch.Add(14 * 24 * time.Hour)
+
+	base := New(net, DefaultConfig(ix))
+	cfgDeg := DefaultConfig(ix)
+	cfgDeg.Effects = []Effect{EffectOn("degrade", []string{id}, changeAt, time.Time{}, -2)}
+	deg := New(net, cfgDeg)
+
+	kSeries := func(g *Generator) (before, after []float64) {
+		s := g.Series(id, kpi.VoiceRetainability)
+		b, a := s.SplitAt(changeAt)
+		return b.Values, a.Values
+	}
+	_, baseAfter := kSeries(base)
+	_, degAfter := kSeries(deg)
+	if stats.Mean(degAfter) >= stats.Mean(baseAfter)-0.005 {
+		t.Errorf("quality −2 effect did not degrade retainability: %v vs %v",
+			stats.Mean(degAfter), stats.Mean(baseAfter))
+	}
+	// Before the change the two generators must agree in distribution;
+	// with identical seeds they agree exactly.
+	b1, _ := kSeries(base)
+	b2, _ := kSeries(deg)
+	for i := range b1 {
+		if b1[i] != b2[i] {
+			t.Fatal("effect leaked before its start time")
+		}
+	}
+}
+
+func TestEffectOnDroppedCallRatioDirection(t *testing.T) {
+	// Negative quality must *raise* the dropped-call ratio.
+	net := testNetwork()
+	id := net.OfKind(netsim.NodeB)[4]
+	ix := dailyIndex(28)
+	changeAt := epoch.Add(14 * 24 * time.Hour)
+	cfg := DefaultConfig(ix)
+	cfg.Effects = []Effect{EffectOn("bad-feature", []string{id}, changeAt, time.Time{}, -1.5)}
+	g := New(net, cfg)
+	s := g.Series(id, kpi.DroppedCallRatio)
+	b, a := s.SplitAt(changeAt)
+	if stats.Mean(a.Values) <= stats.Mean(b.Values) {
+		t.Errorf("negative quality did not raise dropped-call ratio: before=%v after=%v",
+			stats.Mean(b.Values), stats.Mean(a.Values))
+	}
+}
+
+func TestLoadEffectRaisesVolume(t *testing.T) {
+	net := testNetwork()
+	id := net.OfKind(netsim.NodeB)[5]
+	ix := dailyIndex(20)
+	evStart := epoch.Add(10 * 24 * time.Hour)
+	cfg := DefaultConfig(ix)
+	cfg.Effects = []Effect{{
+		Label: "event", Elements: map[string]bool{id: true},
+		Start: evStart, LoadMult: 3,
+	}}
+	g := New(net, cfg)
+	s := g.Series(id, kpi.VoiceCallVolume)
+	b, a := s.SplitAt(evStart)
+	if stats.Mean(a.Values) < 2*stats.Mean(b.Values) {
+		t.Errorf("load 3x effect produced volume %v -> %v", stats.Mean(b.Values), stats.Mean(a.Values))
+	}
+}
+
+func TestFoliageSeasonalityInGeneratedSeries(t *testing.T) {
+	// Fig. 3 shape: NE summer retainability below NE winter; SE flat.
+	net := testNetwork()
+	ix := dailyIndex(365)
+	cfg := DefaultConfig(ix)
+	cfg.AnnualQualityTrend = 0 // isolate seasonality
+	cfg.Factors = extfactor.Stack{extfactor.Foliage{Amplitude: 1.5}}
+	g := New(net, cfg)
+
+	seasonGap := func(id string) float64 {
+		s := g.Series(id, kpi.VoiceRetainability)
+		jan := s.Window(epoch, epoch.Add(60*24*time.Hour))
+		jul := s.Window(epoch.Add(180*24*time.Hour), epoch.Add(240*24*time.Hour))
+		return stats.Mean(jan.Values) - stats.Mean(jul.Values)
+	}
+	ne := net.Filter(func(e *netsim.Element) bool {
+		return e.Kind == netsim.NodeB && e.Region == netsim.Northeast
+	})
+	se := net.Filter(func(e *netsim.Element) bool {
+		return e.Kind == netsim.NodeB && e.Region == netsim.Southeast
+	})
+	if gap := seasonGap(ne[0]); gap < 0.005 {
+		t.Errorf("NE seasonal gap = %v, want visible dip in summer", gap)
+	}
+	if gap := seasonGap(se[0]); math.Abs(gap) > 0.004 {
+		t.Errorf("SE seasonal gap = %v, want ~0", gap)
+	}
+}
+
+func TestDisableSamplingNoise(t *testing.T) {
+	net := testNetwork()
+	cfg := DefaultConfig(dailyIndex(10))
+	cfg.DisableSamplingNoise = true
+	cfg.ElementNoiseSD = 1e-9
+	cfg.RegionalNoiseSD = 1e-9
+	cfg.AnnualQualityTrend = 1e-9
+	g := New(net, cfg)
+	s := g.Series(net.OfKind(netsim.NodeB)[0], kpi.VoiceRetainability)
+	sd := stats.StdDev(s.Values)
+	if sd > 0.002 {
+		t.Errorf("noise-free series has sd %v, want near 0", sd)
+	}
+}
+
+func TestPanelColumnsOrdered(t *testing.T) {
+	net := testNetwork()
+	g := New(net, DefaultConfig(dailyIndex(10)))
+	ids := net.OfKind(netsim.NodeB)[:5]
+	p := g.Panel(kpi.DataRetainability, ids)
+	got := p.IDs()
+	for i := range ids {
+		if got[i] != ids[i] {
+			t.Fatalf("panel order %v, want %v", got, ids)
+		}
+	}
+}
+
+func TestCountersCached(t *testing.T) {
+	net := testNetwork()
+	g := New(net, DefaultConfig(dailyIndex(10)))
+	id := net.OfKind(netsim.NodeB)[0]
+	c1 := g.Counters(id)
+	c2 := g.Counters(id)
+	if &c1[0] != &c2[0] {
+		t.Error("counters not cached")
+	}
+}
+
+func TestEmptyIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(testNetwork(), Config{})
+}
+
+func TestSensitivityOverride(t *testing.T) {
+	// A high-sensitivity element must respond to a regional factor more
+	// strongly than a zero-sensitivity one.
+	net := testNetwork()
+	ids := net.Filter(func(e *netsim.Element) bool {
+		return e.Kind == netsim.NodeB && e.Region == netsim.Southeast
+	})
+	hot, cold := ids[0], ids[1]
+	ix := dailyIndex(28)
+	stormStart := epoch.Add(14 * 24 * time.Hour)
+	cfg := DefaultConfig(ix)
+	cfg.AnnualQualityTrend = 0
+	cfg.Factors = extfactor.Stack{extfactor.RegionWeatherEvent{
+		Kind: extfactor.Thunderstorm, Region: netsim.Southeast,
+		Start: stormStart, End: ix.End(), Severity: 2,
+	}}
+	cfg.SensitivityOverrides = map[string]float64{hot: 2.0, cold: 0.0}
+	g := New(net, cfg)
+	drop := func(id string) float64 {
+		s := g.Series(id, kpi.VoiceRetainability)
+		b, a := s.SplitAt(stormStart)
+		return stats.Mean(b.Values) - stats.Mean(a.Values)
+	}
+	if dh, dc := drop(hot), drop(cold); dh < dc+0.01 {
+		t.Errorf("sensitivity override ineffective: hot drop %v, cold drop %v", dh, dc)
+	}
+}
+
+func TestTrendImprovesQualityOverYears(t *testing.T) {
+	net := testNetwork()
+	ix := dailyIndex(730)
+	cfg := DefaultConfig(ix)
+	cfg.AnnualQualityTrend = 0.8
+	g := New(net, cfg)
+	id := net.Filter(func(e *netsim.Element) bool {
+		return e.Kind == netsim.NodeB && e.Region == netsim.Southeast // avoid seasonality
+	})[0]
+	s := g.Series(id, kpi.VoiceRetainability)
+	firstQ := stats.Mean(s.Slice(0, 180).Values)
+	lastQ := stats.Mean(s.Slice(550, 730).Values)
+	if lastQ <= firstQ {
+		t.Errorf("secular trend missing: %v -> %v", firstQ, lastQ)
+	}
+}
+
+func TestEffectAppliesToAndWeight(t *testing.T) {
+	ne := &netsim.Element{ID: "a", Region: netsim.Northeast}
+	se := &netsim.Element{ID: "b", Region: netsim.Southeast}
+
+	byID := EffectOn("x", []string{"a"}, epoch, epoch.Add(time.Hour), 1)
+	if !byID.AppliesTo(ne) || byID.AppliesTo(se) {
+		t.Error("ID-based effect coverage wrong")
+	}
+	byMatch := Effect{Match: func(e *netsim.Element) bool { return e.Region == netsim.Southeast }}
+	if byMatch.AppliesTo(ne) || !byMatch.AppliesTo(se) {
+		t.Error("match-based effect coverage wrong")
+	}
+	var none Effect
+	if none.AppliesTo(ne) {
+		t.Error("empty effect should cover nothing")
+	}
+
+	// Ramp weights.
+	ramped := Effect{Start: epoch, End: epoch.Add(10 * time.Hour), Ramp: 4 * time.Hour}
+	endless := epoch.Add(100 * time.Hour)
+	if w := ramped.weightAt(epoch.Add(-time.Hour), endless); w != 0 {
+		t.Errorf("weight before start = %v", w)
+	}
+	if w := ramped.weightAt(epoch.Add(2*time.Hour), endless); w != 0.5 {
+		t.Errorf("mid-ramp weight = %v, want 0.5", w)
+	}
+	if w := ramped.weightAt(epoch.Add(6*time.Hour), endless); w != 1 {
+		t.Errorf("post-ramp weight = %v, want 1", w)
+	}
+	if w := ramped.weightAt(epoch.Add(10*time.Hour), endless); w != 0 {
+		t.Errorf("weight at end = %v, want 0 (half-open)", w)
+	}
+	// Zero End runs to the index end.
+	open := Effect{Start: epoch}
+	if w := open.weightAt(epoch.Add(50*time.Hour), endless); w != 1 {
+		t.Errorf("open-ended weight = %v, want 1", w)
+	}
+	if w := open.weightAt(endless, endless); w != 0 {
+		t.Errorf("weight at index end = %v, want 0", w)
+	}
+}
+
+func TestGeneratorAccessors(t *testing.T) {
+	net := testNetwork()
+	ix := dailyIndex(5)
+	g := New(net, DefaultConfig(ix))
+	if g.Network() != net {
+		t.Error("Network accessor wrong")
+	}
+	if !g.Index().Equal(ix) {
+		t.Error("Index accessor wrong")
+	}
+}
+
+func TestGeneratorBadARPanics(t *testing.T) {
+	cfg := DefaultConfig(dailyIndex(5))
+	cfg.RegionalAR = 1.0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for AR >= 1")
+		}
+	}()
+	New(testNetwork(), cfg)
+}
+
+func TestFailureScale(t *testing.T) {
+	net := testNetwork()
+	ix := dailyIndex(20)
+	id := net.OfKind(netsim.NodeB)[0]
+	base := DefaultConfig(ix)
+	scaled := DefaultConfig(ix)
+	scaled.FailureScale = 3
+	low := stats.Mean(New(net, base).Series(id, kpi.DroppedCallRatio).Values)
+	high := stats.Mean(New(net, scaled).Series(id, kpi.DroppedCallRatio).Values)
+	if high < 2*low {
+		t.Errorf("FailureScale 3 raised dropped-call ratio only %v -> %v", low, high)
+	}
+}
+
+func TestScaleWithSensitivityEffect(t *testing.T) {
+	net := testNetwork()
+	ix := dailyIndex(20)
+	ids := net.Filter(func(e *netsim.Element) bool {
+		return e.Kind == netsim.NodeB && e.Region == netsim.Southeast
+	})
+	hot, cold := ids[0], ids[1]
+	changeAt := epoch.Add(10 * 24 * time.Hour)
+	cfg := DefaultConfig(ix)
+	cfg.AnnualQualityTrend = 0
+	cfg.SensitivityOverrides = map[string]float64{hot: 2.0, cold: 0.5}
+	ef := EffectOn("scaled", []string{hot, cold}, changeAt, time.Time{}, -2)
+	ef.ScaleWithSensitivity = true
+	cfg.Effects = []Effect{ef}
+	g := New(net, cfg)
+	drop := func(id string) float64 {
+		s := g.Series(id, kpi.VoiceRetainability)
+		b, a := s.SplitAt(changeAt)
+		return stats.Mean(b.Values) - stats.Mean(a.Values)
+	}
+	if dh, dc := drop(hot), drop(cold); dh < dc+0.01 {
+		t.Errorf("sensitivity-scaled effect: hot drop %v should exceed cold drop %v", dh, dc)
+	}
+}

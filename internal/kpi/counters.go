@@ -1,0 +1,105 @@
+package kpi
+
+import "fmt"
+
+// Counters is one measurement interval's raw performance counters for one
+// network element — the per-element data the provider collects from cell
+// towers, controllers and core switches (paper §2.2). KPIs are computed
+// from these.
+type Counters struct {
+	// Voice (circuit-switched) counters.
+	VoiceAttempts     int64 // call setup attempts
+	VoiceSetupFails   int64 // attempts that failed to establish
+	VoiceDrops        int64 // established calls terminated by the network
+	VoiceRadioBearers int64 // radio bearer establishment attempts
+	VoiceBearerFails  int64 // bearer establishment failures
+
+	// Data (packet-switched) counters.
+	DataAttempts   int64 // session setup attempts
+	DataSetupFails int64
+	DataDrops      int64
+
+	// Throughput accounting.
+	BytesDelivered int64 // user-plane bytes delivered
+	ActiveSeconds  int64 // seconds with active data transfer
+}
+
+// Add returns the sum of two counter sets — aggregation across elements or
+// across time buckets.
+func (c Counters) Add(o Counters) Counters {
+	return Counters{
+		VoiceAttempts:     c.VoiceAttempts + o.VoiceAttempts,
+		VoiceSetupFails:   c.VoiceSetupFails + o.VoiceSetupFails,
+		VoiceDrops:        c.VoiceDrops + o.VoiceDrops,
+		VoiceRadioBearers: c.VoiceRadioBearers + o.VoiceRadioBearers,
+		VoiceBearerFails:  c.VoiceBearerFails + o.VoiceBearerFails,
+		DataAttempts:      c.DataAttempts + o.DataAttempts,
+		DataSetupFails:    c.DataSetupFails + o.DataSetupFails,
+		DataDrops:         c.DataDrops + o.DataDrops,
+		BytesDelivered:    c.BytesDelivered + o.BytesDelivered,
+		ActiveSeconds:     c.ActiveSeconds + o.ActiveSeconds,
+	}
+}
+
+// Validate reports the first internal inconsistency (e.g. more failures
+// than attempts), or nil.
+func (c Counters) Validate() error {
+	switch {
+	case c.VoiceAttempts < 0 || c.DataAttempts < 0 || c.BytesDelivered < 0 || c.ActiveSeconds < 0:
+		return fmt.Errorf("kpi: negative counter in %+v", c)
+	case c.VoiceSetupFails > c.VoiceAttempts:
+		return fmt.Errorf("kpi: voice setup failures %d exceed attempts %d", c.VoiceSetupFails, c.VoiceAttempts)
+	case c.VoiceDrops > c.VoiceAttempts-c.VoiceSetupFails:
+		return fmt.Errorf("kpi: voice drops %d exceed established calls %d", c.VoiceDrops, c.VoiceAttempts-c.VoiceSetupFails)
+	case c.DataSetupFails > c.DataAttempts:
+		return fmt.Errorf("kpi: data setup failures %d exceed attempts %d", c.DataSetupFails, c.DataAttempts)
+	case c.DataDrops > c.DataAttempts-c.DataSetupFails:
+		return fmt.Errorf("kpi: data drops %d exceed established sessions %d", c.DataDrops, c.DataAttempts-c.DataSetupFails)
+	case c.VoiceBearerFails > c.VoiceRadioBearers:
+		return fmt.Errorf("kpi: bearer failures %d exceed attempts %d", c.VoiceBearerFails, c.VoiceRadioBearers)
+	}
+	return nil
+}
+
+// Compute derives the value of k from the counters. Ratio KPIs return NaN
+// when the denominator is zero is avoided by returning 1 (perfect score on
+// no attempts) for success ratios and 0 for volumes — an element with no
+// traffic has nothing failing. Throughput is in Mbit/s.
+func (c Counters) Compute(k KPI) float64 {
+	switch k {
+	case VoiceAccessibility:
+		return successRatio(c.VoiceAttempts-c.VoiceSetupFails, c.VoiceAttempts)
+	case DataAccessibility:
+		return successRatio(c.DataAttempts-c.DataSetupFails, c.DataAttempts)
+	case VoiceRetainability:
+		established := c.VoiceAttempts - c.VoiceSetupFails
+		return successRatio(established-c.VoiceDrops, established)
+	case DataRetainability:
+		established := c.DataAttempts - c.DataSetupFails
+		return successRatio(established-c.DataDrops, established)
+	case DataThroughput:
+		if c.ActiveSeconds == 0 {
+			return 0
+		}
+		return float64(c.BytesDelivered) * 8 / 1e6 / float64(c.ActiveSeconds)
+	case DroppedCallRatio:
+		established := c.VoiceAttempts - c.VoiceSetupFails
+		if established == 0 {
+			return 0
+		}
+		return float64(c.VoiceDrops) / float64(established)
+	case VoiceCallVolume:
+		return float64(c.VoiceAttempts)
+	case RadioBearerSuccess:
+		return successRatio(c.VoiceRadioBearers-c.VoiceBearerFails, c.VoiceRadioBearers)
+	default:
+		panic(fmt.Sprintf("kpi: unknown KPI %d", int(k)))
+	}
+}
+
+func successRatio(successes, attempts int64) float64 {
+	if attempts <= 0 {
+		return 1
+	}
+	return float64(successes) / float64(attempts)
+}

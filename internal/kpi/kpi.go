@@ -1,0 +1,149 @@
+// Package kpi defines the Key Performance Indicators the paper assesses —
+// voice/data accessibility, voice/data retainability, data throughput,
+// and the dropped-voice-call ratio — together with their direction
+// semantics (whether higher values are better) and the aggregation from
+// raw performance counters to KPI values (CoNEXT'13 §2.2).
+package kpi
+
+import "fmt"
+
+// KPI identifies one aggregate service-quality metric.
+type KPI int
+
+// The KPIs used throughout the paper's evaluation.
+const (
+	// VoiceAccessibility is the fraction of successful voice call attempts.
+	VoiceAccessibility KPI = iota
+	// DataAccessibility is the fraction of successful data session attempts.
+	DataAccessibility
+	// VoiceRetainability is the fraction of voice calls terminated by the
+	// user rather than the network.
+	VoiceRetainability
+	// DataRetainability is the fraction of data sessions not dropped by
+	// the network.
+	DataRetainability
+	// DataThroughput is the user-plane delivery rate (Mbit/s in this
+	// model).
+	DataThroughput
+	// DroppedCallRatio is the fraction of voice calls dropped by the
+	// network — the complement view of voice retainability used in the
+	// paper's Figs. 1 and 8.
+	DroppedCallRatio
+	// VoiceCallVolume is the total number of voice call attempts, used to
+	// study traffic-pattern changes (paper Fig. 5).
+	VoiceCallVolume
+	// RadioBearerSuccess is the radio-bearer establishment success rate
+	// (Table 2's "radio bearer" KPI).
+	RadioBearerSuccess
+)
+
+// numKPIs is the count of defined KPIs; keep in sync with the const block.
+const numKPIs = int(RadioBearerSuccess) + 1
+
+// All returns every defined KPI in declaration order.
+func All() []KPI {
+	out := make([]KPI, numKPIs)
+	for i := range out {
+		out[i] = KPI(i)
+	}
+	return out
+}
+
+// Core returns the four KPIs used in the synthetic-injection evaluation
+// (§4.3): voice/data accessibility and retainability.
+func Core() []KPI {
+	return []KPI{VoiceAccessibility, DataAccessibility, VoiceRetainability, DataRetainability}
+}
+
+func (k KPI) String() string {
+	names := [...]string{
+		"voice-accessibility", "data-accessibility",
+		"voice-retainability", "data-retainability",
+		"data-throughput", "dropped-call-ratio", "voice-call-volume",
+		"radio-bearer-success",
+	}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("KPI(%d)", int(k))
+}
+
+// HigherIsBetter reports the direction semantics of the KPI: true when an
+// increase is a service improvement. DroppedCallRatio is the only
+// lower-is-better KPI; VoiceCallVolume is a workload measure with no
+// quality direction and is reported as higher-is-better for neutrality.
+func (k KPI) HigherIsBetter() bool {
+	return k != DroppedCallRatio
+}
+
+// Impact is the assessed service-performance impact of a change: the
+// three-way outcome the engineering teams decide go/no-go on (paper §4.1).
+type Impact int
+
+// Assessment outcomes.
+const (
+	NoImpact Impact = iota
+	Improvement
+	Degradation
+)
+
+func (i Impact) String() string {
+	switch i {
+	case NoImpact:
+		return "no-impact"
+	case Improvement:
+		return "improvement"
+	case Degradation:
+		return "degradation"
+	default:
+		return fmt.Sprintf("Impact(%d)", int(i))
+	}
+}
+
+// Symbol returns the paper's compact notation: ↑ improvement,
+// ↓ degradation, ↔ no impact.
+func (i Impact) Symbol() string {
+	switch i {
+	case Improvement:
+		return "↑"
+	case Degradation:
+		return "↓"
+	default:
+		return "↔"
+	}
+}
+
+// ImpactOfShift converts the sign of a relative KPI shift (+1 increase,
+// −1 decrease, 0 none) into an Impact using the KPI's direction
+// semantics.
+func ImpactOfShift(k KPI, sign int) Impact {
+	switch {
+	case sign == 0:
+		return NoImpact
+	case (sign > 0) == k.HigherIsBetter():
+		return Improvement
+	default:
+		return Degradation
+	}
+}
+
+// ShiftOfImpact is the inverse of ImpactOfShift: the sign a KPI series
+// must move by for the given impact (+1, −1, or 0).
+func ShiftOfImpact(k KPI, imp Impact) int {
+	switch imp {
+	case NoImpact:
+		return 0
+	case Improvement:
+		if k.HigherIsBetter() {
+			return 1
+		}
+		return -1
+	case Degradation:
+		if k.HigherIsBetter() {
+			return -1
+		}
+		return 1
+	default:
+		panic(fmt.Sprintf("kpi: invalid impact %d", int(imp)))
+	}
+}

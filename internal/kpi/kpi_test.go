@@ -1,0 +1,174 @@
+package kpi
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllAndCore(t *testing.T) {
+	all := All()
+	if len(all) != numKPIs {
+		t.Fatalf("All() = %d KPIs, want %d", len(all), numKPIs)
+	}
+	seen := map[KPI]bool{}
+	for _, k := range all {
+		if seen[k] {
+			t.Errorf("duplicate KPI %v", k)
+		}
+		seen[k] = true
+		if k.String() == "" {
+			t.Errorf("KPI %d has empty name", int(k))
+		}
+	}
+	if len(Core()) != 4 {
+		t.Errorf("Core() = %d KPIs, want 4", len(Core()))
+	}
+}
+
+func TestDirections(t *testing.T) {
+	if !VoiceRetainability.HigherIsBetter() {
+		t.Error("retainability must be higher-is-better")
+	}
+	if DroppedCallRatio.HigherIsBetter() {
+		t.Error("dropped-call ratio must be lower-is-better")
+	}
+}
+
+func TestImpactSymbols(t *testing.T) {
+	if Improvement.Symbol() != "↑" || Degradation.Symbol() != "↓" || NoImpact.Symbol() != "↔" {
+		t.Error("symbols do not match the paper's notation")
+	}
+	if Improvement.String() != "improvement" {
+		t.Error("Impact.String wrong")
+	}
+}
+
+func TestImpactOfShift(t *testing.T) {
+	cases := []struct {
+		k    KPI
+		sign int
+		want Impact
+	}{
+		{VoiceRetainability, 1, Improvement},
+		{VoiceRetainability, -1, Degradation},
+		{VoiceRetainability, 0, NoImpact},
+		{DroppedCallRatio, 1, Degradation},
+		{DroppedCallRatio, -1, Improvement},
+	}
+	for _, c := range cases {
+		if got := ImpactOfShift(c.k, c.sign); got != c.want {
+			t.Errorf("ImpactOfShift(%v, %d) = %v, want %v", c.k, c.sign, got, c.want)
+		}
+	}
+}
+
+func TestShiftImpactRoundTrip(t *testing.T) {
+	f := func(kRaw, impRaw uint8) bool {
+		k := KPI(int(kRaw) % numKPIs)
+		imp := Impact(int(impRaw) % 3)
+		return ImpactOfShift(k, ShiftOfImpact(k, imp)) == imp
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountersCompute(t *testing.T) {
+	c := Counters{
+		VoiceAttempts: 1000, VoiceSetupFails: 50, VoiceDrops: 19,
+		VoiceRadioBearers: 500, VoiceBearerFails: 5,
+		DataAttempts: 2000, DataSetupFails: 100, DataDrops: 38,
+		BytesDelivered: 125_000_000, ActiveSeconds: 100,
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		k    KPI
+		want float64
+	}{
+		{VoiceAccessibility, 0.95},
+		{DataAccessibility, 0.95},
+		{VoiceRetainability, 0.98},
+		{DataRetainability, 0.98},
+		{DataThroughput, 10}, // 125MB*8/1e6/100s
+		{DroppedCallRatio, 0.02},
+		{VoiceCallVolume, 1000},
+		{RadioBearerSuccess, 0.99},
+	}
+	for _, tc := range cases {
+		if got := c.Compute(tc.k); got != tc.want {
+			t.Errorf("Compute(%v) = %v, want %v", tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestCountersZeroTraffic(t *testing.T) {
+	var c Counters
+	if got := c.Compute(VoiceAccessibility); got != 1 {
+		t.Errorf("accessibility on no traffic = %v, want 1", got)
+	}
+	if got := c.Compute(DroppedCallRatio); got != 0 {
+		t.Errorf("dropped ratio on no traffic = %v, want 0", got)
+	}
+	if got := c.Compute(DataThroughput); got != 0 {
+		t.Errorf("throughput on no activity = %v, want 0", got)
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	a := Counters{VoiceAttempts: 10, VoiceDrops: 1, BytesDelivered: 100}
+	b := Counters{VoiceAttempts: 20, VoiceDrops: 2, BytesDelivered: 200}
+	s := a.Add(b)
+	if s.VoiceAttempts != 30 || s.VoiceDrops != 3 || s.BytesDelivered != 300 {
+		t.Errorf("Add = %+v", s)
+	}
+}
+
+func TestCountersValidate(t *testing.T) {
+	bad := []Counters{
+		{VoiceAttempts: -1},
+		{VoiceAttempts: 10, VoiceSetupFails: 11},
+		{VoiceAttempts: 10, VoiceSetupFails: 5, VoiceDrops: 6},
+		{DataAttempts: 10, DataSetupFails: 20},
+		{DataAttempts: 10, DataDrops: 11},
+		{VoiceRadioBearers: 5, VoiceBearerFails: 6},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted inconsistent counters %+v", i, c)
+		}
+	}
+	if err := (Counters{}).Validate(); err != nil {
+		t.Errorf("zero counters rejected: %v", err)
+	}
+}
+
+func TestDroppedRatioComplementOfRetainability(t *testing.T) {
+	f := func(attempts, fails, drops uint16) bool {
+		a := int64(attempts)
+		f64 := int64(fails) % (a + 1)
+		established := a - f64
+		d := int64(drops) % (established + 1)
+		c := Counters{VoiceAttempts: a, VoiceSetupFails: f64, VoiceDrops: d}
+		if c.Validate() != nil {
+			return true // skip invalid draws
+		}
+		if established == 0 {
+			return true
+		}
+		ret := c.Compute(VoiceRetainability)
+		drop := c.Compute(DroppedCallRatio)
+		return abs(ret+drop-1) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

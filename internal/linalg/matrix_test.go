@@ -1,0 +1,228 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMatrixZeroInitialized(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("dimensions = %dx%d, want 3x4", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Errorf("At(%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewMatrixNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative dimensions")
+		}
+	}()
+	NewMatrix(-1, 2)
+}
+
+func TestNewMatrixFromRows(t *testing.T) {
+	m := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows() != 3 || m.Cols() != 2 {
+		t.Fatalf("dimensions = %dx%d, want 3x2", m.Rows(), m.Cols())
+	}
+	if m.At(1, 0) != 3 || m.At(2, 1) != 6 {
+		t.Errorf("unexpected values: At(1,0)=%v At(2,1)=%v", m.At(1, 0), m.At(2, 1))
+	}
+}
+
+func TestNewMatrixFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for ragged rows")
+		}
+	}()
+	NewMatrixFromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestNewMatrixFromColsMatchesRows(t *testing.T) {
+	byRows := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	byCols := NewMatrixFromCols([][]float64{{1, 3}, {2, 4}})
+	if !byRows.Equal(byCols, 0) {
+		t.Errorf("row and column constructors disagree: %v vs %v", byRows, byCols)
+	}
+}
+
+func TestEmptyConstructors(t *testing.T) {
+	if m := NewMatrixFromRows(nil); m.Rows() != 0 || m.Cols() != 0 {
+		t.Errorf("NewMatrixFromRows(nil) = %dx%d, want 0x0", m.Rows(), m.Cols())
+	}
+	if m := NewMatrixFromCols(nil); m.Rows() != 0 || m.Cols() != 0 {
+		t.Errorf("NewMatrixFromCols(nil) = %dx%d, want 0x0", m.Rows(), m.Cols())
+	}
+}
+
+func TestRowColCopies(t *testing.T) {
+	m := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	r := m.Row(0)
+	r[0] = 99
+	if m.At(0, 0) != 1 {
+		t.Error("Row must return a copy")
+	}
+	c := m.Col(1)
+	c[0] = 99
+	if m.At(0, 1) != 2 {
+		t.Error("Col must return a copy")
+	}
+}
+
+func TestSelectCols(t *testing.T) {
+	m := NewMatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	s := m.SelectCols([]int{2, 0})
+	want := NewMatrixFromRows([][]float64{{3, 1}, {6, 4}})
+	if !s.Equal(want, 0) {
+		t.Errorf("SelectCols = %v, want %v", s, want)
+	}
+}
+
+func TestSelectColsRepeats(t *testing.T) {
+	m := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	s := m.SelectCols([]int{1, 1})
+	if s.At(0, 0) != 2 || s.At(0, 1) != 2 {
+		t.Errorf("repeated column selection failed: %v", s)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	got := m.MulVec([]float64{1, 1})
+	if got[0] != 3 || got[1] != 7 {
+		t.Errorf("MulVec = %v, want [3 7]", got)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	b := NewMatrixFromRows([][]float64{{5, 6}, {7, 8}})
+	got := a.Mul(b)
+	want := NewMatrixFromRows([][]float64{{19, 22}, {43, 50}})
+	if !got.Equal(want, 1e-12) {
+		t.Errorf("Mul = %v, want %v", got, want)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(6), 1+rng.Intn(6)
+		m := NewMatrix(rows, cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				m.Set(i, j, rng.NormFloat64())
+			}
+		}
+		return m.Transpose().Transpose().Equal(m, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulVecMatchesMul(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(5), 1+rng.Intn(5)
+		m := NewMatrix(rows, cols)
+		x := make([]float64, cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				m.Set(i, j, rng.NormFloat64())
+			}
+		}
+		xm := NewMatrix(cols, 1)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+			xm.Set(j, 0, x[j])
+		}
+		v := m.MulVec(x)
+		p := m.Mul(xm)
+		for i := range v {
+			if math.Abs(v[i]-p.At(i, 0)) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWithInterceptColumn(t *testing.T) {
+	m := NewMatrixFromRows([][]float64{{2, 3}, {4, 5}})
+	w := m.WithInterceptColumn()
+	if w.Cols() != 3 {
+		t.Fatalf("Cols = %d, want 3", w.Cols())
+	}
+	for i := 0; i < w.Rows(); i++ {
+		if w.At(i, 0) != 1 {
+			t.Errorf("intercept column row %d = %v, want 1", i, w.At(i, 0))
+		}
+	}
+	if w.At(0, 1) != 2 || w.At(1, 2) != 5 {
+		t.Error("original columns shifted incorrectly")
+	}
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	m := NewMatrixFromRows([][]float64{{3, 0}, {0, 4}})
+	if got := m.FrobeniusNorm(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("FrobeniusNorm = %v, want 5", got)
+	}
+}
+
+func TestEqualDifferentDims(t *testing.T) {
+	a := NewMatrix(2, 2)
+	b := NewMatrix(2, 3)
+	if a.Equal(b, 1) {
+		t.Error("matrices of different dimensions must not be Equal")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	c := a.Clone()
+	c.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Error("Clone must not share storage")
+	}
+}
+
+func TestStringSmallAndLarge(t *testing.T) {
+	small := NewMatrixFromRows([][]float64{{1, 2}})
+	if s := small.String(); s == "" {
+		t.Error("String() of small matrix empty")
+	}
+	large := NewMatrix(20, 20)
+	if s := large.String(); s != "Matrix(20x20)" {
+		t.Errorf("String() of large matrix = %q, want elided form", s)
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	m := NewMatrix(2, 2)
+	for _, idx := range [][2]int{{-1, 0}, {0, -1}, {2, 0}, {0, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d,%d) should panic", idx[0], idx[1])
+				}
+			}()
+			m.At(idx[0], idx[1])
+		}()
+	}
+}

@@ -1,0 +1,175 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrRankDeficient is returned by the QR least-squares solver when the
+// design matrix is numerically rank deficient. Callers that can tolerate a
+// regularized answer should fall back to SolveRidge with a tiny lambda
+// (see LeastSquares, which does exactly that).
+var ErrRankDeficient = errors.New("linalg: design matrix is numerically rank deficient")
+
+// QR holds the Householder QR factorization of an m×n matrix with m ≥ n.
+// The factorization is computed once and can solve multiple right-hand
+// sides.
+type QR struct {
+	qr   *Matrix   // packed factors: R in upper triangle, Householder vectors below
+	rd   []float64 // diagonal of R
+	m, n int
+}
+
+// NewQR computes the Householder QR factorization of a. It panics if a has
+// fewer rows than columns (the regression always operates in the
+// overdetermined regime; see core.clampSampleSize).
+func NewQR(a *Matrix) *QR {
+	m, n := a.Rows(), a.Cols()
+	if m < n {
+		panic(fmt.Sprintf("linalg: QR requires rows >= cols, got %dx%d", m, n))
+	}
+	qr := a.Clone()
+	rd := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Norm of the k-th column below the diagonal.
+		var nrm float64
+		for i := k; i < m; i++ {
+			nrm = math.Hypot(nrm, qr.data[i*n+k])
+		}
+		if nrm != 0 {
+			if qr.data[k*n+k] < 0 {
+				nrm = -nrm
+			}
+			for i := k; i < m; i++ {
+				qr.data[i*n+k] /= nrm
+			}
+			qr.data[k*n+k]++
+			// Apply the transformation to the remaining columns.
+			for j := k + 1; j < n; j++ {
+				var s float64
+				for i := k; i < m; i++ {
+					s += qr.data[i*n+k] * qr.data[i*n+j]
+				}
+				s = -s / qr.data[k*n+k]
+				for i := k; i < m; i++ {
+					qr.data[i*n+j] += s * qr.data[i*n+k]
+				}
+			}
+		}
+		rd[k] = -nrm
+	}
+	return &QR{qr: qr, rd: rd, m: m, n: n}
+}
+
+// ConditionEstimate returns the ratio of the largest to smallest absolute
+// diagonal entry of R — a cheap lower bound on the condition number, used
+// to detect numerically useless fits. Returns +Inf if any diagonal entry
+// is zero.
+func (f *QR) ConditionEstimate() float64 {
+	maxd, mind := 0.0, math.Inf(1)
+	for _, d := range f.rd {
+		ad := math.Abs(d)
+		if ad > maxd {
+			maxd = ad
+		}
+		if ad < mind {
+			mind = ad
+		}
+	}
+	if mind == 0 {
+		return math.Inf(1)
+	}
+	return maxd / mind
+}
+
+// FullRank reports whether R has no numerically negligible diagonal entry
+// relative to its largest one.
+func (f *QR) FullRank() bool {
+	const relTol = 1e-12
+	var maxd float64
+	for _, d := range f.rd {
+		if ad := math.Abs(d); ad > maxd {
+			maxd = ad
+		}
+	}
+	if maxd == 0 {
+		return false
+	}
+	for _, d := range f.rd {
+		if math.Abs(d) <= relTol*maxd {
+			return false
+		}
+	}
+	return true
+}
+
+// Leverages returns the diagonal of the hat matrix H = X(XᵀX)⁻¹Xᵀ for the
+// design matrix x: h_ii = ‖R⁻ᵀ·xᵢ‖² computed from a QR factorization.
+// Leverages drive leave-one-out residuals, e_loo = e/(1−h), which the
+// Litmus core uses to put pre-change (in-sample) forecast differences on
+// the same scale as post-change (out-of-sample) ones. It returns
+// ErrRankDeficient when the factorization is numerically singular.
+func Leverages(x *Matrix) ([]float64, error) {
+	f := NewQR(x)
+	if !f.FullRank() {
+		return nil, ErrRankDeficient
+	}
+	n := x.Cols()
+	out := make([]float64, x.Rows())
+	z := make([]float64, n)
+	for i := range out {
+		// Forward solve Rᵀ·z = xᵢ (Rᵀ lower triangular).
+		for j := 0; j < n; j++ {
+			s := x.At(i, j)
+			for l := 0; l < j; l++ {
+				s -= f.qr.data[l*n+j] * z[l]
+			}
+			z[j] = s / f.rd[j]
+		}
+		var h float64
+		for _, v := range z {
+			h += v * v
+		}
+		out[i] = h
+	}
+	return out, nil
+}
+
+// Solve computes the least-squares solution x minimizing ‖a·x − b‖₂ using
+// the stored factorization. It returns ErrRankDeficient if the factor is
+// numerically singular. It panics if len(b) != the factored row count.
+func (f *QR) Solve(b []float64) ([]float64, error) {
+	if len(b) != f.m {
+		panic(fmt.Sprintf("linalg: QR.Solve rhs length %d, want %d", len(b), f.m))
+	}
+	if !f.FullRank() {
+		return nil, ErrRankDeficient
+	}
+	m, n := f.m, f.n
+	y := make([]float64, m)
+	copy(y, b)
+	// Compute Qᵀb.
+	for k := 0; k < n; k++ {
+		var s float64
+		for i := k; i < m; i++ {
+			s += f.qr.data[i*n+k] * y[i]
+		}
+		if f.qr.data[k*n+k] != 0 {
+			s = -s / f.qr.data[k*n+k]
+		}
+		for i := k; i < m; i++ {
+			y[i] += s * f.qr.data[i*n+k]
+		}
+	}
+	// Back-substitute R·x = Qᵀb.
+	x := make([]float64, n)
+	for k := n - 1; k >= 0; k-- {
+		s := y[k]
+		for j := k + 1; j < n; j++ {
+			s -= f.qr.data[k*n+j] * x[j]
+		}
+		x[k] = s / f.rd[k]
+	}
+	return x, nil
+}

@@ -1,0 +1,155 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned by the Cholesky-based solvers when the normal
+// equations matrix is not positive definite even after regularization.
+var ErrSingular = errors.New("linalg: matrix is singular to working precision")
+
+// LeastSquares computes coefficients beta minimizing ‖x·beta − y‖₂.
+//
+// It first attempts a Householder QR solve (numerically preferred). If the
+// design is numerically rank deficient — which happens in practice when two
+// control-group elements carry identical series — it falls back to a
+// minimally regularized solve (Tikhonov with lambda = 1e-8 · mean diagonal),
+// which is a numerical-stability device, not statistical regularization:
+// the paper (§3.2) explicitly rejects sparsity-inducing penalties, and the
+// fallback lambda is far below any level that would shrink coefficients
+// meaningfully.
+func LeastSquares(x *Matrix, y []float64) ([]float64, error) {
+	if x.Rows() != len(y) {
+		panic(fmt.Sprintf("linalg: LeastSquares dimension mismatch: %d rows vs %d observations", x.Rows(), len(y)))
+	}
+	if x.Rows() < x.Cols() {
+		return nil, fmt.Errorf("linalg: underdetermined system: %d observations for %d coefficients", x.Rows(), x.Cols())
+	}
+	qr := NewQR(x)
+	if beta, err := qr.Solve(y); err == nil {
+		return beta, nil
+	}
+	const relLambda = 1e-8
+	return SolveRidge(x, y, relLambda)
+}
+
+// SolveRidge solves the Tikhonov-regularized normal equations
+// (XᵀX + λ·d̄·I)·beta = Xᵀy where d̄ is the mean diagonal of XᵀX, making
+// lambda a relative (scale-free) parameter. It returns ErrSingular when
+// the regularized system still fails the Cholesky factorization.
+func SolveRidge(x *Matrix, y []float64, lambda float64) ([]float64, error) {
+	if x.Rows() != len(y) {
+		panic(fmt.Sprintf("linalg: SolveRidge dimension mismatch: %d rows vs %d observations", x.Rows(), len(y)))
+	}
+	if lambda < 0 {
+		panic(fmt.Sprintf("linalg: SolveRidge negative lambda %g", lambda))
+	}
+	n := x.Cols()
+	xtx := x.Transpose().Mul(x)
+	var meanDiag float64
+	for j := 0; j < n; j++ {
+		meanDiag += xtx.At(j, j)
+	}
+	if n > 0 {
+		meanDiag /= float64(n)
+	}
+	if meanDiag == 0 {
+		meanDiag = 1
+	}
+	for j := 0; j < n; j++ {
+		xtx.Set(j, j, xtx.At(j, j)+lambda*meanDiag)
+	}
+	xty := make([]float64, n)
+	for j := 0; j < n; j++ {
+		var s float64
+		for i := 0; i < x.Rows(); i++ {
+			s += x.At(i, j) * y[i]
+		}
+		xty[j] = s
+	}
+	return solveCholesky(xtx, xty)
+}
+
+// solveCholesky solves the symmetric positive-definite system a·x = b via
+// a Cholesky factorization computed in place on a copy of a.
+func solveCholesky(a *Matrix, b []float64) ([]float64, error) {
+	n := a.Rows()
+	if a.Cols() != n || len(b) != n {
+		panic("linalg: solveCholesky requires a square system")
+	}
+	l := a.Clone()
+	for j := 0; j < n; j++ {
+		d := l.At(j, j)
+		for k := 0; k < j; k++ {
+			v := l.At(j, k)
+			d -= v * v
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrSingular
+		}
+		d = math.Sqrt(d)
+		l.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			s := l.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/d)
+		}
+	}
+	// Forward solve L·z = b.
+	z := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * z[k]
+		}
+		z[i] = s / l.At(i, i)
+	}
+	// Back solve Lᵀ·x = z.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := z[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x, nil
+}
+
+// Residuals returns y − x·beta.
+func Residuals(x *Matrix, beta, y []float64) []float64 {
+	pred := x.MulVec(beta)
+	if len(pred) != len(y) {
+		panic(fmt.Sprintf("linalg: Residuals length mismatch: %d predictions vs %d observations", len(pred), len(y)))
+	}
+	out := make([]float64, len(y))
+	for i := range y {
+		out[i] = y[i] - pred[i]
+	}
+	return out
+}
+
+// RSquared returns the coefficient of determination of the fit beta on
+// (x, y): 1 − SSR/SST. If y has zero variance it returns 0.
+func RSquared(x *Matrix, beta, y []float64) float64 {
+	res := Residuals(x, beta, y)
+	var mean float64
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	var ssr, sst float64
+	for i, v := range y {
+		ssr += res[i] * res[i]
+		d := v - mean
+		sst += d * d
+	}
+	if sst == 0 {
+		return 0
+	}
+	return 1 - ssr/sst
+}

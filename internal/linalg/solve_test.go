@@ -1,0 +1,345 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQRSolveExact(t *testing.T) {
+	// Square, well-conditioned system with a known solution.
+	a := NewMatrixFromRows([][]float64{
+		{2, 1, 0},
+		{1, 3, 1},
+		{0, 1, 4},
+	})
+	want := []float64{1, -2, 3}
+	b := a.MulVec(want)
+	got, err := NewQR(a).Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-10 {
+			t.Errorf("x[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestQRSolveOverdetermined(t *testing.T) {
+	// Noiseless overdetermined system: least squares must recover beta.
+	rng := rand.New(rand.NewSource(7))
+	a := NewMatrix(50, 4)
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 4; j++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+	}
+	want := []float64{0.5, -1.5, 2.0, 0.25}
+	b := a.MulVec(want)
+	got, err := NewQR(a).Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("beta[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestQRRankDeficient(t *testing.T) {
+	// Duplicate columns: rank deficient by construction.
+	a := NewMatrixFromRows([][]float64{
+		{1, 1},
+		{2, 2},
+		{3, 3},
+	})
+	qr := NewQR(a)
+	if qr.FullRank() {
+		t.Error("duplicate-column matrix reported full rank")
+	}
+	if _, err := qr.Solve([]float64{1, 2, 3}); !errors.Is(err, ErrRankDeficient) {
+		t.Errorf("Solve error = %v, want ErrRankDeficient", err)
+	}
+}
+
+func TestQRUnderdeterminedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for rows < cols")
+		}
+	}()
+	NewQR(NewMatrix(2, 3))
+}
+
+func TestLeastSquaresRecoversCoefficients(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(4)
+		rows := 5*n + rng.Intn(20)
+		a := NewMatrix(rows, n)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+		}
+		want := make([]float64, n)
+		for j := range want {
+			want[j] = rng.NormFloat64() * 3
+		}
+		b := a.MulVec(want)
+		got, err := LeastSquares(a, b)
+		if err != nil {
+			return false
+		}
+		for j := range want {
+			if math.Abs(got[j]-want[j]) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLeastSquaresFallsBackOnRankDeficiency(t *testing.T) {
+	// Two identical predictors: QR refuses, ridge fallback must succeed and
+	// split weight between the duplicates while fitting y.
+	a := NewMatrixFromRows([][]float64{
+		{1, 1}, {2, 2}, {3, 3}, {4, 4},
+	})
+	y := []float64{2, 4, 6, 8}
+	beta, err := LeastSquares(a, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := a.MulVec(beta)
+	for i := range y {
+		if math.Abs(pred[i]-y[i]) > 1e-4 {
+			t.Errorf("prediction[%d] = %v, want %v", i, pred[i], y[i])
+		}
+	}
+}
+
+func TestLeastSquaresUnderdeterminedError(t *testing.T) {
+	a := NewMatrix(2, 5)
+	if _, err := LeastSquares(a, []float64{1, 2}); err == nil {
+		t.Error("expected error for underdetermined system")
+	}
+}
+
+func TestSolveRidgeShrinksTowardZero(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{1, 0}, {0, 1}, {1, 1}})
+	y := []float64{1, 1, 2}
+	small, err := SolveRidge(a, y, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := SolveRidge(a, y, 1e3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range small {
+		if math.Abs(big[j]) >= math.Abs(small[j]) {
+			t.Errorf("coefficient %d did not shrink under heavy ridge: |%v| >= |%v|", j, big[j], small[j])
+		}
+	}
+}
+
+func TestSolveRidgeNegativeLambdaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SolveRidge(NewMatrix(2, 1), []float64{1, 2}, -1)
+}
+
+func TestResidualsZeroOnPerfectFit(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	beta := []float64{2, -1}
+	y := a.MulVec(beta)
+	res := Residuals(a, beta, y)
+	for i, r := range res {
+		if math.Abs(r) > 1e-12 {
+			t.Errorf("residual[%d] = %v, want 0", i, r)
+		}
+	}
+}
+
+func TestRSquared(t *testing.T) {
+	a := NewMatrixFromRows([][]float64{{1}, {2}, {3}, {4}})
+	beta := []float64{2}
+	y := []float64{2, 4, 6, 8}
+	if r2 := RSquared(a, beta, y); math.Abs(r2-1) > 1e-12 {
+		t.Errorf("perfect fit R² = %v, want 1", r2)
+	}
+	// Zero-variance response.
+	flat := []float64{5, 5, 5, 5}
+	if r2 := RSquared(a, []float64{0}, flat); r2 != 0 {
+		t.Errorf("zero-variance R² = %v, want 0", r2)
+	}
+}
+
+func TestConditionEstimate(t *testing.T) {
+	ident := NewMatrixFromRows([][]float64{{1, 0}, {0, 1}})
+	if c := NewQR(ident).ConditionEstimate(); math.Abs(c-1) > 1e-12 {
+		t.Errorf("identity condition estimate = %v, want 1", c)
+	}
+	sing := NewMatrixFromRows([][]float64{{1, 1}, {1, 1}})
+	if c := NewQR(sing).ConditionEstimate(); !math.IsInf(c, 1) && c < 1e10 {
+		t.Errorf("singular condition estimate = %v, want huge", c)
+	}
+}
+
+func TestQRSolveWrongLengthPanics(t *testing.T) {
+	qr := NewQR(NewMatrixFromRows([][]float64{{1}, {2}}))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched rhs")
+		}
+	}()
+	qr.Solve([]float64{1, 2, 3})
+}
+
+func BenchmarkQRSolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewMatrix(336, 20) // 14 days hourly × 20 sampled controls
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < a.Cols(); j++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+	}
+	y := make([]float64, a.Rows())
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LeastSquares(a, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestLeveragesProperties(t *testing.T) {
+	// For any full-rank design: h_ii ∈ [0,1] and Σh_ii = #columns.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		rows := n + 2 + rng.Intn(20)
+		x := NewMatrix(rows, n)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < n; j++ {
+				x.Set(i, j, rng.NormFloat64())
+			}
+		}
+		hs, err := Leverages(x)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, h := range hs {
+			if h < -1e-9 || h > 1+1e-9 {
+				return false
+			}
+			sum += h
+		}
+		return math.Abs(sum-float64(n)) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLeveragesInterceptOnly(t *testing.T) {
+	// Intercept-only design: every leverage is 1/n.
+	n := 8
+	x := NewMatrix(n, 1)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, 1)
+	}
+	hs, err := Leverages(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hs {
+		if math.Abs(h-1.0/float64(n)) > 1e-12 {
+			t.Errorf("h[%d] = %v, want %v", i, h, 1.0/float64(n))
+		}
+	}
+}
+
+func TestLeveragesRankDeficient(t *testing.T) {
+	x := NewMatrixFromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	if _, err := Leverages(x); !errors.Is(err, ErrRankDeficient) {
+		t.Errorf("error = %v, want ErrRankDeficient", err)
+	}
+}
+
+func TestLeveragesMatchLOOResiduals(t *testing.T) {
+	// Leave-one-out identity: y_i − ŷ_(i) = e_i / (1 − h_ii). Verify by
+	// brute force: refit without row i.
+	rng := rand.New(rand.NewSource(12))
+	rows, cols := 12, 3
+	x := NewMatrix(rows, cols)
+	y := make([]float64, rows)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			x.Set(i, j, rng.NormFloat64())
+		}
+		y[i] = rng.NormFloat64()
+	}
+	beta, err := LeastSquares(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Residuals(x, beta, y)
+	hs, err := Leverages(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for drop := 0; drop < rows; drop++ {
+		keep := make([]int, 0, rows-1)
+		ykeep := make([]float64, 0, rows-1)
+		for i := 0; i < rows; i++ {
+			if i != drop {
+				keep = append(keep, i)
+				ykeep = append(ykeep, y[i])
+			}
+		}
+		betaLOO, err := LeastSquares(x.SelectRows(keep), ykeep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pred float64
+		for j := 0; j < cols; j++ {
+			pred += x.At(drop, j) * betaLOO[j]
+		}
+		wantLOO := y[drop] - pred
+		gotLOO := res[drop] / (1 - hs[drop])
+		if math.Abs(wantLOO-gotLOO) > 1e-8 {
+			t.Errorf("row %d: LOO residual via leverage = %v, brute force = %v", drop, gotLOO, wantLOO)
+		}
+	}
+}
+
+func TestSelectRows(t *testing.T) {
+	m := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	s := m.SelectRows([]int{2, 0, 2})
+	want := NewMatrixFromRows([][]float64{{5, 6}, {1, 2}, {5, 6}})
+	if !s.Equal(want, 0) {
+		t.Errorf("SelectRows = %v, want %v", s, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range SelectRows should panic")
+		}
+	}()
+	m.SelectRows([]int{3})
+}

@@ -1,0 +1,298 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKindPredicates(t *testing.T) {
+	if !MSC.IsCore() || !MME.IsCore() || RNC.IsCore() {
+		t.Error("IsCore classification wrong")
+	}
+	if !RNC.IsController() || !BSC.IsController() || !ENodeB.IsController() || NodeB.IsController() {
+		t.Error("IsController classification wrong")
+	}
+	if !NodeB.IsTower() || !BTS.IsTower() || !ENodeB.IsTower() || RNC.IsTower() {
+		t.Error("IsTower classification wrong")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if UMTS.String() != "UMTS" || GSM.String() != "GSM" || LTE.String() != "LTE" {
+		t.Error("Technology String wrong")
+	}
+	if RNC.String() != "RNC" || ENodeB.String() != "eNodeB" {
+		t.Error("Kind String wrong")
+	}
+	if TerrainUrban.String() != "urban" || TrafficVenue.String() != "venue" {
+		t.Error("Terrain/TrafficProfile String wrong")
+	}
+	if Technology(99).String() == "" || Kind(99).String() == "" {
+		t.Error("out-of-range stringers must not be empty")
+	}
+}
+
+func TestDistanceKm(t *testing.T) {
+	// New York ↔ Los Angeles ≈ 3936 km.
+	ny := GeoPoint{40.7128, -74.0060}
+	la := GeoPoint{34.0522, -118.2437}
+	d := DistanceKm(ny, la)
+	if d < 3900 || d > 3980 {
+		t.Errorf("NY-LA distance = %v km, want ~3936", d)
+	}
+	if DistanceKm(ny, ny) != 0 {
+		t.Error("distance to self must be 0")
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := GeoPoint{math.Mod(lat1, 90), math.Mod(lon1, 180)}
+		b := GeoPoint{math.Mod(lat2, 90), math.Mod(lon2, 180)}
+		d1, d2 := DistanceKm(a, b), DistanceKm(b, a)
+		return math.Abs(d1-d2) < 1e-9 && d1 >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZipForCell(t *testing.T) {
+	z1 := ZipForCell(Northeast, 5)
+	z2 := ZipForCell(Southeast, 5)
+	if z1 == z2 {
+		t.Error("different regions must yield different zips")
+	}
+	if len(z1) != 5 {
+		t.Errorf("zip %q not 5 digits", z1)
+	}
+	if ZipForCell(Northeast, 5) != z1 {
+		t.Error("zips must be deterministic")
+	}
+}
+
+func TestRegionFoliageShape(t *testing.T) {
+	if RegionFoliage(Northeast) <= RegionFoliage(Southeast) {
+		t.Error("Northeast must have higher foliage exposure than Southeast (paper Fig. 3)")
+	}
+}
+
+func TestNetworkAddValidation(t *testing.T) {
+	n := NewNetwork()
+	n.Add(&Element{ID: "m1", Kind: MSC})
+	for _, bad := range []*Element{
+		{ID: "", Kind: RNC},
+		{ID: "m1", Kind: MSC},                 // duplicate
+		{ID: "r1", Kind: RNC, Parent: "nope"}, // unknown parent
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Add(%+v) should panic", bad)
+				}
+			}()
+			n.Add(bad)
+		}()
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	cfg := DefaultTopologyConfig()
+	cfg.Regions = []Region{Northeast}
+	a := Build(cfg)
+	b := Build(cfg)
+	if a.Len() != b.Len() {
+		t.Fatalf("sizes differ: %d vs %d", a.Len(), b.Len())
+	}
+	aIDs, bIDs := a.IDs(), b.IDs()
+	for i := range aIDs {
+		if aIDs[i] != bIDs[i] {
+			t.Fatalf("ID order differs at %d: %q vs %q", i, aIDs[i], bIDs[i])
+		}
+		ea, eb := a.MustElement(aIDs[i]), b.MustElement(bIDs[i])
+		if ea.Location != eb.Location || ea.Config != eb.Config {
+			t.Fatalf("element %q differs between builds", aIDs[i])
+		}
+	}
+	cfg.Seed = 2
+	c := Build(cfg)
+	same := true
+	for i, id := range c.IDs() {
+		if a.MustElement(aIDs[i]).Location != c.MustElement(id).Location {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical placement")
+	}
+}
+
+func TestBuildStructure(t *testing.T) {
+	net := Build(DefaultTopologyConfig())
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rncs := net.OfKind(RNC)
+	if len(rncs) != 4*len(Regions()) {
+		t.Errorf("RNC count = %d, want %d", len(rncs), 4*len(Regions()))
+	}
+	// Every RNC has the configured number of NodeB children.
+	for _, rnc := range rncs {
+		kids := net.Children(rnc)
+		if len(kids) != 12 {
+			t.Errorf("RNC %q has %d children, want 12", rnc, len(kids))
+		}
+		for _, kid := range kids {
+			if net.MustElement(kid).Kind != NodeB {
+				t.Errorf("RNC child %q is %s, want NodeB", kid, net.MustElement(kid).Kind)
+			}
+		}
+	}
+	// Descendants of an RNC include towers and their cells.
+	desc := net.Descendants(rncs[0])
+	if len(desc) != 12+12*3 {
+		t.Errorf("RNC descendants = %d, want 48", len(desc))
+	}
+	// Ancestors of a cell climb to the core.
+	cells := net.OfKind(Cell)
+	anc := net.Ancestors(cells[0])
+	if len(anc) < 2 {
+		t.Errorf("cell ancestors = %v, want tower+controller+core chain", anc)
+	}
+}
+
+func TestBuildRegionalFoliage(t *testing.T) {
+	net := Build(DefaultTopologyConfig())
+	neMean, seMean := 0.0, 0.0
+	ne := net.InRegion(Northeast)
+	se := net.InRegion(Southeast)
+	for _, id := range ne {
+		neMean += net.MustElement(id).FoliageExposure
+	}
+	for _, id := range se {
+		seMean += net.MustElement(id).FoliageExposure
+	}
+	neMean /= float64(len(ne))
+	seMean /= float64(len(se))
+	if neMean <= seMean*2 {
+		t.Errorf("NE foliage %v not clearly above SE %v", neMean, seMean)
+	}
+}
+
+func TestSiblingsAndSameZip(t *testing.T) {
+	net := Build(DefaultTopologyConfig())
+	nbs := net.OfKind(NodeB)
+	sibs := net.Siblings(nbs[0])
+	if len(sibs) != 11 {
+		t.Errorf("NodeB siblings = %d, want 11", len(sibs))
+	}
+	for _, s := range sibs {
+		if net.MustElement(s).Parent != net.MustElement(nbs[0]).Parent {
+			t.Error("sibling with different parent")
+		}
+	}
+	// eNodeBs are generated in same-zip groups of four.
+	enbs := net.OfKind(ENodeB)
+	var found bool
+	for _, e := range enbs {
+		if len(net.SameZip(e)) >= 2 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no eNodeB has same-zip peers; zip grouping broken")
+	}
+	// Core element with no parent has no siblings.
+	if s := net.Siblings(net.OfKind(MSC)[0]); s != nil {
+		t.Errorf("MSC siblings = %v, want nil", s)
+	}
+}
+
+func TestWithinKmSorted(t *testing.T) {
+	net := Build(DefaultTopologyConfig())
+	nbs := net.OfKind(NodeB)
+	within := net.WithinKm(nbs[0], 500)
+	if len(within) == 0 {
+		t.Fatal("no elements within 500km of a NodeB")
+	}
+	center := net.MustElement(nbs[0]).Location
+	last := -1.0
+	for _, id := range within {
+		d := DistanceKm(center, net.MustElement(id).Location)
+		if d < last-1e-9 {
+			t.Fatal("WithinKm not sorted by distance")
+		}
+		last = d
+	}
+}
+
+func TestFilter(t *testing.T) {
+	net := Build(DefaultTopologyConfig())
+	son := net.Filter(func(e *Element) bool { return e.Config.SONEnabled && e.Kind == NodeB })
+	if len(son) == 0 {
+		t.Fatal("no SON-enabled NodeBs generated")
+	}
+	for _, id := range son {
+		if !net.MustElement(id).Config.SONEnabled {
+			t.Error("Filter returned non-matching element")
+		}
+	}
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	net := Build(DefaultTopologyConfig())
+	at := time.Date(2012, 6, 1, 0, 0, 0, 0, time.UTC)
+	s1 := net.Snapshot(at)
+	// Mutate one element's software version and one parent.
+	nb := net.OfKind(NodeB)[0]
+	net.MustElement(nb).Config.SoftwareVersion = "NB9.9"
+	s2 := net.Snapshot(at.Add(24 * time.Hour))
+	diffs := Diff(s1, s2)
+	if len(diffs) != 1 {
+		t.Fatalf("diffs = %v, want exactly 1", diffs)
+	}
+	if diffs[0].ID != nb || diffs[0].Field != "software" || diffs[0].After != "NB9.9" {
+		t.Errorf("diff = %+v", diffs[0])
+	}
+	// Identical snapshots diff to nothing.
+	if d := Diff(s2, s2); len(d) != 0 {
+		t.Errorf("self-diff = %v, want empty", d)
+	}
+}
+
+func TestSnapshotPresenceDiff(t *testing.T) {
+	a := &ConfigSnapshot{Entries: map[string]SnapshotEntry{"x": {}}}
+	b := &ConfigSnapshot{Entries: map[string]SnapshotEntry{"y": {}}}
+	diffs := Diff(a, b)
+	if len(diffs) != 2 {
+		t.Fatalf("diffs = %v", diffs)
+	}
+	for _, d := range diffs {
+		if d.Field != "presence" {
+			t.Errorf("unexpected field %q", d.Field)
+		}
+	}
+}
+
+func TestValidateCatchesBadTopology(t *testing.T) {
+	n := NewNetwork()
+	n.Add(&Element{ID: "nb-root", Kind: NodeB}) // tower at root: fine for Add...
+	n.Add(&Element{ID: "cell-1", Kind: Cell, Parent: "nb-root"})
+	n.Add(&Element{ID: "nb-bad", Kind: NodeB, Parent: "cell-1"}) // tower under cell
+	if err := n.Validate(); err == nil {
+		t.Error("Validate accepted a tower parented to a cell")
+	}
+}
+
+func TestRegionCenterUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RegionCenter(Region("Atlantis"))
+}

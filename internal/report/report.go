@@ -1,0 +1,243 @@
+// Package report renders evaluation results and figure data for terminal
+// and CSV output: the summary tables the paper prints (Tables 2 and 4),
+// per-figure CSV series, and a compact ASCII sparkline chart for quick
+// visual inspection of KPI time-series.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/eval"
+	"repro/internal/figures"
+)
+
+// WriteSummaryTable renders the three algorithms' confusion matrices and
+// derived metrics in the layout of the paper's summary rows.
+func WriteSummaryTable(w io.Writer, title string, matrices map[eval.Algorithm]*eval.Matrix) error {
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	cols := eval.Algorithms()
+	header := fmt.Sprintf("%-22s", "")
+	for _, a := range cols {
+		header += fmt.Sprintf(" %28s", shortName(a))
+	}
+	rows := []struct {
+		label string
+		get   func(eval.Matrix) string
+	}{
+		{"True positive", func(m eval.Matrix) string { return fmt.Sprintf("%d", m.TP) }},
+		{"True negative", func(m eval.Matrix) string { return fmt.Sprintf("%d", m.TN) }},
+		{"False positive", func(m eval.Matrix) string { return fmt.Sprintf("%d", m.FP) }},
+		{"False negative", func(m eval.Matrix) string { return fmt.Sprintf("%d", m.FN) }},
+		{"Precision", func(m eval.Matrix) string { return pct(m.Precision()) }},
+		{"Recall", func(m eval.Matrix) string { return pct(m.Recall()) }},
+		{"True negative rate", func(m eval.Matrix) string { return pct(m.TrueNegativeRate()) }},
+		{"Accuracy", func(m eval.Matrix) string { return pct(m.Accuracy()) }},
+	}
+	lines := []string{header, strings.Repeat("-", len(header))}
+	for _, r := range rows {
+		line := fmt.Sprintf("%-22s", r.label)
+		for _, a := range cols {
+			line += fmt.Sprintf(" %28s", r.get(*matrices[a]))
+		}
+		lines = append(lines, line)
+	}
+	_, err := fmt.Fprintln(w, strings.Join(lines, "\n"))
+	return err
+}
+
+func shortName(a eval.Algorithm) string {
+	switch a {
+	case eval.StudyOnlyAnalysis:
+		return "Study Group Only"
+	case eval.DifferenceInDifferences:
+		return "Difference in Differences"
+	case eval.LitmusRegression:
+		return "Litmus Robust Regression"
+	default:
+		return a.String()
+	}
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.2f %%", 100*v) }
+
+// WriteKnownRows renders the per-change rows of Table 2.
+func WriteKnownRows(w io.Writer, res eval.KnownResult) error {
+	if _, err := fmt.Fprintf(w, "%-42s %8s %6s | %-22s | %-22s | %-22s\n",
+		"Change", "Elements", "Cases", "Study Group Only", "Diff in Differences", "Litmus"); err != nil {
+		return err
+	}
+	for _, rr := range res.Rows {
+		line := fmt.Sprintf("%-42s %8d %6d | %-22s | %-22s | %-22s",
+			rr.Row.Name, rr.Row.NumElements, rr.Row.Cases(),
+			cellCounts(rr.Matrices[eval.StudyOnlyAnalysis]),
+			cellCounts(rr.Matrices[eval.DifferenceInDifferences]),
+			cellCounts(rr.Matrices[eval.LitmusRegression]))
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cellCounts renders a matrix as the paper's compact cell notation
+// ("36 TP, 18 TN").
+func cellCounts(m *eval.Matrix) string {
+	var parts []string
+	if m.TP > 0 {
+		parts = append(parts, fmt.Sprintf("%d TP", m.TP))
+	}
+	if m.TN > 0 {
+		parts = append(parts, fmt.Sprintf("%d TN", m.TN))
+	}
+	if m.FP > 0 {
+		parts = append(parts, fmt.Sprintf("%d FP", m.FP))
+	}
+	if m.FN > 0 {
+		parts = append(parts, fmt.Sprintf("%d FN", m.FN))
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, ", ")
+}
+
+// WriteFigureCSV emits a figure's series as CSV: a timestamp column
+// followed by one column per series.
+func WriteFigureCSV(w io.Writer, fig figures.Figure) error {
+	if len(fig.Series) == 0 {
+		return fmt.Errorf("report: figure %s has no series", fig.ID)
+	}
+	header := []string{"timestamp"}
+	for _, s := range fig.Series {
+		header = append(header, csvEscape(s.Name))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	ix := fig.Series[0].Values.Index
+	for i := 0; i < ix.N; i++ {
+		row := []string{ix.TimeAt(i).Format("2006-01-02T15:04:05Z")}
+		for _, s := range fig.Series {
+			if s.Values.Index.N != ix.N {
+				return fmt.Errorf("report: figure %s series %q length differs", fig.ID, s.Name)
+			}
+			v := s.Values.Values[i]
+			if math.IsNaN(v) {
+				row = append(row, "")
+			} else {
+				row = append(row, fmt.Sprintf("%.6g", v))
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Sparkline renders values as a compact one-line ASCII chart using eight
+// block levels, normalizing to the series' own range. NaN values render
+// as spaces. Width caps the output by averaging adjacent buckets.
+func Sparkline(values []float64, width int) string {
+	if len(values) == 0 {
+		return ""
+	}
+	if width <= 0 {
+		width = 80
+	}
+	buckets := values
+	if len(values) > width {
+		buckets = make([]float64, width)
+		per := float64(len(values)) / float64(width)
+		for b := range buckets {
+			lo := int(float64(b) * per)
+			hi := int(float64(b+1) * per)
+			if hi > len(values) {
+				hi = len(values)
+			}
+			var sum float64
+			var n int
+			for _, v := range values[lo:hi] {
+				if !math.IsNaN(v) {
+					sum += v
+					n++
+				}
+			}
+			if n == 0 {
+				buckets[b] = math.NaN()
+			} else {
+				buckets[b] = sum / float64(n)
+			}
+		}
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range buckets {
+		if math.IsNaN(v) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return strings.Repeat(" ", len(buckets))
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	var sb strings.Builder
+	for _, v := range buckets {
+		if math.IsNaN(v) {
+			sb.WriteRune(' ')
+			continue
+		}
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(levels)-1))
+		}
+		sb.WriteRune(levels[idx])
+	}
+	return sb.String()
+}
+
+// WriteFigureSummary renders a figure's metadata, sparklines and verdicts
+// for terminal viewing.
+func WriteFigureSummary(w io.Writer, fig figures.Figure) error {
+	if _, err := fmt.Fprintf(w, "Figure %s: %s\nKPI: %s\n", fig.ID, fig.Title, fig.KPI); err != nil {
+		return err
+	}
+	if !fig.ChangeAt.IsZero() {
+		if _, err := fmt.Fprintf(w, "Change at: %s\n", fig.ChangeAt.Format("2006-01-02 15:04")); err != nil {
+			return err
+		}
+	}
+	for _, s := range fig.Series {
+		if _, err := fmt.Fprintf(w, "  %-34s %s\n", s.Name, Sparkline(s.Values.Values, 72)); err != nil {
+			return err
+		}
+	}
+	for key, v := range fig.Verdicts {
+		if _, err := fmt.Fprintf(w, "  verdict %-28s %s\n", key+":", v); err != nil {
+			return err
+		}
+	}
+	if fig.Notes != "" {
+		if _, err := fmt.Fprintf(w, "  %s\n", fig.Notes); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/figures"
+	"repro/internal/kpi"
+	"repro/internal/timeseries"
+)
+
+func sampleMatrices() map[eval.Algorithm]*eval.Matrix {
+	return map[eval.Algorithm]*eval.Matrix{
+		eval.StudyOnlyAnalysis:       {TP: 129, TN: 1, FP: 78, FN: 105},
+		eval.DifferenceInDifferences: {TP: 186, TN: 79, FN: 48},
+		eval.LitmusRegression:        {TP: 234, TN: 79},
+	}
+}
+
+func TestWriteSummaryTable(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteSummaryTable(&sb, "Table 2", sampleMatrices()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table 2", "Accuracy", "100.00 %", "84.66 %", "41.53 %", "Litmus"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCellCounts(t *testing.T) {
+	if got := cellCounts(&eval.Matrix{TP: 36, TN: 18}); got != "36 TP, 18 TN" {
+		t.Errorf("cellCounts = %q", got)
+	}
+	if got := cellCounts(&eval.Matrix{}); got != "-" {
+		t.Errorf("empty cellCounts = %q", got)
+	}
+}
+
+func testFigure() figures.Figure {
+	ix := timeseries.NewIndex(time.Date(2012, 1, 1, 0, 0, 0, 0, time.UTC), time.Hour, 4)
+	return figures.Figure{
+		ID: "3", Title: "test", KPI: kpi.VoiceRetainability,
+		Series: []figures.Series{
+			{Name: "a", Values: timeseries.NewSeries(ix, []float64{1, 2, math.NaN(), 4})},
+			{Name: "b,with comma", Values: timeseries.NewSeries(ix, []float64{5, 6, 7, 8})},
+		},
+		Notes: "note",
+	}
+}
+
+func TestWriteFigureCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteFigureCSV(&sb, testFigure()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("CSV lines = %d, want header + 4", len(lines))
+	}
+	if lines[0] != `timestamp,a,"b,with comma"` {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "2012-01-01T00:00:00Z,1,5") {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	// NaN renders as empty cell.
+	if !strings.Contains(lines[3], ",,") {
+		t.Errorf("NaN row = %q, want empty cell", lines[3])
+	}
+}
+
+func TestWriteFigureCSVEmpty(t *testing.T) {
+	if err := WriteFigureCSV(&strings.Builder{}, figures.Figure{ID: "x"}); err == nil {
+		t.Error("empty figure accepted")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 80)
+	if len([]rune(s)) != 8 {
+		t.Fatalf("sparkline length = %d, want 8", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Errorf("sparkline = %q, want rising ramp", s)
+	}
+	// Constant series: all minimum level, not a panic.
+	flat := Sparkline([]float64{5, 5, 5}, 10)
+	if flat != "▁▁▁" {
+		t.Errorf("flat sparkline = %q", flat)
+	}
+	// NaN-only series: spaces.
+	if got := Sparkline([]float64{math.NaN(), math.NaN()}, 10); strings.TrimSpace(got) != "" {
+		t.Errorf("NaN sparkline = %q", got)
+	}
+	if Sparkline(nil, 10) != "" {
+		t.Error("empty input should render empty")
+	}
+}
+
+func TestSparklineDownsamples(t *testing.T) {
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	s := Sparkline(vals, 40)
+	if got := len([]rune(s)); got != 40 {
+		t.Errorf("downsampled width = %d, want 40", got)
+	}
+}
+
+func TestWriteFigureSummary(t *testing.T) {
+	fig := testFigure()
+	fig.Verdicts = figures.Verdicts{"litmus": {}}
+	fig.ChangeAt = time.Date(2012, 1, 1, 2, 0, 0, 0, time.UTC)
+	var sb strings.Builder
+	if err := WriteFigureSummary(&sb, fig); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Figure 3", "voice-retainability", "Change at", "verdict", "note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteKnownRows(t *testing.T) {
+	res, err := eval.RunKnownAssessments(eval.DefaultKnownConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteKnownRows(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "SON load balancing") {
+		t.Errorf("known rows output missing row names:\n%s", out)
+	}
+	if !strings.Contains(out, "36 TP, 18 TN") {
+		t.Errorf("known rows output missing Litmus cell for row 1:\n%s", out)
+	}
+}

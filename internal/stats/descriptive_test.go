@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{1, 2, 3}, 2},
+		{[]float64{-1, 1}, 0},
+		{[]float64{5}, 5},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMeanEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Mean(nil)
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+		{[]float64{7}, 7},
+		{[]float64{2, 2, 2, 9}, 2},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("Median mutated its input: %v", in)
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7.0)
+	}
+	if got := StdDev(xs); !almostEqual(got, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("StdDev = %v", got)
+	}
+}
+
+func TestVarianceTooFewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Variance([]float64{1})
+}
+
+func TestMADRobustToOutlier(t *testing.T) {
+	clean := []float64{1, 2, 3, 4, 5}
+	dirty := []float64{1, 2, 3, 4, 1000}
+	if MAD(clean) != MAD(dirty) {
+		t.Errorf("MAD not robust: clean=%v dirty=%v", MAD(clean), MAD(dirty))
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.1, 1.4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Quantile([]float64{42}, 0.5); got != 42 {
+		t.Errorf("single-element quantile = %v, want 42", got)
+	}
+}
+
+func TestQuantileBadQPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Quantile([]float64{1}, 1.5)
+}
+
+func TestQuantileMedianAgreement(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		return almostEqual(Quantile(xs, 0.5), Median(xs), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 4, 1, 5})
+	if lo != -1 || hi != 5 {
+		t.Errorf("MinMax = (%v, %v), want (-1, 5)", lo, hi)
+	}
+}
+
+func TestPearsonCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := PearsonCorrelation(xs, xs); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("self-correlation = %v, want 1", got)
+	}
+	neg := []float64{4, 3, 2, 1}
+	if got := PearsonCorrelation(xs, neg); !almostEqual(got, -1, 1e-12) {
+		t.Errorf("anti-correlation = %v, want -1", got)
+	}
+	flat := []float64{2, 2, 2, 2}
+	if got := PearsonCorrelation(xs, flat); got != 0 {
+		t.Errorf("correlation with constant = %v, want 0", got)
+	}
+}
+
+func TestPearsonCorrelationScaleInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(30)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = rng.NormFloat64()
+		}
+		r1 := PearsonCorrelation(xs, ys)
+		scaled := make([]float64, n)
+		for i := range ys {
+			scaled[i] = 3*ys[i] + 7
+		}
+		r2 := PearsonCorrelation(xs, scaled)
+		return almostEqual(r1, r2, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,73 @@
+package stats
+
+import "sort"
+
+// Ranks assigns midranks (1-based) to xs: equal values share the average
+// of the ranks they would occupy. The result has the same ordering as xs.
+// Midranks are the standard tie treatment for rank tests (Siegel &
+// Castellan 1998) and keep the tests well-defined on KPI series that are
+// quantized by counter resolution.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Values idx[i..j] are tied; they occupy ranks i+1..j+1.
+		mid := float64(i+j+2) / 2
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = mid
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Placements returns, for each x in xs, the count of values in ys strictly
+// less than x plus half the count of values equal to x. This is the
+// placement statistic U(x) used by the Fligner–Policello test, with the
+// half-count convention handling ties.
+//
+// ys must be sorted ascending; Placements panics if it detects otherwise
+// (a cheap spot check, not a full scan).
+func Placements(xs, sortedYs []float64) []float64 {
+	if len(sortedYs) > 1 && sortedYs[0] > sortedYs[len(sortedYs)-1] {
+		panic("stats: Placements requires sorted ys")
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		lo := sort.SearchFloat64s(sortedYs, x)
+		hi := lo
+		for hi < len(sortedYs) && sortedYs[hi] == x {
+			hi++
+		}
+		out[i] = float64(lo) + float64(hi-lo)/2
+	}
+	return out
+}
+
+// TieCorrection returns the tie-correction term Σ(t³−t) over tie groups in
+// the pooled sample, used in the variance of the Mann–Whitney U statistic.
+func TieCorrection(pooled []float64) float64 {
+	tmp := make([]float64, len(pooled))
+	copy(tmp, pooled)
+	sort.Float64s(tmp)
+	var corr float64
+	for i := 0; i < len(tmp); {
+		j := i
+		for j+1 < len(tmp) && tmp[j+1] == tmp[i] {
+			j++
+		}
+		t := float64(j - i + 1)
+		corr += t*t*t - t
+		i = j + 1
+	}
+	return corr
+}

@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// logGamma is math.Lgamma without the sign (all our arguments are
+// positive).
+func logGamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// RegularizedIncompleteBeta computes I_x(a, b) via the continued-fraction
+// expansion (Lentz's algorithm), accurate to ~1e-12 for a, b > 0 and
+// x ∈ [0, 1]. It panics on out-of-domain arguments.
+func RegularizedIncompleteBeta(a, b, x float64) float64 {
+	if a <= 0 || b <= 0 {
+		panic(fmt.Sprintf("stats: RegularizedIncompleteBeta needs a, b > 0, got %v, %v", a, b))
+	}
+	if x < 0 || x > 1 {
+		panic(fmt.Sprintf("stats: RegularizedIncompleteBeta x=%v outside [0,1]", x))
+	}
+	if x == 0 || x == 1 {
+		return x
+	}
+	// Use the symmetry relation for faster convergence.
+	if x > (a+1)/(a+b+2) {
+		return 1 - RegularizedIncompleteBeta(b, a, 1-x)
+	}
+	lbeta := logGamma(a) + logGamma(b) - logGamma(a+b)
+	front := math.Exp(a*math.Log(x)+b*math.Log(1-x)-lbeta) / a
+
+	// Lentz's continued fraction.
+	const (
+		tiny    = 1e-30
+		epsilon = 1e-14
+		maxIter = 300
+	)
+	f, c, d := 1.0, 1.0, 0.0
+	for i := 0; i <= maxIter; i++ {
+		m := i / 2
+		var numerator float64
+		switch {
+		case i == 0:
+			numerator = 1
+		case i%2 == 0:
+			numerator = float64(m) * (b - float64(m)) * x / ((a + 2*float64(m) - 1) * (a + 2*float64(m)))
+		default:
+			numerator = -(a + float64(m)) * (a + b + float64(m)) * x / ((a + 2*float64(m)) * (a + 2*float64(m) + 1))
+		}
+		d = 1 + numerator*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		d = 1 / d
+		c = 1 + numerator/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		cd := c * d
+		f *= cd
+		if math.Abs(1-cd) < epsilon {
+			break
+		}
+	}
+	return front * (f - 1)
+}
+
+// StudentTCDF returns P(T ≤ t) for Student's t distribution with df
+// degrees of freedom. It panics for df ≤ 0.
+func StudentTCDF(t, df float64) float64 {
+	if df <= 0 {
+		panic(fmt.Sprintf("stats: StudentTCDF df=%v <= 0", df))
+	}
+	if math.IsInf(t, 1) {
+		return 1
+	}
+	if math.IsInf(t, -1) {
+		return 0
+	}
+	x := df / (df + t*t)
+	p := 0.5 * RegularizedIncompleteBeta(df/2, 0.5, x)
+	if t > 0 {
+		return 1 - p
+	}
+	return p
+}
+
+// TwoSidedTP converts a t statistic into a two-sided p-value at df
+// degrees of freedom.
+func TwoSidedTP(t, df float64) float64 {
+	p := 2 * (1 - StudentTCDF(math.Abs(t), df))
+	if p > 1 {
+		p = 1
+	}
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
+// OneSampleT performs a one-sample Student t-test of H0: mean(xs) == mu.
+// The returned statistic is positive when the sample mean exceeds mu. It
+// is the significance engine of the Difference-in-Differences baseline:
+// the per-control DiD estimates are tested against zero, so dispersion
+// across controls (contamination, heterogeneous factor response) widens
+// the standard error — the non-robustness the paper's §3.2 critiques.
+//
+// It returns an error for fewer than three observations and a degenerate
+// (zero-variance) result consistent with the other tests otherwise.
+func OneSampleT(xs []float64, mu float64) (TestResult, error) {
+	n := len(xs)
+	if n < minSampleSize {
+		return TestResult{}, fmt.Errorf("stats: OneSampleT needs >= %d observations, got %d", minSampleSize, n)
+	}
+	mean := Mean(xs)
+	sd := StdDev(xs)
+	if sd == 0 {
+		if mean == mu {
+			return TestResult{Statistic: 0, P: 1, N1: n, N2: 0}, nil
+		}
+		z := math.Copysign(8, mean-mu)
+		return TestResult{Statistic: z, P: TwoSidedTP(z, float64(n-1)), N1: n, N2: 0}, nil
+	}
+	t := (mean - mu) / (sd / math.Sqrt(float64(n)))
+	return TestResult{Statistic: t, P: TwoSidedTP(t, float64(n-1)), N1: n, N2: 0}, nil
+}

@@ -1,0 +1,212 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegularizedIncompleteBetaKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b, x, want float64
+	}{
+		// I_x(1,1) = x (uniform CDF).
+		{1, 1, 0.3, 0.3},
+		{1, 1, 0.8, 0.8},
+		// I_x(2,2) = x²(3−2x).
+		{2, 2, 0.5, 0.5},
+		{2, 2, 0.25, 0.25 * 0.25 * (3 - 0.5)},
+		// I_x(1/2,1/2) = (2/π)·asin(√x) (arcsine law).
+		{0.5, 0.5, 0.5, 0.5},
+		{0.5, 0.5, 0.25, 2 / math.Pi * math.Asin(0.5)},
+		// Edges.
+		{3, 4, 0, 0},
+		{3, 4, 1, 1},
+	}
+	for _, c := range cases {
+		if got := RegularizedIncompleteBeta(c.a, c.b, c.x); math.Abs(got-c.want) > 1e-10 {
+			t.Errorf("I_%v(%v,%v) = %v, want %v", c.x, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRegularizedIncompleteBetaComplement(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := 0.5 + 5*rng.Float64()
+		b := 0.5 + 5*rng.Float64()
+		x := rng.Float64()
+		// I_x(a,b) + I_{1-x}(b,a) == 1.
+		return math.Abs(RegularizedIncompleteBeta(a, b, x)+RegularizedIncompleteBeta(b, a, 1-x)-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegularizedIncompleteBetaPanics(t *testing.T) {
+	for _, c := range []struct{ a, b, x float64 }{
+		{0, 1, 0.5}, {1, -1, 0.5}, {1, 1, -0.1}, {1, 1, 1.1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("I_%v(%v,%v) should panic", c.x, c.a, c.b)
+				}
+			}()
+			RegularizedIncompleteBeta(c.a, c.b, c.x)
+		}()
+	}
+}
+
+func TestStudentTCDFKnownValues(t *testing.T) {
+	cases := []struct {
+		t, df, want float64
+	}{
+		{0, 5, 0.5},
+		// t distribution with df=1 is Cauchy: CDF(1) = 3/4.
+		{1, 1, 0.75},
+		{-1, 1, 0.25},
+		// Critical values: P(T ≤ 2.228 | df=10) ≈ 0.975.
+		{2.228, 10, 0.975},
+		{-2.228, 10, 0.025},
+		// Large df approaches the normal.
+		{1.96, 1e6, 0.975},
+	}
+	for _, c := range cases {
+		if got := StudentTCDF(c.t, c.df); math.Abs(got-c.want) > 2e-4 {
+			t.Errorf("StudentTCDF(%v, %v) = %v, want %v", c.t, c.df, got, c.want)
+		}
+	}
+	if got := StudentTCDF(math.Inf(1), 3); got != 1 {
+		t.Errorf("CDF(+Inf) = %v", got)
+	}
+	if got := StudentTCDF(math.Inf(-1), 3); got != 0 {
+		t.Errorf("CDF(-Inf) = %v", got)
+	}
+}
+
+func TestStudentTCDFSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tv := rng.NormFloat64() * 3
+		df := 1 + rng.Float64()*30
+		return math.Abs(StudentTCDF(tv, df)+StudentTCDF(-tv, df)-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStudentTCDFBadDFPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	StudentTCDF(1, 0)
+}
+
+func TestTwoSidedTP(t *testing.T) {
+	if p := TwoSidedTP(0, 10); p != 1 {
+		t.Errorf("TwoSidedTP(0) = %v, want 1", p)
+	}
+	// At df=10, |t| = 2.228 is the 5% critical value.
+	if p := TwoSidedTP(2.228, 10); math.Abs(p-0.05) > 1e-3 {
+		t.Errorf("TwoSidedTP(2.228, 10) = %v, want ~0.05", p)
+	}
+	if p := TwoSidedTP(50, 3); p > 1e-4 {
+		t.Errorf("TwoSidedTP(50, 3) = %v, want tiny", p)
+	}
+}
+
+func TestOneSampleT(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	shifted := normSample(rng, 30, 1.0, 1.0)
+	r, err := OneSampleT(shifted, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Direction(0.05) != 1 {
+		t.Errorf("failed to detect positive mean: %v", r)
+	}
+	r2, err := OneSampleT(shifted, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.SignificantAt(0.01) {
+		t.Errorf("true mean rejected: %v", r2)
+	}
+}
+
+func TestOneSampleTDegenerate(t *testing.T) {
+	r, err := OneSampleT([]float64{2, 2, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Statistic != 0 || r.P != 1 {
+		t.Errorf("constant sample at mu: %v, want z=0 p=1", r)
+	}
+	r2, err := OneSampleT([]float64{2, 2, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Direction(0.05) != 1 {
+		t.Errorf("constant sample above mu: %v, want decisive positive", r2)
+	}
+	if _, err := OneSampleT([]float64{1, 2}, 0); err == nil {
+		t.Error("tiny sample accepted")
+	}
+}
+
+func TestOneSampleTNullCalibration(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const trials = 500
+	rejects := 0
+	for i := 0; i < trials; i++ {
+		xs := normSample(rng, 12, 0, 1)
+		r, err := OneSampleT(xs, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.SignificantAt(0.05) {
+			rejects++
+		}
+	}
+	rate := float64(rejects) / trials
+	if rate < 0.02 || rate > 0.09 {
+		t.Errorf("null rejection rate = %v, want ~0.05 (the t reference matters at n=12)", rate)
+	}
+}
+
+func TestLag1Autocorrelation(t *testing.T) {
+	// A constant-increment ramp has lag-1 autocorrelation near 1 as n grows.
+	ramp := make([]float64, 100)
+	for i := range ramp {
+		ramp[i] = float64(i)
+	}
+	if rho := Lag1Autocorrelation(ramp); rho < 0.9 {
+		t.Errorf("ramp autocorrelation = %v, want near 1", rho)
+	}
+	// Alternating series: strongly negative.
+	alt := []float64{1, -1, 1, -1, 1, -1, 1, -1}
+	if rho := Lag1Autocorrelation(alt); rho > -0.7 {
+		t.Errorf("alternating autocorrelation = %v, want near -1", rho)
+	}
+	// Degenerate inputs.
+	if Lag1Autocorrelation([]float64{1, 2}) != 0 {
+		t.Error("short sample should report 0")
+	}
+	if Lag1Autocorrelation([]float64{3, 3, 3, 3}) != 0 {
+		t.Error("constant sample should report 0")
+	}
+}
+
+func TestLag1WhiteNoiseNearZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := normSample(rng, 2000, 0, 1)
+	if rho := Lag1Autocorrelation(xs); math.Abs(rho) > 0.07 {
+		t.Errorf("white noise autocorrelation = %v, want ~0", rho)
+	}
+}

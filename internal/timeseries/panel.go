@@ -1,0 +1,164 @@
+package timeseries
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/linalg"
+)
+
+// Panel is a set of series for multiple network elements sharing one time
+// index — the matrix X of the paper whose columns are control-group
+// elements and whose rows are time points.
+type Panel struct {
+	ix   Index
+	ids  []string
+	cols map[string][]float64
+}
+
+// NewPanel returns an empty panel on the given index.
+func NewPanel(ix Index) *Panel {
+	return &Panel{ix: ix, cols: make(map[string][]float64)}
+}
+
+// Index returns the panel's time index.
+func (p *Panel) Index() Index { return p.ix }
+
+// IDs returns the element identifiers in insertion order. The returned
+// slice is a copy.
+func (p *Panel) IDs() []string {
+	out := make([]string, len(p.ids))
+	copy(out, p.ids)
+	return out
+}
+
+// Len returns the number of elements (columns).
+func (p *Panel) Len() int { return len(p.ids) }
+
+// Add inserts the series for element id. It panics if the id already
+// exists or the series index differs from the panel's.
+func (p *Panel) Add(id string, s Series) {
+	if _, dup := p.cols[id]; dup {
+		panic(fmt.Sprintf("timeseries: duplicate panel element %q", id))
+	}
+	if !s.Index.Equal(p.ix) {
+		panic(fmt.Sprintf("timeseries: series index mismatch for element %q", id))
+	}
+	p.ids = append(p.ids, id)
+	p.cols[id] = s.Values
+}
+
+// Series returns the series for element id and whether it exists. The
+// values share storage with the panel.
+func (p *Panel) Series(id string) (Series, bool) {
+	v, ok := p.cols[id]
+	if !ok {
+		return Series{}, false
+	}
+	return Series{Index: p.ix, Values: v}, true
+}
+
+// MustSeries returns the series for element id, panicking if absent.
+func (p *Panel) MustSeries(id string) Series {
+	s, ok := p.Series(id)
+	if !ok {
+		panic(fmt.Sprintf("timeseries: unknown panel element %q", id))
+	}
+	return s
+}
+
+// Select returns a new panel containing only the given ids, in that order.
+// It panics on unknown ids.
+func (p *Panel) Select(ids []string) *Panel {
+	out := NewPanel(p.ix)
+	for _, id := range ids {
+		out.Add(id, p.MustSeries(id))
+	}
+	return out
+}
+
+// Slice returns a panel restricted to positions [from, to). Column values
+// share storage with p.
+func (p *Panel) Slice(from, to int) *Panel {
+	out := NewPanel(p.ix.Slice(from, to))
+	for _, id := range p.ids {
+		out.Add(id, Series{Index: out.ix, Values: p.cols[id][from:to]})
+	}
+	return out
+}
+
+// SplitAt divides the panel into before/after sub-panels around time t,
+// mirroring Series.SplitAt.
+func (p *Panel) SplitAt(t time.Time) (before, after *Panel) {
+	pos := p.ix.SearchPos(t)
+	return p.Slice(0, pos), p.Slice(pos, p.ix.N)
+}
+
+// DesignMatrix returns the panel as a linalg matrix whose columns follow
+// the panel's id order. Missing observations (NaN/Inf) are replaced by the
+// column's median of valid observations so the regression stays solvable;
+// columns with no valid observation become zero.
+func (p *Panel) DesignMatrix() *linalg.Matrix {
+	m := linalg.NewMatrix(p.ix.N, len(p.ids))
+	for j, id := range p.ids {
+		col := p.cols[id]
+		fill := columnFill(col)
+		for i, v := range col {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = fill
+			}
+			m.Set(i, j, v)
+		}
+	}
+	return m
+}
+
+// columnFill returns the median of the valid entries of col, or 0 when
+// none are valid.
+func columnFill(col []float64) float64 {
+	valid := make([]float64, 0, len(col))
+	for _, v := range col {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			valid = append(valid, v)
+		}
+	}
+	if len(valid) == 0 {
+		return 0
+	}
+	sort.Float64s(valid)
+	n := len(valid)
+	if n%2 == 1 {
+		return valid[n/2]
+	}
+	return (valid[n/2-1] + valid[n/2]) / 2
+}
+
+// CrossSectionMedian returns, per time point, the median across elements
+// of the valid observations — used for summary plots and sanity checks.
+func (p *Panel) CrossSectionMedian() Series {
+	out := make([]float64, p.ix.N)
+	buf := make([]float64, 0, len(p.ids))
+	for i := 0; i < p.ix.N; i++ {
+		buf = buf[:0]
+		for _, id := range p.ids {
+			v := p.cols[id][i]
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				buf = append(buf, v)
+			}
+		}
+		if len(buf) == 0 {
+			out[i] = math.NaN()
+			continue
+		}
+		sort.Float64s(buf)
+		n := len(buf)
+		if n%2 == 1 {
+			out[i] = buf[n/2]
+		} else {
+			out[i] = (buf[n/2-1] + buf[n/2]) / 2
+		}
+	}
+	return NewSeries(p.ix, out)
+}

@@ -1,0 +1,132 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func testPanel(t *testing.T) *Panel {
+	t.Helper()
+	ix := NewIndex(epoch, time.Hour, 4)
+	p := NewPanel(ix)
+	p.Add("a", NewSeries(ix, []float64{1, 2, 3, 4}))
+	p.Add("b", NewSeries(ix, []float64{10, 20, 30, 40}))
+	p.Add("c", NewSeries(ix, []float64{5, 5, 5, 5}))
+	return p
+}
+
+func TestPanelAddAndSeries(t *testing.T) {
+	p := testPanel(t)
+	if p.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", p.Len())
+	}
+	ids := p.IDs()
+	if ids[0] != "a" || ids[1] != "b" || ids[2] != "c" {
+		t.Errorf("IDs = %v, want insertion order", ids)
+	}
+	s, ok := p.Series("b")
+	if !ok || s.Values[3] != 40 {
+		t.Errorf("Series(b) = %v, %v", s.Values, ok)
+	}
+	if _, ok := p.Series("zzz"); ok {
+		t.Error("Series of unknown id should report false")
+	}
+}
+
+func TestPanelDuplicatePanics(t *testing.T) {
+	p := testPanel(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Add("a", NewZeroSeries(p.Index()))
+}
+
+func TestPanelIndexMismatchPanics(t *testing.T) {
+	p := testPanel(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Add("d", NewZeroSeries(NewIndex(epoch, time.Minute, 4)))
+}
+
+func TestPanelSelect(t *testing.T) {
+	p := testPanel(t)
+	sub := p.Select([]string{"c", "a"})
+	if sub.Len() != 2 {
+		t.Fatalf("Select length = %d", sub.Len())
+	}
+	if sub.IDs()[0] != "c" {
+		t.Errorf("Select order = %v", sub.IDs())
+	}
+}
+
+func TestPanelSplitAt(t *testing.T) {
+	p := testPanel(t)
+	before, after := p.SplitAt(epoch.Add(2 * time.Hour))
+	if before.Index().N != 2 || after.Index().N != 2 {
+		t.Fatalf("split = %d | %d", before.Index().N, after.Index().N)
+	}
+	if s := before.MustSeries("a"); s.Values[1] != 2 {
+		t.Errorf("before a = %v", s.Values)
+	}
+	if s := after.MustSeries("a"); s.Values[0] != 3 {
+		t.Errorf("after a = %v", s.Values)
+	}
+}
+
+func TestPanelDesignMatrix(t *testing.T) {
+	p := testPanel(t)
+	m := p.DesignMatrix()
+	if m.Rows() != 4 || m.Cols() != 3 {
+		t.Fatalf("DesignMatrix dims = %dx%d", m.Rows(), m.Cols())
+	}
+	if m.At(2, 1) != 30 {
+		t.Errorf("At(2,1) = %v, want 30", m.At(2, 1))
+	}
+}
+
+func TestPanelDesignMatrixImputesMissing(t *testing.T) {
+	ix := NewIndex(epoch, time.Hour, 4)
+	p := NewPanel(ix)
+	p.Add("x", NewSeries(ix, []float64{1, math.NaN(), 3, 5}))
+	m := p.DesignMatrix()
+	// Median of {1,3,5} = 3.
+	if m.At(1, 0) != 3 {
+		t.Errorf("imputed value = %v, want 3", m.At(1, 0))
+	}
+	p2 := NewPanel(ix)
+	p2.Add("dead", NewSeries(ix, []float64{math.NaN(), math.NaN(), math.NaN(), math.NaN()}))
+	m2 := p2.DesignMatrix()
+	if m2.At(0, 0) != 0 {
+		t.Errorf("all-missing column imputed to %v, want 0", m2.At(0, 0))
+	}
+}
+
+func TestPanelCrossSectionMedian(t *testing.T) {
+	p := testPanel(t)
+	med := p.CrossSectionMedian()
+	// Columns at t=0: {1, 10, 5} → 5.
+	if med.Values[0] != 5 {
+		t.Errorf("median[0] = %v, want 5", med.Values[0])
+	}
+	ix := NewIndex(epoch, time.Hour, 1)
+	empty := NewPanel(ix)
+	if got := empty.CrossSectionMedian(); !math.IsNaN(got.Values[0]) {
+		t.Errorf("empty panel median = %v, want NaN", got.Values[0])
+	}
+}
+
+func TestPanelMustSeriesPanics(t *testing.T) {
+	p := testPanel(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.MustSeries("nope")
+}

@@ -1,0 +1,253 @@
+// Package timeseries provides the time-indexed series and panel types
+// shared by the KPI generator, the Litmus core, and the evaluation
+// harness.
+//
+// A Series is a regularly sampled sequence of float64 values anchored at a
+// start time with a fixed step. A Panel is a set of series for multiple
+// network elements sharing one index — the "performance time-series
+// matrix" X of the paper (§3.2), whose columns are control-group elements.
+//
+// Missing observations are represented as NaN and are stripped pairwise by
+// the statistics layer; all index arithmetic here is exact (no wall-clock
+// reads anywhere in the package).
+package timeseries
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Index describes the regular time grid of a Series or Panel.
+type Index struct {
+	Start time.Time
+	Step  time.Duration
+	N     int
+}
+
+// NewIndex returns an index with n points starting at start with the given
+// step. It panics for non-positive step or negative n.
+func NewIndex(start time.Time, step time.Duration, n int) Index {
+	if step <= 0 {
+		panic(fmt.Sprintf("timeseries: non-positive step %v", step))
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("timeseries: negative length %d", n))
+	}
+	return Index{Start: start, Step: step, N: n}
+}
+
+// TimeAt returns the timestamp of position i.
+func (ix Index) TimeAt(i int) time.Time {
+	if i < 0 || i >= ix.N {
+		panic(fmt.Sprintf("timeseries: index position %d out of range [0,%d)", i, ix.N))
+	}
+	return ix.Start.Add(time.Duration(i) * ix.Step)
+}
+
+// End returns the timestamp one step past the last position (exclusive).
+func (ix Index) End() time.Time {
+	return ix.Start.Add(time.Duration(ix.N) * ix.Step)
+}
+
+// PosOf returns the position of timestamp t, and whether t lies exactly on
+// the grid within [Start, End).
+func (ix Index) PosOf(t time.Time) (int, bool) {
+	d := t.Sub(ix.Start)
+	if d < 0 || ix.Step == 0 {
+		return 0, false
+	}
+	if d%ix.Step != 0 {
+		return 0, false
+	}
+	i := int(d / ix.Step)
+	if i >= ix.N {
+		return 0, false
+	}
+	return i, true
+}
+
+// SearchPos returns the smallest position whose timestamp is >= t, which
+// may be N if t is past the end of the index.
+func (ix Index) SearchPos(t time.Time) int {
+	d := t.Sub(ix.Start)
+	if d <= 0 {
+		return 0
+	}
+	i := int((d + ix.Step - 1) / ix.Step)
+	if i > ix.N {
+		i = ix.N
+	}
+	return i
+}
+
+// Equal reports whether two indexes describe the same grid.
+func (ix Index) Equal(other Index) bool {
+	return ix.Start.Equal(other.Start) && ix.Step == other.Step && ix.N == other.N
+}
+
+// Slice returns the sub-index covering positions [from, to).
+func (ix Index) Slice(from, to int) Index {
+	if from < 0 || to > ix.N || from > to {
+		panic(fmt.Sprintf("timeseries: invalid index slice [%d,%d) of %d", from, to, ix.N))
+	}
+	return Index{Start: ix.Start.Add(time.Duration(from) * ix.Step), Step: ix.Step, N: to - from}
+}
+
+// Series is a regularly sampled time series.
+type Series struct {
+	Index  Index
+	Values []float64
+}
+
+// NewSeries wraps values in a Series with the given index. It panics if
+// the lengths disagree. The values slice is retained, not copied.
+func NewSeries(ix Index, values []float64) Series {
+	if len(values) != ix.N {
+		panic(fmt.Sprintf("timeseries: %d values for index of length %d", len(values), ix.N))
+	}
+	return Series{Index: ix, Values: values}
+}
+
+// NewZeroSeries returns a Series of zeros on the given index.
+func NewZeroSeries(ix Index) Series {
+	return Series{Index: ix, Values: make([]float64, ix.N)}
+}
+
+// Len returns the number of observations.
+func (s Series) Len() int { return s.Index.N }
+
+// Clone returns a deep copy.
+func (s Series) Clone() Series {
+	v := make([]float64, len(s.Values))
+	copy(v, s.Values)
+	return Series{Index: s.Index, Values: v}
+}
+
+// Slice returns the sub-series covering positions [from, to). The values
+// share storage with s.
+func (s Series) Slice(from, to int) Series {
+	return Series{Index: s.Index.Slice(from, to), Values: s.Values[from:to]}
+}
+
+// SplitAt divides the series into the window strictly before time t and
+// the window at/after t — the paper's before/after partitions around the
+// change time.
+func (s Series) SplitAt(t time.Time) (before, after Series) {
+	pos := s.Index.SearchPos(t)
+	return s.Slice(0, pos), s.Slice(pos, s.Len())
+}
+
+// Window returns the sub-series covering [from, to) in time.
+func (s Series) Window(from, to time.Time) Series {
+	a := s.Index.SearchPos(from)
+	b := s.Index.SearchPos(to)
+	if b < a {
+		b = a
+	}
+	return s.Slice(a, b)
+}
+
+// Add returns s + other pointwise. Panics if indexes differ.
+func (s Series) Add(other Series) Series {
+	s.mustMatch(other)
+	out := s.Clone()
+	for i, v := range other.Values {
+		out.Values[i] += v
+	}
+	return out
+}
+
+// Sub returns s − other pointwise. Panics if indexes differ.
+func (s Series) Sub(other Series) Series {
+	s.mustMatch(other)
+	out := s.Clone()
+	for i, v := range other.Values {
+		out.Values[i] -= v
+	}
+	return out
+}
+
+// Scale returns s scaled by f.
+func (s Series) Scale(f float64) Series {
+	out := s.Clone()
+	for i := range out.Values {
+		out.Values[i] *= f
+	}
+	return out
+}
+
+// Shift returns s with c added to every value.
+func (s Series) Shift(c float64) Series {
+	out := s.Clone()
+	for i := range out.Values {
+		out.Values[i] += c
+	}
+	return out
+}
+
+func (s Series) mustMatch(other Series) {
+	if !s.Index.Equal(other.Index) {
+		panic("timeseries: operation on series with different indexes")
+	}
+}
+
+// CleanValues returns the values of s with NaN and ±Inf observations
+// removed (missing data in the counter feed).
+func (s Series) CleanValues() []float64 {
+	out := make([]float64, 0, len(s.Values))
+	for _, v := range s.Values {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// MissingCount returns the number of NaN/Inf observations.
+func (s Series) MissingCount() int {
+	n := 0
+	for _, v := range s.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			n++
+		}
+	}
+	return n
+}
+
+// Downsample aggregates the series to a coarser step that is an integer
+// multiple of the current step (e.g. hourly → daily), averaging the
+// non-missing values in each bucket. Buckets with no valid observation
+// become NaN. A trailing partial bucket is aggregated from the
+// observations present.
+func (s Series) Downsample(step time.Duration) Series {
+	if step <= 0 || step%s.Index.Step != 0 {
+		panic(fmt.Sprintf("timeseries: Downsample step %v is not a multiple of %v", step, s.Index.Step))
+	}
+	k := int(step / s.Index.Step)
+	n := (s.Len() + k - 1) / k
+	out := make([]float64, n)
+	for b := 0; b < n; b++ {
+		lo := b * k
+		hi := lo + k
+		if hi > s.Len() {
+			hi = s.Len()
+		}
+		var sum float64
+		var cnt int
+		for i := lo; i < hi; i++ {
+			v := s.Values[i]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			sum += v
+			cnt++
+		}
+		if cnt == 0 {
+			out[b] = math.NaN()
+		} else {
+			out[b] = sum / float64(cnt)
+		}
+	}
+	return NewSeries(NewIndex(s.Index.Start, step, n), out)
+}

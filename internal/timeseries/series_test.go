@@ -1,0 +1,243 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var epoch = time.Date(2012, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestNewIndexPanics(t *testing.T) {
+	for _, c := range []struct {
+		step time.Duration
+		n    int
+	}{{0, 5}, {-time.Hour, 5}, {time.Hour, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewIndex(%v, %d) should panic", c.step, c.n)
+				}
+			}()
+			NewIndex(epoch, c.step, c.n)
+		}()
+	}
+}
+
+func TestIndexTimeAt(t *testing.T) {
+	ix := NewIndex(epoch, time.Hour, 48)
+	if got := ix.TimeAt(0); !got.Equal(epoch) {
+		t.Errorf("TimeAt(0) = %v", got)
+	}
+	if got := ix.TimeAt(25); !got.Equal(epoch.Add(25 * time.Hour)) {
+		t.Errorf("TimeAt(25) = %v", got)
+	}
+	if got := ix.End(); !got.Equal(epoch.Add(48 * time.Hour)) {
+		t.Errorf("End = %v", got)
+	}
+}
+
+func TestIndexPosOf(t *testing.T) {
+	ix := NewIndex(epoch, time.Hour, 24)
+	if p, ok := ix.PosOf(epoch.Add(5 * time.Hour)); !ok || p != 5 {
+		t.Errorf("PosOf on-grid = (%d,%v)", p, ok)
+	}
+	if _, ok := ix.PosOf(epoch.Add(30 * time.Minute)); ok {
+		t.Error("PosOf off-grid should be false")
+	}
+	if _, ok := ix.PosOf(epoch.Add(-time.Hour)); ok {
+		t.Error("PosOf before start should be false")
+	}
+	if _, ok := ix.PosOf(epoch.Add(24 * time.Hour)); ok {
+		t.Error("PosOf at end should be false")
+	}
+}
+
+func TestIndexSearchPos(t *testing.T) {
+	ix := NewIndex(epoch, time.Hour, 24)
+	cases := []struct {
+		t    time.Time
+		want int
+	}{
+		{epoch.Add(-time.Hour), 0},
+		{epoch, 0},
+		{epoch.Add(90 * time.Minute), 2},
+		{epoch.Add(2 * time.Hour), 2},
+		{epoch.Add(100 * time.Hour), 24},
+	}
+	for _, c := range cases {
+		if got := ix.SearchPos(c.t); got != c.want {
+			t.Errorf("SearchPos(%v) = %d, want %d", c.t, got, c.want)
+		}
+	}
+}
+
+func TestSeriesSplitAt(t *testing.T) {
+	ix := NewIndex(epoch, 24*time.Hour, 10)
+	vals := make([]float64, 10)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	s := NewSeries(ix, vals)
+	before, after := s.SplitAt(epoch.Add(4 * 24 * time.Hour))
+	if before.Len() != 4 || after.Len() != 6 {
+		t.Fatalf("split lengths = %d, %d; want 4, 6", before.Len(), after.Len())
+	}
+	if before.Values[3] != 3 || after.Values[0] != 4 {
+		t.Errorf("split boundary values wrong: %v | %v", before.Values, after.Values)
+	}
+	if !after.Index.Start.Equal(epoch.Add(4 * 24 * time.Hour)) {
+		t.Errorf("after start = %v", after.Index.Start)
+	}
+}
+
+func TestSeriesWindow(t *testing.T) {
+	ix := NewIndex(epoch, time.Hour, 24)
+	s := NewZeroSeries(ix)
+	w := s.Window(epoch.Add(3*time.Hour), epoch.Add(7*time.Hour))
+	if w.Len() != 4 {
+		t.Errorf("window length = %d, want 4", w.Len())
+	}
+	// Inverted window collapses to empty.
+	w2 := s.Window(epoch.Add(7*time.Hour), epoch.Add(3*time.Hour))
+	if w2.Len() != 0 {
+		t.Errorf("inverted window length = %d, want 0", w2.Len())
+	}
+}
+
+func TestSeriesArithmetic(t *testing.T) {
+	ix := NewIndex(epoch, time.Hour, 3)
+	a := NewSeries(ix, []float64{1, 2, 3})
+	b := NewSeries(ix, []float64{10, 20, 30})
+	sum := a.Add(b)
+	if sum.Values[2] != 33 {
+		t.Errorf("Add = %v", sum.Values)
+	}
+	diff := b.Sub(a)
+	if diff.Values[0] != 9 {
+		t.Errorf("Sub = %v", diff.Values)
+	}
+	sc := a.Scale(2)
+	if sc.Values[1] != 4 {
+		t.Errorf("Scale = %v", sc.Values)
+	}
+	sh := a.Shift(100)
+	if sh.Values[0] != 101 {
+		t.Errorf("Shift = %v", sh.Values)
+	}
+	// Originals untouched.
+	if a.Values[0] != 1 || b.Values[0] != 10 {
+		t.Error("arithmetic mutated inputs")
+	}
+}
+
+func TestSeriesMismatchedIndexPanics(t *testing.T) {
+	a := NewZeroSeries(NewIndex(epoch, time.Hour, 3))
+	b := NewZeroSeries(NewIndex(epoch, time.Minute, 3))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Add(b)
+}
+
+func TestCleanValues(t *testing.T) {
+	ix := NewIndex(epoch, time.Hour, 5)
+	s := NewSeries(ix, []float64{1, math.NaN(), 3, math.Inf(1), 5})
+	clean := s.CleanValues()
+	if len(clean) != 3 || clean[1] != 3 {
+		t.Errorf("CleanValues = %v", clean)
+	}
+	if s.MissingCount() != 2 {
+		t.Errorf("MissingCount = %d, want 2", s.MissingCount())
+	}
+}
+
+func TestDownsampleHourlyToDaily(t *testing.T) {
+	ix := NewIndex(epoch, time.Hour, 48)
+	vals := make([]float64, 48)
+	for i := range vals {
+		if i < 24 {
+			vals[i] = 10
+		} else {
+			vals[i] = 20
+		}
+	}
+	s := NewSeries(ix, vals)
+	d := s.Downsample(24 * time.Hour)
+	if d.Len() != 2 {
+		t.Fatalf("daily length = %d, want 2", d.Len())
+	}
+	if d.Values[0] != 10 || d.Values[1] != 20 {
+		t.Errorf("daily values = %v", d.Values)
+	}
+	if d.Index.Step != 24*time.Hour {
+		t.Errorf("daily step = %v", d.Index.Step)
+	}
+}
+
+func TestDownsampleSkipsMissing(t *testing.T) {
+	ix := NewIndex(epoch, time.Hour, 4)
+	s := NewSeries(ix, []float64{math.NaN(), 2, 4, math.NaN()})
+	d := s.Downsample(2 * time.Hour)
+	if d.Values[0] != 2 || d.Values[1] != 4 {
+		t.Errorf("Downsample with missing = %v", d.Values)
+	}
+	allMissing := NewSeries(NewIndex(epoch, time.Hour, 2), []float64{math.NaN(), math.NaN()})
+	if got := allMissing.Downsample(2 * time.Hour); !math.IsNaN(got.Values[0]) {
+		t.Errorf("all-missing bucket = %v, want NaN", got.Values[0])
+	}
+}
+
+func TestDownsamplePartialTrailingBucket(t *testing.T) {
+	ix := NewIndex(epoch, time.Hour, 5)
+	s := NewSeries(ix, []float64{1, 1, 1, 1, 9})
+	d := s.Downsample(4 * time.Hour)
+	if d.Len() != 2 || d.Values[1] != 9 {
+		t.Errorf("trailing bucket = %v", d.Values)
+	}
+}
+
+func TestDownsampleBadStepPanics(t *testing.T) {
+	s := NewZeroSeries(NewIndex(epoch, time.Hour, 4))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Downsample(90 * time.Minute)
+}
+
+func TestSplitRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.NormFloat64()
+		}
+		s := NewSeries(NewIndex(epoch, time.Hour, n), vals)
+		cut := epoch.Add(time.Duration(rng.Intn(n)) * time.Hour)
+		before, after := s.SplitAt(cut)
+		if before.Len()+after.Len() != n {
+			return false
+		}
+		for i := 0; i < before.Len(); i++ {
+			if before.Values[i] != vals[i] {
+				return false
+			}
+		}
+		for i := 0; i < after.Len(); i++ {
+			if after.Values[i] != vals[before.Len()+i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

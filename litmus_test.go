@@ -1,0 +1,178 @@
+package litmus
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/changelog"
+	"repro/internal/control"
+	"repro/internal/gen"
+	"repro/internal/kpi"
+	"repro/internal/netsim"
+	"repro/internal/timeseries"
+)
+
+var epoch = time.Date(2012, 3, 1, 0, 0, 0, 0, time.UTC)
+
+// testWorld builds a network, a change with known ground truth, and a
+// provider backed by the synthetic generator.
+func testWorld(t *testing.T, quality float64) (*netsim.Network, *changelog.Change, SeriesProvider) {
+	t.Helper()
+	topo := netsim.DefaultTopologyConfig()
+	net := netsim.Build(topo)
+	rnc := net.OfKind(netsim.RNC)[0]
+	study := net.Children(rnc)[:3]
+	changeAt := epoch.Add(14 * 24 * time.Hour)
+	change := &changelog.Change{
+		ID: "CHG-100", Type: changelog.ConfigChange,
+		Description: "radio link failure timer tuning",
+		Elements:    study, At: changeAt,
+		Expected:    map[kpi.KPI]kpi.Impact{kpi.VoiceRetainability: kpi.Improvement},
+		TrueQuality: quality,
+	}
+	ix := timeseries.NewIndex(epoch, 6*time.Hour, 28*4)
+	gcfg := gen.DefaultConfig(ix)
+	gcfg.Seed = 5
+	gcfg.Effects = []gen.Effect{change.Effect(net)}
+	g := gen.New(net, gcfg)
+	provider := ProviderFunc(func(id string, metric KPI) (Series, bool) {
+		if net.Element(id) == nil {
+			return Series{}, false
+		}
+		return g.Series(id, metric), true
+	})
+	return net, change, provider
+}
+
+func TestPipelineDetectsImprovement(t *testing.T) {
+	net, change, provider := testWorld(t, 2.0)
+	p := &Pipeline{
+		Network:          net,
+		Provider:         provider,
+		ControlPredicate: control.And(control.SameKind(), control.SameParent()),
+	}
+	res, err := p.AssessChange(change, []KPI{kpi.VoiceRetainability}, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.PerKPI[kpi.VoiceRetainability].Overall; got != Improvement {
+		t.Errorf("overall = %v, want improvement", got)
+	}
+	if res.Decision != Go {
+		t.Errorf("decision = %v, want go", res.Decision)
+	}
+	if len(res.ControlGroup) < 4 {
+		t.Errorf("control group = %d elements, want several siblings", len(res.ControlGroup))
+	}
+	for _, id := range res.ControlGroup {
+		for _, s := range change.Elements {
+			if id == s {
+				t.Errorf("study element %s leaked into control group", id)
+			}
+		}
+	}
+}
+
+func TestPipelineDetectsDegradation(t *testing.T) {
+	net, change, provider := testWorld(t, -2.0)
+	p := &Pipeline{
+		Network:          net,
+		Provider:         provider,
+		ControlPredicate: control.And(control.SameKind(), control.SameParent()),
+	}
+	res, err := p.AssessChange(change, []KPI{kpi.VoiceRetainability}, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decision != NoGo {
+		t.Errorf("decision = %v, want no-go", res.Decision)
+	}
+}
+
+func TestPipelineHoldOnNoImpact(t *testing.T) {
+	net, change, provider := testWorld(t, 0)
+	p := &Pipeline{
+		Network:          net,
+		Provider:         provider,
+		ControlPredicate: control.And(control.SameKind(), control.SameParent()),
+		Assessor:         MustNewAssessor(Config{EffectFloor: 0.004}),
+	}
+	res, err := p.AssessChange(change, []KPI{kpi.VoiceRetainability}, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decision != Hold {
+		t.Errorf("decision = %v (overall %v), want hold",
+			res.Decision, res.PerKPI[kpi.VoiceRetainability].Overall)
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	net, change, provider := testWorld(t, 1)
+	cases := []struct {
+		name string
+		p    *Pipeline
+		kpis []KPI
+		days int
+	}{
+		{"nil network", &Pipeline{Provider: provider}, []KPI{kpi.VoiceRetainability}, 14},
+		{"nil provider", &Pipeline{Network: net}, []KPI{kpi.VoiceRetainability}, 14},
+		{"no kpis", &Pipeline{Network: net, Provider: provider}, nil, 14},
+		{"short window", &Pipeline{Network: net, Provider: provider}, []KPI{kpi.VoiceRetainability}, 1},
+	}
+	for _, c := range cases {
+		if _, err := c.p.AssessChange(change, c.kpis, c.days); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	// Invalid change.
+	p := &Pipeline{Network: net, Provider: provider}
+	bad := &changelog.Change{ID: "X", Elements: []string{"ghost"}, At: epoch}
+	if _, err := p.AssessChange(bad, []KPI{kpi.VoiceRetainability}, 14); err == nil {
+		t.Error("unknown study element accepted")
+	}
+}
+
+func TestDecide(t *testing.T) {
+	mk := func(impacts ...Impact) map[KPI]GroupResult {
+		out := map[KPI]GroupResult{}
+		for i, imp := range impacts {
+			out[KPI(i)] = GroupResult{Overall: imp}
+		}
+		return out
+	}
+	cases := []struct {
+		impacts []Impact
+		want    Decision
+	}{
+		{[]Impact{Improvement, NoImpact}, Go},
+		{[]Impact{Improvement, Degradation}, NoGo},
+		{[]Impact{NoImpact, NoImpact}, Hold},
+		{[]Impact{Degradation}, NoGo},
+		{nil, Hold},
+	}
+	for _, c := range cases {
+		if got := decide(mk(c.impacts...)); got != c.want {
+			t.Errorf("decide(%v) = %v, want %v", c.impacts, got, c.want)
+		}
+	}
+	if Go.String() != "go" || NoGo.String() != "no-go" || Hold.String() != "hold" {
+		t.Error("Decision strings wrong")
+	}
+}
+
+func TestFacadeHelpers(t *testing.T) {
+	ix := NewIndex(epoch, time.Hour, 3)
+	s := NewSeries(ix, []float64{1, 2, 3})
+	if s.Len() != 3 {
+		t.Error("NewSeries wrapper broken")
+	}
+	p := NewPanel(ix)
+	p.Add("a", s)
+	if p.Len() != 1 {
+		t.Error("NewPanel wrapper broken")
+	}
+	if _, err := NewAssessor(Config{Alpha: 2}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

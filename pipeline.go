@@ -1,0 +1,203 @@
+package litmus
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/changelog"
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/kpi"
+	"repro/internal/netsim"
+)
+
+// SeriesProvider supplies KPI time-series per network element — the
+// interface between Litmus and whatever performance-measurement pipeline
+// feeds it. internal/gen's Generator satisfies it via ProviderFromGenerator
+// in deployments without a live feed.
+type SeriesProvider interface {
+	// Series returns the KPI series for the element, or false if the
+	// element has no data for that KPI.
+	Series(elementID string, metric KPI) (Series, bool)
+}
+
+// Decision is the go / no-go outcome for the wide-scale rollout of a
+// change (paper §1: the FFA "go or no-go" decision).
+type Decision int
+
+// Rollout decisions.
+const (
+	// NoGo means at least one KPI showed a relative degradation; the
+	// change should be rolled back or re-tested.
+	NoGo Decision = iota
+	// Hold means no degradation was seen but no improvement either; more
+	// evidence is needed before a network-wide rollout.
+	Hold
+	// Go means at least one KPI improved and none degraded.
+	Go
+)
+
+func (d Decision) String() string {
+	switch d {
+	case NoGo:
+		return "no-go"
+	case Hold:
+		return "hold"
+	case Go:
+		return "go"
+	default:
+		return fmt.Sprintf("Decision(%d)", int(d))
+	}
+}
+
+// ChangeAssessment is the full Litmus report for one change.
+type ChangeAssessment struct {
+	// Change is the assessed change record.
+	Change *changelog.Change
+	// ControlGroup lists the selected control element IDs.
+	ControlGroup []string
+	// PerKPI holds the voted group result per assessed KPI.
+	PerKPI map[KPI]GroupResult
+	// Decision is the derived go/no-go recommendation.
+	Decision Decision
+}
+
+// Pipeline wires the full assessment flow of the paper: change record →
+// control-group selection (domain-knowledge-guided, excluding the
+// change's causal impact scope) → per-element robust spatial regression →
+// per-KPI voting → go/no-go recommendation.
+type Pipeline struct {
+	// Network is the element topology.
+	Network *netsim.Network
+	// Provider supplies KPI series.
+	Provider SeriesProvider
+	// Assessor runs the core algorithm; nil uses defaults.
+	Assessor *Assessor
+	// ControlPredicate selects control candidates; nil uses
+	// same-kind-same-region.
+	ControlPredicate Predicate
+	// MaxControls caps the control group size (default 100, §3.3).
+	MaxControls int
+}
+
+// AssessChange assesses a change over the given KPIs using windows of
+// windowDays before and after the change time.
+func (p *Pipeline) AssessChange(change *changelog.Change, kpis []KPI, windowDays int) (*ChangeAssessment, error) {
+	if p.Network == nil || p.Provider == nil {
+		return nil, fmt.Errorf("litmus: pipeline needs a network and a series provider")
+	}
+	if err := change.Validate(p.Network); err != nil {
+		return nil, err
+	}
+	if len(kpis) == 0 {
+		return nil, fmt.Errorf("litmus: no KPIs to assess")
+	}
+	if windowDays < 2 {
+		return nil, fmt.Errorf("litmus: window of %d days too short", windowDays)
+	}
+	assessor := p.Assessor
+	if assessor == nil {
+		var err error
+		assessor, err = core.NewAssessor(core.Config{})
+		if err != nil {
+			return nil, err
+		}
+	}
+	pred := p.ControlPredicate
+	if pred == nil {
+		pred = control.And(control.SameKind(), control.SameRegion())
+	}
+
+	// Select the control group outside the change's causal impact scope.
+	scope := change.ImpactScope(p.Network)
+	sel := &control.Selector{
+		Net:       p.Network,
+		Predicate: pred,
+		Exclude:   scope,
+		MaxSize:   p.MaxControls,
+	}
+	controls, err := sel.Select(change.Elements)
+	if err != nil {
+		return nil, fmt.Errorf("litmus: control selection: %w", err)
+	}
+
+	out := &ChangeAssessment{
+		Change:       change,
+		ControlGroup: controls,
+		PerKPI:       make(map[KPI]GroupResult, len(kpis)),
+	}
+	for _, metric := range kpis {
+		studies, controlsPanel, err := p.panels(change, controls, metric, windowDays)
+		if err != nil {
+			return nil, fmt.Errorf("litmus: %v: %w", metric, err)
+		}
+		res, err := assessor.AssessGroup(studies, controlsPanel, change.At, metric)
+		if err != nil {
+			return nil, fmt.Errorf("litmus: %v: %w", metric, err)
+		}
+		out.PerKPI[metric] = res
+	}
+	out.Decision = decide(out.PerKPI)
+	return out, nil
+}
+
+// panels assembles the study and control panels for one KPI, windowed to
+// ±windowDays around the change.
+func (p *Pipeline) panels(change *changelog.Change, controls []string, metric KPI, windowDays int) (*Panel, *Panel, error) {
+	window := time.Duration(windowDays) * 24 * time.Hour
+	from := change.At.Add(-window)
+	to := change.At.Add(window)
+
+	var studies, panel *Panel
+	add := func(dst **Panel, id string) error {
+		s, ok := p.Provider.Series(id, metric)
+		if !ok {
+			return fmt.Errorf("no %v data for element %s", metric, id)
+		}
+		w := s.Window(from, to)
+		if *dst == nil {
+			*dst = NewPanel(w.Index)
+		}
+		(*dst).Add(id, w)
+		return nil
+	}
+	for _, id := range change.Elements {
+		if err := add(&studies, id); err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, id := range controls {
+		if err := add(&panel, id); err != nil {
+			return nil, nil, err
+		}
+	}
+	return studies, panel, nil
+}
+
+// decide derives the rollout recommendation: any degradation → NoGo; at
+// least one improvement and no degradation → Go; otherwise Hold.
+func decide(perKPI map[KPI]GroupResult) Decision {
+	improved := false
+	for _, res := range perKPI {
+		switch res.Overall {
+		case kpi.Degradation:
+			return NoGo
+		case kpi.Improvement:
+			improved = true
+		}
+	}
+	if improved {
+		return Go
+	}
+	return Hold
+}
+
+// providerFunc adapts a function to SeriesProvider.
+type providerFunc func(string, KPI) (Series, bool)
+
+func (f providerFunc) Series(id string, metric KPI) (Series, bool) { return f(id, metric) }
+
+// ProviderFunc wraps a function as a SeriesProvider.
+func ProviderFunc(f func(elementID string, metric KPI) (Series, bool)) SeriesProvider {
+	return providerFunc(f)
+}
