@@ -1,0 +1,39 @@
+# Build/verify targets for Litmus. `make ci` is what the GitHub Actions
+# workflow runs: vet, build, the full suite under the race detector
+# (exercising the assessment worker pool), and the fuzz seed corpora.
+
+GO ?= go
+
+.PHONY: ci vet build test race fuzz-seed bench bench-workers clean
+
+ci: vet build test race fuzz-seed
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector must stay clean over the worker pool: the
+# equivalence and concurrent-use tests drive every fan-out path.
+race:
+	$(GO) test -race ./...
+
+# Replay the committed fuzz seed corpora as unit tests (no fuzzing
+# engine; catches regressions in the never-panic contracts). Use
+# `go test -fuzz=FuzzReadSeries ./cmd/litmus` etc. for real fuzzing.
+fuzz-seed:
+	$(GO) test ./cmd/litmus ./internal/stats -run '^Fuzz'
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# The parallel-engine scaling table recorded in EXPERIMENTS.md.
+bench-workers:
+	$(GO) test -bench 'WorkerScaling|AssessElementWorkers' -run '^$$' .
+
+clean:
+	$(GO) clean ./...

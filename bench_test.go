@@ -57,6 +57,65 @@ func BenchmarkAssessElement(b *testing.B) {
 	}
 }
 
+// benchGroupWorld builds a multi-element study panel plus control panel
+// for the worker-scaling benchmarks.
+func benchGroupWorld(b *testing.B, studies, controls int) (*Panel, *Panel, time.Time) {
+	b.Helper()
+	topo := netsim.DefaultTopologyConfig()
+	topo.TowersPerController = studies + controls
+	net := netsim.Build(topo)
+	rnc := net.OfKind(netsim.RNC)[0]
+	towers := net.Children(rnc)
+
+	start := time.Date(2012, 6, 1, 0, 0, 0, 0, time.UTC)
+	ix := timeseries.NewIndex(start, 6*time.Hour, 28*4)
+	changeAt := start.AddDate(0, 0, 14)
+	gcfg := gen.DefaultConfig(ix)
+	gcfg.Effects = []gen.Effect{gen.EffectOn("bench-change", towers[:studies], changeAt, time.Time{}, -1.5)}
+	g := gen.New(net, gcfg)
+	studyPanel := g.Panel(kpi.VoiceRetainability, towers[:studies])
+	controlPanel := g.Panel(kpi.VoiceRetainability, towers[studies:])
+	return studyPanel, controlPanel, changeAt
+}
+
+// BenchmarkWorkerScaling measures the parallel assessment engine on the
+// acceptance workload: a 50-iteration (default), 6-element assessment
+// over a 30-element control group, swept across worker counts. The
+// equivalence suite guarantees every row computes bit-identical output;
+// this benchmark shows what the worker pool buys in wall-clock. (On a
+// single-CPU machine all rows collapse to sequential throughput.)
+func BenchmarkWorkerScaling(b *testing.B) {
+	studies, controls, changeAt := benchGroupWorld(b, 6, 30)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			assessor := MustNewAssessor(Config{Workers: workers})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := assessor.AssessGroup(studies, controls, changeAt, kpi.VoiceRetainability); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAssessElementWorkers isolates the iteration-level fan-out of
+// a single element's 50 sampling regressions.
+func BenchmarkAssessElementWorkers(b *testing.B) {
+	study, controls, changeAt := benchWorld(b, 30)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			assessor := MustNewAssessor(Config{Workers: workers})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := assessor.AssessElement("s", study, controls, changeAt, kpi.VoiceRetainability); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkStudyOnly measures the study-group-only baseline.
 func BenchmarkStudyOnly(b *testing.B) {
 	study, _, changeAt := benchWorld(b, 15)

@@ -28,33 +28,35 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "case-volume scale for Table 4 (1.0 = the paper's 8010 cases)")
 		rows     = flag.Bool("rows", false, "also print Table 2's per-change rows")
 		ablation = flag.Bool("ablation", false, "run the design-choice ablation grid instead of the tables")
+		workers  = flag.Int("workers", 0, "assessment worker pool size (0 = GOMAXPROCS; results are identical for any value)")
 	)
 	flag.Parse()
 
 	if *ablation {
-		runAblation(*scale)
+		runAblation(*scale, *workers)
 		return
 	}
 	switch *table {
 	case "2":
-		runTable2(*rows)
+		runTable2(*rows, *workers)
 	case "4":
-		runTable4(*scale)
+		runTable4(*scale, *workers)
 	case "all":
-		runTable2(*rows)
+		runTable2(*rows, *workers)
 		fmt.Println()
-		runTable4(*scale)
+		runTable4(*scale, *workers)
 	default:
 		fmt.Fprintf(os.Stderr, "litmus-eval: unknown table %q (want 2, 4 or all)\n", *table)
 		os.Exit(2)
 	}
 }
 
-func runAblation(scale float64) {
+func runAblation(scale float64, workers int) {
 	cfg := eval.DefaultSyntheticConfig()
 	if scale != 1.0 {
 		cfg = cfg.ScaleCases(scale)
 	}
+	cfg.Assessor.Workers = workers
 	start := time.Now()
 	res, err := eval.RunAblation(cfg, nil)
 	if err != nil {
@@ -70,9 +72,11 @@ func runAblation(scale float64) {
 	}
 }
 
-func runTable2(rows bool) {
+func runTable2(rows bool, workers int) {
 	start := time.Now()
-	res, err := eval.RunKnownAssessments(eval.DefaultKnownConfig())
+	cfg := eval.DefaultKnownConfig()
+	cfg.Workers = workers
+	res, err := eval.RunKnownAssessments(cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -89,11 +93,12 @@ func runTable2(rows bool) {
 	}
 }
 
-func runTable4(scale float64) {
+func runTable4(scale float64, workers int) {
 	cfg := eval.DefaultSyntheticConfig()
 	if scale != 1.0 {
 		cfg = cfg.ScaleCases(scale)
 	}
+	cfg.Assessor.Workers = workers
 	start := time.Now()
 	res, err := eval.RunSynthetic(cfg)
 	if err != nil {

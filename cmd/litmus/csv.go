@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/csv"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"strconv"
@@ -31,23 +32,19 @@ func parseGrid(stamps []time.Time) (litmus.Index, error) {
 	return litmus.NewIndex(stamps[0], step, len(stamps)), nil
 }
 
-// readCSV loads a CSV file with a header row and at least minCols columns.
-func readCSV(path string, minCols int) ([]string, [][]string, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, nil, err
-	}
-	defer f.Close()
-	r := csv.NewReader(f)
+// readCSV loads CSV content with a header row and at least minCols
+// columns.
+func readCSV(src io.Reader, minCols int) ([]string, [][]string, error) {
+	r := csv.NewReader(src)
 	records, err := r.ReadAll()
 	if err != nil {
 		return nil, nil, err
 	}
 	if len(records) < 3 {
-		return nil, nil, fmt.Errorf("%s: need a header and at least 2 data rows", path)
+		return nil, nil, fmt.Errorf("need a header and at least 2 data rows")
 	}
 	if len(records[0]) < minCols {
-		return nil, nil, fmt.Errorf("%s: need >= %d columns, got %d", path, minCols, len(records[0]))
+		return nil, nil, fmt.Errorf("need >= %d columns, got %d", minCols, len(records[0]))
 	}
 	return records[0], records[1:], nil
 }
@@ -71,6 +68,12 @@ func parseRows(rows [][]string) ([]time.Time, [][]float64, error) {
 			if err != nil {
 				return nil, nil, fmt.Errorf("row %d col %d: bad value %q: %v", i+2, j+2, cell, err)
 			}
+			// Explicit NaN/Inf tokens are malformed data, not missing
+			// observations (an empty cell marks those); letting them
+			// through would silently poison the regression inputs.
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, nil, fmt.Errorf("row %d col %d: non-finite value %q", i+2, j+2, cell)
+			}
 			vals[j] = v
 		}
 		values[i] = vals
@@ -78,19 +81,19 @@ func parseRows(rows [][]string) ([]time.Time, [][]float64, error) {
 	return stamps, values, nil
 }
 
-// loadSingleSeriesCSV loads a "timestamp,value" file.
-func loadSingleSeriesCSV(path string) (litmus.Series, error) {
-	_, rows, err := readCSV(path, 2)
+// readSeries parses "timestamp,value" CSV content.
+func readSeries(src io.Reader) (litmus.Series, error) {
+	_, rows, err := readCSV(src, 2)
 	if err != nil {
 		return litmus.Series{}, err
 	}
 	stamps, values, err := parseRows(rows)
 	if err != nil {
-		return litmus.Series{}, fmt.Errorf("%s: %w", path, err)
+		return litmus.Series{}, err
 	}
 	ix, err := parseGrid(stamps)
 	if err != nil {
-		return litmus.Series{}, fmt.Errorf("%s: %w", path, err)
+		return litmus.Series{}, err
 	}
 	vals := make([]float64, len(values))
 	for i, row := range values {
@@ -99,30 +102,63 @@ func loadSingleSeriesCSV(path string) (litmus.Series, error) {
 	return litmus.NewSeries(ix, vals), nil
 }
 
-// loadPanelCSV loads a "timestamp,id1,id2,..." file.
-func loadPanelCSV(path string) (*litmus.Panel, error) {
-	header, rows, err := readCSV(path, 2)
+// readPanel parses "timestamp,id1,id2,..." CSV content.
+func readPanel(src io.Reader) (*litmus.Panel, error) {
+	header, rows, err := readCSV(src, 2)
 	if err != nil {
 		return nil, err
 	}
 	stamps, values, err := parseRows(rows)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, err
 	}
 	ix, err := parseGrid(stamps)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, err
 	}
 	panel := timeseries.NewPanel(ix)
+	seen := make(map[string]bool, len(header)-1)
 	for j, id := range header[1:] {
+		if seen[id] {
+			return nil, fmt.Errorf("duplicate control id %q in header", id)
+		}
+		seen[id] = true
 		col := make([]float64, len(values))
 		for i, row := range values {
 			if j >= len(row) {
-				return nil, fmt.Errorf("%s: row %d has %d values, want %d", path, i+2, len(row), len(header)-1)
+				return nil, fmt.Errorf("row %d has %d values, want %d", i+2, len(row), len(header)-1)
 			}
 			col[i] = row[j]
 		}
 		panel.Add(id, litmus.NewSeries(ix, col))
 	}
 	return panel, nil
+}
+
+// loadSingleSeriesCSV loads a "timestamp,value" file.
+func loadSingleSeriesCSV(path string) (litmus.Series, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return litmus.Series{}, err
+	}
+	defer f.Close()
+	s, err := readSeries(f)
+	if err != nil {
+		return litmus.Series{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// loadPanelCSV loads a "timestamp,id1,id2,..." file.
+func loadPanelCSV(path string) (*litmus.Panel, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	p, err := readPanel(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
 }

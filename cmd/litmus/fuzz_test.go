@@ -1,0 +1,105 @@
+package main
+
+// Fuzz targets for the CSV loaders: arbitrary input must produce either
+// a parsed result on a valid regular grid or an error — never a panic.
+// Malformed rows, duplicate timestamps and explicit NaN/Inf cells are
+// all rejection cases.
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+var csvSeeds = []string{
+	// Valid series.
+	"timestamp,value\n2012-06-01T00:00:00Z,0.98\n2012-06-01T06:00:00Z,0.97\n2012-06-01T12:00:00Z,0.99\n",
+	// Valid panel.
+	"timestamp,a,b\n2012-06-01T00:00:00Z,1,2\n2012-06-01T06:00:00Z,3,4\n",
+	// Missing observation (allowed: empty cell).
+	"timestamp,value\n2012-06-01T00:00:00Z,\n2012-06-01T06:00:00Z,1\n",
+	// Duplicate timestamps.
+	"timestamp,value\n2012-06-01T00:00:00Z,1\n2012-06-01T00:00:00Z,2\n",
+	// Explicit NaN / Inf cells (must error).
+	"timestamp,value\n2012-06-01T00:00:00Z,NaN\n2012-06-01T06:00:00Z,1\n",
+	"timestamp,value\n2012-06-01T00:00:00Z,+Inf\n2012-06-01T06:00:00Z,-Inf\n",
+	// Irregular grid, bad timestamp, bad value, short file, quotes.
+	"timestamp,value\n2012-06-01T00:00:00Z,1\n2012-06-01T07:00:00Z,2\n2012-06-01T09:00:00Z,3\n",
+	"timestamp,value\nnot-a-time,1\nalso-not,2\n",
+	"timestamp,value\n2012-06-01T00:00:00Z,abc\n2012-06-01T06:00:00Z,1\n",
+	"timestamp,value\n",
+	"timestamp,\"a\n2012-06-01T00:00:00Z,1\n",
+	// Duplicate panel column ids.
+	"timestamp,a,a\n2012-06-01T00:00:00Z,1,2\n2012-06-01T06:00:00Z,3,4\n",
+	// Far-apart timestamps (duration arithmetic edge).
+	"timestamp,value\n0001-01-01T00:00:00Z,1\n9999-12-31T23:59:59Z,2\n",
+}
+
+// FuzzReadSeries fuzzes the single-series loader.
+func FuzzReadSeries(f *testing.F) {
+	for _, s := range csvSeeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := readSeries(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Parsed successfully: the invariants the assessor relies on.
+		if s.Index.Step <= 0 {
+			t.Fatalf("accepted series with non-positive step %v", s.Index.Step)
+		}
+		if s.Len() < 2 {
+			t.Fatalf("accepted series with %d rows, need >= 2", s.Len())
+		}
+		for i, v := range s.Values {
+			if math.IsInf(v, 0) {
+				t.Fatalf("accepted explicit Inf at row %d", i)
+			}
+		}
+	})
+}
+
+// FuzzReadPanel fuzzes the control-panel loader with the same corpus.
+func FuzzReadPanel(f *testing.F) {
+	for _, s := range csvSeeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := readPanel(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if p.Len() < 1 {
+			t.Fatal("accepted panel without columns")
+		}
+		for _, id := range p.IDs() {
+			col := p.MustSeries(id)
+			for i, v := range col.Values {
+				if math.IsInf(v, 0) {
+					t.Fatalf("accepted explicit Inf in %q row %d", id, i)
+				}
+			}
+		}
+	})
+}
+
+// TestRejectsNonFiniteCells pins the NaN/Inf policy outside the fuzzer:
+// explicit non-finite tokens error, empty cells load as missing.
+func TestRejectsNonFiniteCells(t *testing.T) {
+	for _, bad := range []string{"NaN", "nan", "Inf", "+Inf", "-Inf", "Infinity"} {
+		in := "timestamp,value\n2012-06-01T00:00:00Z," + bad + "\n2012-06-01T06:00:00Z,1\n"
+		if _, err := readSeries(strings.NewReader(in)); err == nil {
+			t.Errorf("cell %q accepted, want error", bad)
+		}
+	}
+	in := "timestamp,value\n2012-06-01T00:00:00Z,\n2012-06-01T06:00:00Z,1\n"
+	s, err := readSeries(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("empty cell rejected: %v", err)
+	}
+	if !math.IsNaN(s.Values[0]) {
+		t.Errorf("empty cell = %v, want NaN (missing)", s.Values[0])
+	}
+}

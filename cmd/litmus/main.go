@@ -35,6 +35,7 @@ func main() {
 		floor        = flag.Float64("floor", 0, "practical-significance floor in KPI units (0 disables)")
 		iterations   = flag.Int("iterations", 0, "sampling iterations (0 = default 50)")
 		fraction     = flag.Float64("fraction", 0, "control sample fraction per iteration (0 = default 2/3)")
+		workers      = flag.Int("workers", 0, "assessment worker pool size (0 = GOMAXPROCS; results are identical for any value)")
 		diagnose     = flag.Bool("diagnose", false, "also print per-control quality diagnostics")
 	)
 	flag.Parse()
@@ -68,6 +69,7 @@ func main() {
 		EffectFloor:    *floor,
 		Iterations:     *iterations,
 		SampleFraction: *fraction,
+		Workers:        *workers,
 	})
 	if err != nil {
 		fatalf("%v", err)

@@ -1,0 +1,189 @@
+package litmus
+
+// Determinism golden test for the full assessment pipeline: the same
+// seeded synthetic world assessed twice — and across worker counts —
+// must serialize to the identical ChangeAssessment, and that
+// serialization is pinned by a committed fixture so any regression in
+// the (Seed, iteration) RNG-derivation contract is caught at review
+// time. Regenerate the fixture after an *intentional* contract change
+// with:
+//
+//	go test -run TestAssessChangeGolden -update
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/changelog"
+	"repro/internal/control"
+	"repro/internal/gen"
+	"repro/internal/kpi"
+	"repro/internal/netsim"
+	"repro/internal/timeseries"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden fixtures")
+
+// goldenWorld builds the fixed world for the golden test: a config
+// change on three towers, two KPIs, everything seeded.
+func goldenWorld() (*netsim.Network, *changelog.Change, SeriesProvider) {
+	topo := netsim.DefaultTopologyConfig()
+	topo.Seed = 17
+	net := netsim.Build(topo)
+	rnc := net.OfKind(netsim.RNC)[0]
+	study := net.Children(rnc)[:3]
+	changeAt := epoch.Add(14 * 24 * time.Hour)
+	change := &changelog.Change{
+		ID: "CHG-GOLD", Type: changelog.ConfigChange,
+		Description: "golden fixture change",
+		Elements:    study, At: changeAt,
+		TrueQuality: -1.5,
+	}
+	ix := timeseries.NewIndex(epoch, 6*time.Hour, 28*4)
+	gcfg := gen.DefaultConfig(ix)
+	gcfg.Seed = 23
+	gcfg.Effects = []gen.Effect{change.Effect(net)}
+	g := gen.New(net, gcfg)
+	provider := ProviderFunc(func(id string, metric KPI) (Series, bool) {
+		if net.Element(id) == nil {
+			return Series{}, false
+		}
+		return g.Series(id, metric), true
+	})
+	return net, change, provider
+}
+
+func goldenPipeline(workers int) (*ChangeAssessment, error) {
+	net, change, provider := goldenWorld()
+	p := &Pipeline{
+		Network:          net,
+		Provider:         provider,
+		ControlPredicate: control.And(control.SameKind(), control.SameParent()),
+		Assessor:         MustNewAssessor(Config{Seed: 9, Workers: workers}),
+	}
+	return p.AssessChange(change, []KPI{kpi.VoiceRetainability, kpi.DataAccessibility}, 14)
+}
+
+// serializeAssessment renders a ChangeAssessment deterministically: KPIs
+// sorted by name, floats at full (shortest round-trip) precision, so two
+// serializations are equal iff every statistic, p-value and shift is
+// bit-identical.
+func serializeAssessment(res *ChangeAssessment) ([]byte, error) {
+	type element struct {
+		ID        string  `json:"id"`
+		Impact    string  `json:"impact"`
+		Statistic float64 `json:"statistic"`
+		P         float64 `json:"p"`
+		Shift     float64 `json:"shift"`
+		FitR2     float64 `json:"fitR2"`
+	}
+	type group struct {
+		KPI      string         `json:"kpi"`
+		Overall  string         `json:"overall"`
+		Votes    map[string]int `json:"votes"`
+		Elements []element      `json:"elements"`
+	}
+	doc := struct {
+		ChangeID string   `json:"changeID"`
+		Decision string   `json:"decision"`
+		Controls []string `json:"controls"`
+		PerKPI   []group  `json:"perKPI"`
+	}{
+		ChangeID: res.Change.ID,
+		Decision: res.Decision.String(),
+		Controls: res.ControlGroup,
+	}
+	kpis := make([]KPI, 0, len(res.PerKPI))
+	for k := range res.PerKPI {
+		kpis = append(kpis, k)
+	}
+	sort.Slice(kpis, func(i, j int) bool { return kpis[i].String() < kpis[j].String() })
+	for _, k := range kpis {
+		gr := res.PerKPI[k]
+		g := group{KPI: k.String(), Overall: gr.Overall.String(), Votes: map[string]int{}}
+		for imp, n := range gr.Votes {
+			g.Votes[imp.String()] = n
+		}
+		for _, e := range gr.PerElement {
+			g.Elements = append(g.Elements, element{
+				ID: e.ElementID, Impact: e.Impact.String(),
+				Statistic: e.Statistic, P: e.P, Shift: e.Shift, FitR2: e.FitR2,
+			})
+		}
+		doc.PerKPI = append(doc.PerKPI, g)
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+func TestAssessChangeGolden(t *testing.T) {
+	run1, err := goldenPipeline(0) // default worker pool
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser1, err := serializeAssessment(run1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same seed, fresh world, second run: identical serialization.
+	run2, err := goldenPipeline(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser2, err := serializeAssessment(run2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ser1, ser2) {
+		t.Fatalf("same-seed reruns serialize differently:\nrun1:\n%s\nrun2:\n%s", ser1, ser2)
+	}
+
+	golden := filepath.Join("testdata", "golden_assessment.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, append(ser1, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the fixture)", err)
+	}
+	if got := append(append([]byte(nil), ser1...), '\n'); !bytes.Equal(got, want) {
+		t.Errorf("assessment deviates from the committed golden fixture — the seeding contract changed.\nIf intentional, regenerate with `go test -run TestAssessChangeGolden -update`.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestAssessChangeEquivalenceAcrossWorkers is the pipeline-level half of
+// the equivalence suite: the full change assessment serializes
+// identically for every worker count.
+func TestAssessChangeEquivalenceAcrossWorkers(t *testing.T) {
+	want := ""
+	for _, workers := range []int{1, 2, 4, 8} {
+		res, err := goldenPipeline(workers)
+		if err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		ser, err := serializeAssessment(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == "" {
+			want = string(ser)
+			continue
+		}
+		if string(ser) != want {
+			t.Errorf("workers %d: assessment differs from sequential run:\n%s\nwant:\n%s", workers, ser, want)
+		}
+	}
+}

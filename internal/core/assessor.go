@@ -45,6 +45,13 @@ type Config struct {
 	// (default TestFlignerPolicello, the paper's robust rank-order test;
 	// TestMannWhitney and TestWelch exist for ablation).
 	Test TestKind
+	// Workers bounds the goroutines used to fan out the sampling
+	// iterations of AssessElement and the per-element assessments of
+	// AssessGroup (default runtime.GOMAXPROCS(0); 1 forces sequential
+	// execution). Outputs are bit-identical for every worker count: each
+	// iteration draws from a private RNG derived from (Seed, iteration),
+	// and results are gathered in iteration order.
+	Workers int
 }
 
 // Aggregation selects the cross-iteration forecast combiner.
@@ -114,6 +121,9 @@ func (c Config) withDefaults() Config {
 	if c.MinControls == 0 {
 		c.MinControls = DefaultMinControls
 	}
+	if c.Workers == 0 {
+		c.Workers = DefaultWorkers()
+	}
 	return c
 }
 
@@ -132,6 +142,9 @@ func (c Config) Validate() error {
 	}
 	if c.EffectFloor < 0 {
 		return fmt.Errorf("core: negative effect floor %v", c.EffectFloor)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: negative worker count %d", c.Workers)
 	}
 	return nil
 }
@@ -223,13 +236,21 @@ func (a *Assessor) AssessElement(elementID string, study timeseries.Series, cont
 		ybFit[i] = yb[r]
 	}
 
-	rng := rand.New(rand.NewSource(a.cfg.Seed))
+	// Fan the sampling iterations out over the worker pool. Iteration it
+	// draws its control sample from a private RNG derived from
+	// (Seed, it) — see parallel.go — and writes into slot it, so the
+	// gathered forecasts are bit-identical to a sequential run for every
+	// worker count and schedule. The shared inputs (xbFull, xaFull,
+	// ybFit, fitRows) are only read; every linalg operation copies.
 	iters := a.cfg.Iterations
-	forecastsB := make([][]float64, 0, iters)
-	forecastsA := make([][]float64, 0, iters)
-	r2s := make([]float64, 0, iters)
-	for it := 0; it < iters; it++ {
-		cols := sampleColumns(rng, n, k)
+	type iterFit struct {
+		fb, fa []float64
+		r2     float64
+		ok     bool
+	}
+	fits := make([]iterFit, iters)
+	forEach(a.cfg.Workers, iters, func(it int) {
+		cols := sampleColumns(iterRNG(a.cfg.Seed, it), n, k)
 		xb := xbFull.SelectCols(cols).WithInterceptColumn()
 		xa := xaFull.SelectCols(cols).WithInterceptColumn()
 		xbFit := xb.SelectRows(fitRows)
@@ -237,7 +258,7 @@ func (a *Assessor) AssessElement(elementID string, study timeseries.Series, cont
 		if err != nil {
 			// A degenerate draw (e.g. all-constant columns); skip it. The
 			// median aggregation tolerates missing iterations.
-			continue
+			return
 		}
 		fb := xb.MulVec(beta)
 		// In-sample residuals are optimistically small, which would make
@@ -254,9 +275,18 @@ func (a *Assessor) AssessElement(elementID string, study timeseries.Series, cont
 				fb[r] = ybFit[fi] - (ybFit[fi]-fb[r])/(1-h)
 			}
 		}
-		forecastsB = append(forecastsB, fb)
-		forecastsA = append(forecastsA, xa.MulVec(beta))
-		r2s = append(r2s, linalg.RSquared(xbFit, beta, ybFit))
+		fits[it] = iterFit{fb: fb, fa: xa.MulVec(beta), r2: linalg.RSquared(xbFit, beta, ybFit), ok: true}
+	})
+	forecastsB := make([][]float64, 0, iters)
+	forecastsA := make([][]float64, 0, iters)
+	r2s := make([]float64, 0, iters)
+	for it := range fits {
+		if !fits[it].ok {
+			continue
+		}
+		forecastsB = append(forecastsB, fits[it].fb)
+		forecastsA = append(forecastsA, fits[it].fa)
+		r2s = append(r2s, fits[it].r2)
 	}
 	if len(forecastsB) == 0 {
 		return ElementResult{}, fmt.Errorf("core: all %d sampling iterations failed to fit", iters)
@@ -321,17 +351,25 @@ func (a *Assessor) AssessGroup(studies *timeseries.Panel, controls *timeseries.P
 	if len(ids) == 0 {
 		return GroupResult{}, fmt.Errorf("core: empty study group")
 	}
+	// Elements are independent: fan them out over the worker pool and
+	// gather in ID order (per-iteration seeding makes each element's
+	// result independent of scheduling, so the group result is
+	// deterministic for every worker count).
+	perElement := make([]ElementResult, len(ids))
+	errs := make([]error, len(ids))
+	forEach(a.cfg.Workers, len(ids), func(i int) {
+		perElement[i], errs[i] = a.AssessElement(ids[i], studies.MustSeries(ids[i]), controls, changeAt, metric)
+	})
 	results := make([]ElementResult, 0, len(ids))
 	var firstErr error
-	for _, id := range ids {
-		res, err := a.AssessElement(id, studies.MustSeries(id), controls, changeAt, metric)
-		if err != nil {
+	for i, id := range ids {
+		if errs[i] != nil {
 			if firstErr == nil {
-				firstErr = fmt.Errorf("core: element %s: %w", id, err)
+				firstErr = fmt.Errorf("core: element %s: %w", id, errs[i])
 			}
 			continue
 		}
-		results = append(results, res)
+		results = append(results, perElement[i])
 	}
 	if len(results) == 0 {
 		return GroupResult{}, firstErr

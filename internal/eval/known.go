@@ -270,6 +270,9 @@ type KnownConfig struct {
 	EffectFloor float64
 	// Alpha is the two-sided significance level.
 	Alpha float64
+	// Workers bounds the assessor's worker pool (0 = GOMAXPROCS); the
+	// results are bit-identical for every value.
+	Workers int
 }
 
 // DefaultKnownConfig returns the configuration used for the Table 2
@@ -319,7 +322,7 @@ func RunKnownAssessments(cfg KnownConfig) (KnownResult, error) {
 		Seed:                 cfg.Seed,
 	}
 	net := netsim.Build(topo)
-	assessor, err := core.NewAssessor(core.Config{EffectFloor: cfg.EffectFloor, Seed: cfg.Seed})
+	assessor, err := core.NewAssessor(core.Config{EffectFloor: cfg.EffectFloor, Seed: cfg.Seed, Workers: cfg.Workers})
 	if err != nil {
 		return KnownResult{}, err
 	}
@@ -461,7 +464,7 @@ func runKnownRow(net *netsim.Network, assessor *core.Assessor, cfg KnownConfig, 
 		kpiAssessor := assessor
 		if floor != cfg.EffectFloor {
 			var err error
-			kpiAssessor, err = core.NewAssessor(core.Config{EffectFloor: floor, Seed: cfg.Seed})
+			kpiAssessor, err = core.NewAssessor(core.Config{EffectFloor: floor, Seed: cfg.Seed, Workers: cfg.Workers})
 			if err != nil {
 				return KnownRowResult{}, err
 			}

@@ -1,0 +1,122 @@
+package stats
+
+// Property tests backing the paper's robustness argument for rank-order
+// tests (§3.2): on clean shifted distributions the two rank tests agree
+// on the direction of the shift, and — because both consume only the
+// ordering of the pooled sample — both are invariant under strictly
+// monotone transforms of the data.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// shiftedPair draws x ~ N(0,1) and y ~ N(shift,1) of the given sizes.
+func shiftedPair(rng *rand.Rand, n1, n2 int, shift float64) (x, y []float64) {
+	x = make([]float64, n1)
+	y = make([]float64, n2)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	for i := range y {
+		y[i] = shift + rng.NormFloat64()
+	}
+	return x, y
+}
+
+func TestRankTestsAgreeOnShiftedDistributions(t *testing.T) {
+	const alpha = 0.05
+	for seed := int64(1); seed <= 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		for _, shift := range []float64{-2, -1, 1, 2} {
+			x, y := shiftedPair(rng, 40, 40, shift)
+			fp, err := FlignerPolicello(x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mw, err := MannWhitney(x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Direction agreement: the statistics carry the shift's sign.
+			if math.Signbit(fp.Statistic) != math.Signbit(shift) {
+				t.Errorf("seed %d shift %v: FP statistic %v has wrong sign", seed, shift, fp.Statistic)
+			}
+			if math.Signbit(mw.Statistic) != math.Signbit(shift) {
+				t.Errorf("seed %d shift %v: MW statistic %v has wrong sign", seed, shift, mw.Statistic)
+			}
+			// Never contradictory significant directions.
+			df, dm := fp.Direction(alpha), mw.Direction(alpha)
+			if df*dm < 0 {
+				t.Errorf("seed %d shift %v: FP direction %d contradicts MW direction %d", seed, shift, df, dm)
+			}
+			// Both must detect a 2σ shift on 40+40 observations.
+			if math.Abs(shift) >= 2 {
+				if df == 0 {
+					t.Errorf("seed %d shift %v: FP missed (p=%v)", seed, shift, fp.P)
+				}
+				if dm == 0 {
+					t.Errorf("seed %d shift %v: MW missed (p=%v)", seed, shift, mw.P)
+				}
+			}
+		}
+	}
+}
+
+// monotone transforms: strictly increasing on the tested data range.
+var monotoneTransforms = []struct {
+	name string
+	f    func(float64) float64
+}{
+	{"affine", func(v float64) float64 { return 2.5*v + 3 }},
+	{"cube", func(v float64) float64 { return v * v * v }},
+	{"exp", func(v float64) float64 { return math.Exp(v / 4) }},
+	{"atan", func(v float64) float64 { return math.Atan(v) }},
+}
+
+func applyTransform(f func(float64) float64, xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		out[i] = f(v)
+	}
+	return out
+}
+
+// TestRankTestsMonotoneInvariance: transforming both samples through a
+// strictly increasing function leaves each test's statistic unchanged
+// up to rank-precision — the robustness property that lets the paper
+// compare forecast differences without distributional assumptions.
+func TestRankTestsMonotoneInvariance(t *testing.T) {
+	const tol = 1e-9
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		x, y := shiftedPair(rng, 25, 35, 0.8)
+		fp0, err := FlignerPolicello(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mw0, err := MannWhitney(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tr := range monotoneTransforms {
+			tx, ty := applyTransform(tr.f, x), applyTransform(tr.f, y)
+			fp, err := FlignerPolicello(tx, ty)
+			if err != nil {
+				t.Fatalf("%s: %v", tr.name, err)
+			}
+			mw, err := MannWhitney(tx, ty)
+			if err != nil {
+				t.Fatalf("%s: %v", tr.name, err)
+			}
+			if math.Abs(fp.Statistic-fp0.Statistic) > tol {
+				t.Errorf("seed %d %s: FP statistic %v, want %v (rank test must be monotone-invariant)",
+					seed, tr.name, fp.Statistic, fp0.Statistic)
+			}
+			if math.Abs(mw.Statistic-mw0.Statistic) > tol {
+				t.Errorf("seed %d %s: MW statistic %v, want %v", seed, tr.name, mw.Statistic, mw0.Statistic)
+			}
+		}
+	}
+}

@@ -44,7 +44,12 @@ import (
 // Re-exported core types: the assessor and its configuration.
 type (
 	// Config parameterizes the Litmus assessor; the zero value uses the
-	// paper's defaults (α = 0.05, sample fraction 2/3, 50 iterations).
+	// paper's defaults (α = 0.05, sample fraction 2/3, 50 iterations)
+	// and a worker pool sized to runtime.GOMAXPROCS(0). Config.Workers
+	// bounds the concurrency of the sampling iterations, the per-element
+	// assessments, and the pipeline's KPI fan-out; every worker count
+	// produces bit-identical results, because each sampling iteration
+	// draws from a private RNG derived from (Seed, iteration).
 	Config = core.Config
 	// Assessor runs the robust spatial regression assessment.
 	Assessor = core.Assessor
@@ -101,6 +106,11 @@ func NewAssessor(cfg Config) (*Assessor, error) { return core.NewAssessor(cfg) }
 
 // MustNewAssessor is NewAssessor for known-good configurations.
 func MustNewAssessor(cfg Config) *Assessor { return core.MustNewAssessor(cfg) }
+
+// DefaultWorkers returns the default assessment worker-pool size:
+// runtime.GOMAXPROCS(0). Set Config.Workers to 1 to force sequential
+// execution — the results are bit-identical either way.
+func DefaultWorkers() int { return core.DefaultWorkers() }
 
 // Control-group quality diagnostics (see core.DiagnoseControls).
 type (

@@ -126,16 +126,35 @@ func (p *Pipeline) AssessChange(change *changelog.Change, kpis []KPI, windowDays
 		ControlGroup: controls,
 		PerKPI:       make(map[KPI]GroupResult, len(kpis)),
 	}
-	for _, metric := range kpis {
+	// Panels are assembled sequentially — SeriesProvider implementations
+	// (e.g. the caching synthetic generator) need not be safe for
+	// concurrent use. The assessment grid that follows is pure
+	// computation on immutable panels, so the element × KPI fan-out is
+	// race-free: AssessGroup spreads the elements of each KPI over the
+	// worker pool, and the KPIs themselves run concurrently here.
+	// Results and errors are gathered in KPI order, so the assessment —
+	// including which error surfaces — is independent of scheduling.
+	type kpiPanels struct {
+		studies, controls *Panel
+	}
+	panels := make([]kpiPanels, len(kpis))
+	for i, metric := range kpis {
 		studies, controlsPanel, err := p.panels(change, controls, metric, windowDays)
 		if err != nil {
 			return nil, fmt.Errorf("litmus: %v: %w", metric, err)
 		}
-		res, err := assessor.AssessGroup(studies, controlsPanel, change.At, metric)
-		if err != nil {
-			return nil, fmt.Errorf("litmus: %v: %w", metric, err)
+		panels[i] = kpiPanels{studies: studies, controls: controlsPanel}
+	}
+	results := make([]GroupResult, len(kpis))
+	errs := make([]error, len(kpis))
+	core.ForEachIndex(assessor.Config().Workers, len(kpis), func(i int) {
+		results[i], errs[i] = assessor.AssessGroup(panels[i].studies, panels[i].controls, change.At, kpis[i])
+	})
+	for i, metric := range kpis {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("litmus: %v: %w", metric, errs[i])
 		}
-		out.PerKPI[metric] = res
+		out.PerKPI[metric] = results[i]
 	}
 	out.Decision = decide(out.PerKPI)
 	return out, nil
