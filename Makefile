@@ -4,12 +4,27 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-seed bench bench-workers clean
+.PHONY: ci vet lint build test race race-obs fuzz-seed bench bench-workers bench-obs clean
 
 ci: vet build test race fuzz-seed
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet. staticcheck and govulncheck are optional
+# locally (CI installs them); the target skips whichever is missing
+# rather than failing on a lean toolchain.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -21,6 +36,12 @@ test:
 # equivalence and concurrent-use tests drive every fan-out path.
 race:
 	$(GO) test -race ./...
+
+# Focused race run over the observability layer: the concurrent
+# metrics-registry and scope tests plus the instrumented pipeline.
+race-obs:
+	$(GO) test -race ./internal/obs
+	$(GO) test -race -run 'TestAssessChangeInstrumentedEquivalence' .
 
 # Replay the committed fuzz seed corpora as unit tests (no fuzzing
 # engine; catches regressions in the never-panic contracts). Use
@@ -34,6 +55,10 @@ bench:
 # The parallel-engine scaling table recorded in EXPERIMENTS.md.
 bench-workers:
 	$(GO) test -bench 'WorkerScaling|AssessElementWorkers' -run '^$$' .
+
+# Observability overhead: instrumented vs nil-scope group assessment.
+bench-obs:
+	$(GO) test -bench 'AssessGroupInstrumented' -benchmem -run '^$$' .
 
 clean:
 	$(GO) clean ./...

@@ -99,6 +99,35 @@ func BenchmarkWorkerScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkAssessGroupInstrumented quantifies the observability
+// overhead on the group-assessment workload: the nil-scope row is the
+// zero-overhead fast path (every obs call no-ops on a nil receiver),
+// the instrumented row pays for span bookkeeping and atomic counter
+// updates. The delta between the two is the number to quote when
+// deciding whether tracing can stay on in production runs.
+func BenchmarkAssessGroupInstrumented(b *testing.B) {
+	studies, controls, changeAt := benchGroupWorld(b, 6, 30)
+	b.Run("nil-scope", func(b *testing.B) {
+		assessor := MustNewAssessor(Config{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := assessor.AssessGroup(studies, controls, changeAt, kpi.VoiceRetainability); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("instrumented", func(b *testing.B) {
+		scope := NewScope("bench", NewMetricsRegistry())
+		assessor := MustNewAssessor(Config{}).WithObserver(scope)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := assessor.AssessGroup(studies, controls, changeAt, kpi.VoiceRetainability); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkAssessElementWorkers isolates the iteration-level fan-out of
 // a single element's 50 sampling regressions.
 func BenchmarkAssessElementWorkers(b *testing.B) {

@@ -10,6 +10,10 @@
 //	litmus-eval -table 4          # Table 4 (full 8010 cases; minutes)
 //	litmus-eval -table 4 -scale 0.1   # Table 4 at 10% volume (seconds)
 //	litmus-eval -table all
+//
+// The shared observability flags -trace, -metrics and -pprof (see
+// internal/obscli) instrument the whole evaluation run; the reported
+// tables are bit-identical with and without them.
 package main
 
 import (
@@ -19,6 +23,8 @@ import (
 	"time"
 
 	"repro/internal/eval"
+	"repro/internal/obs"
+	"repro/internal/obscli"
 	"repro/internal/report"
 )
 
@@ -30,33 +36,42 @@ func main() {
 		ablation = flag.Bool("ablation", false, "run the design-choice ablation grid instead of the tables")
 		workers  = flag.Int("workers", 0, "assessment worker pool size (0 = GOMAXPROCS; results are identical for any value)")
 	)
+	obsFlags := obscli.Register()
 	flag.Parse()
+	scope, err := obsFlags.Scope("litmus-eval")
+	if err != nil {
+		fatal(err)
+	}
 
 	if *ablation {
-		runAblation(*scale, *workers)
-		return
+		runAblation(*scale, *workers, scope)
+	} else {
+		switch *table {
+		case "2":
+			runTable2(*rows, *workers, scope)
+		case "4":
+			runTable4(*scale, *workers, scope)
+		case "all":
+			runTable2(*rows, *workers, scope)
+			fmt.Println()
+			runTable4(*scale, *workers, scope)
+		default:
+			fmt.Fprintf(os.Stderr, "litmus-eval: unknown table %q (want 2, 4 or all)\n", *table)
+			os.Exit(2)
+		}
 	}
-	switch *table {
-	case "2":
-		runTable2(*rows, *workers)
-	case "4":
-		runTable4(*scale, *workers)
-	case "all":
-		runTable2(*rows, *workers)
-		fmt.Println()
-		runTable4(*scale, *workers)
-	default:
-		fmt.Fprintf(os.Stderr, "litmus-eval: unknown table %q (want 2, 4 or all)\n", *table)
-		os.Exit(2)
+	if err := obsFlags.Report(os.Stdout, scope); err != nil {
+		fatal(err)
 	}
 }
 
-func runAblation(scale float64, workers int) {
+func runAblation(scale float64, workers int, scope *obs.Scope) {
 	cfg := eval.DefaultSyntheticConfig()
 	if scale != 1.0 {
 		cfg = cfg.ScaleCases(scale)
 	}
 	cfg.Assessor.Workers = workers
+	cfg.Obs = scope
 	start := time.Now()
 	res, err := eval.RunAblation(cfg, nil)
 	if err != nil {
@@ -72,10 +87,11 @@ func runAblation(scale float64, workers int) {
 	}
 }
 
-func runTable2(rows bool, workers int) {
+func runTable2(rows bool, workers int, scope *obs.Scope) {
 	start := time.Now()
 	cfg := eval.DefaultKnownConfig()
 	cfg.Workers = workers
+	cfg.Obs = scope
 	res, err := eval.RunKnownAssessments(cfg)
 	if err != nil {
 		fatal(err)
@@ -93,12 +109,13 @@ func runTable2(rows bool, workers int) {
 	}
 }
 
-func runTable4(scale float64, workers int) {
+func runTable4(scale float64, workers int, scope *obs.Scope) {
 	cfg := eval.DefaultSyntheticConfig()
 	if scale != 1.0 {
 		cfg = cfg.ScaleCases(scale)
 	}
 	cfg.Assessor.Workers = workers
+	cfg.Obs = scope
 	start := time.Now()
 	res, err := eval.RunSynthetic(cfg)
 	if err != nil {

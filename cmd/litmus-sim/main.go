@@ -25,6 +25,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/kpi"
 	"repro/internal/netsim"
+	"repro/internal/obscli"
 	"repro/internal/timeseries"
 )
 
@@ -40,7 +41,12 @@ func main() {
 		kpiName   = flag.String("kpi", "voice-retainability", "KPI to emit")
 		controlsN = flag.Int("controls", 0, "cap control group size (0 = all matching)")
 	)
+	obsFlags := obscli.Register()
 	flag.Parse()
+	scope, err := obsFlags.Scope("litmus-sim")
+	if err != nil {
+		fatalf("%v", err)
+	}
 
 	metric := kpi.VoiceRetainability
 	found := false
@@ -63,12 +69,15 @@ func main() {
 		fatalf("unknown region %q; known: %v", *region, netsim.Regions())
 	}
 
+	topoScope := scope.Child("topology-build")
 	topo := netsim.DefaultTopologyConfig()
 	topo.Seed = *seed
 	net := netsim.Build(topo)
 	towers := net.Filter(func(e *netsim.Element) bool {
 		return e.Kind == netsim.NodeB && e.Region == reg
 	})
+	topoScope.SetAttr("elements", fmt.Sprint(net.Len()))
+	topoScope.End()
 	if len(towers) == 0 {
 		fatalf("no towers in region %s", reg)
 	}
@@ -78,6 +87,7 @@ func main() {
 		Net:       net,
 		Predicate: control.And(control.SameKind(), control.SameParent()),
 		MaxSize:   *controlsN,
+		Obs:       scope,
 	}
 	controls, err := sel.Select([]string{study})
 	if err != nil {
@@ -102,15 +112,21 @@ func main() {
 	}
 	g := gen.New(net, gcfg)
 
-	if err := os.MkdirAll(*outDir, 0o755); err != nil {
-		fatalf("%v", err)
-	}
-	if err := writeSeriesCSV(filepath.Join(*outDir, "study.csv"), ix, map[string][]float64{"value": g.Series(study, metric).Values}, []string{"value"}); err != nil {
-		fatalf("%v", err)
-	}
+	synthScope := scope.Child("series-synthesis")
+	studyValues := g.Series(study, metric).Values
 	cols := map[string][]float64{}
 	for _, id := range controls {
 		cols[id] = g.Series(id, metric).Values
+	}
+	synthScope.SetAttr("series", fmt.Sprint(1+len(controls)))
+	synthScope.End()
+
+	writeScope := scope.Child("csv-write")
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatalf("%v", err)
+	}
+	if err := writeSeriesCSV(filepath.Join(*outDir, "study.csv"), ix, map[string][]float64{"value": studyValues}, []string{"value"}); err != nil {
+		fatalf("%v", err)
 	}
 	if err := writeSeriesCSV(filepath.Join(*outDir, "controls.csv"), ix, cols, controls); err != nil {
 		fatalf("%v", err)
@@ -119,12 +135,17 @@ func main() {
 	if err := os.WriteFile(changeFile, []byte(changeAt.Format(time.RFC3339)+"\n"), 0o644); err != nil {
 		fatalf("%v", err)
 	}
+	writeScope.End()
 
 	fmt.Printf("study element:   %s (%s, %s)\n", study, metric, reg)
 	fmt.Printf("control group:   %d siblings under %s\n", len(controls), net.MustElement(study).Parent)
 	fmt.Printf("change time:     %s (written to %s)\n", changeAt.Format(time.RFC3339), changeFile)
 	fmt.Printf("ground truth:    quality %+.2f (%s), factor severity %+.2f\n", *quality, truthLabel(metric, *quality), *factor)
 	fmt.Printf("wrote %s and %s\n", filepath.Join(*outDir, "study.csv"), filepath.Join(*outDir, "controls.csv"))
+
+	if err := obsFlags.Report(os.Stdout, scope); err != nil {
+		fatalf("writing observability report: %v", err)
+	}
 }
 
 func truthLabel(metric kpi.KPI, quality float64) string {

@@ -12,6 +12,13 @@
 // study.csv has a header "timestamp,value"; controls.csv has
 // "timestamp,<id1>,<id2>,...". Timestamps must be RFC 3339 on a regular
 // grid. Use cmd/litmus-sim to generate a matching pair.
+//
+// Observability: -trace out.json writes the assessment's span tree as
+// JSON, -metrics prints a flame summary, per-stage timing table and a
+// Prometheus-text metrics dump on exit, and -pprof addr serves
+// net/http/pprof (plus expvar under /debug/vars) for live profiling.
+// Without these flags the engine runs its zero-overhead path; results
+// are bit-identical either way.
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/kpi"
+	"repro/internal/obscli"
 
 	litmus "repro"
 )
@@ -38,6 +46,7 @@ func main() {
 		workers      = flag.Int("workers", 0, "assessment worker pool size (0 = GOMAXPROCS; results are identical for any value)")
 		diagnose     = flag.Bool("diagnose", false, "also print per-control quality diagnostics")
 	)
+	obsFlags := obscli.Register()
 	flag.Parse()
 	if *studyPath == "" || *controlsPath == "" || *changeStr == "" {
 		flag.Usage()
@@ -74,6 +83,13 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	// nil scope (no -trace/-metrics/-pprof) keeps the zero-overhead
+	// path; the result is bit-identical either way.
+	scope, err := obsFlags.Scope("litmus")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	assessor = assessor.WithObserver(scope)
 	res, err := assessor.AssessElement("study", study, controls, changeAt, metric)
 	if err != nil {
 		fatalf("assessment failed: %v", err)
@@ -89,7 +105,7 @@ func main() {
 	}
 
 	if *diagnose {
-		d, err := litmus.DiagnoseControls(study, controls, changeAt)
+		d, err := litmus.DiagnoseControlsObserved(scope, study, controls, changeAt)
 		if err != nil {
 			fatalf("diagnostics failed: %v", err)
 		}
@@ -106,6 +122,10 @@ func main() {
 			}
 			fmt.Printf("  %-20s corr=%+.3f  r²=%.3f%s\n", c.ControlID, c.Correlation, c.UnivariateR2, flag)
 		}
+	}
+
+	if err := obsFlags.Report(os.Stdout, scope); err != nil {
+		fatalf("writing observability report: %v", err)
 	}
 }
 

@@ -60,12 +60,17 @@ func goldenWorld() (*netsim.Network, *changelog.Change, SeriesProvider) {
 }
 
 func goldenPipeline(workers int) (*ChangeAssessment, error) {
+	return goldenPipelineObserved(workers, nil)
+}
+
+func goldenPipelineObserved(workers int, scope *Scope) (*ChangeAssessment, error) {
 	net, change, provider := goldenWorld()
 	p := &Pipeline{
 		Network:          net,
 		Provider:         provider,
 		ControlPredicate: control.And(control.SameKind(), control.SameParent()),
 		Assessor:         MustNewAssessor(Config{Seed: 9, Workers: workers}),
+		Obs:              scope,
 	}
 	return p.AssessChange(change, []KPI{kpi.VoiceRetainability, kpi.DataAccessibility}, 14)
 }
@@ -161,6 +166,50 @@ func TestAssessChangeGolden(t *testing.T) {
 	}
 	if got := append(append([]byte(nil), ser1...), '\n'); !bytes.Equal(got, want) {
 		t.Errorf("assessment deviates from the committed golden fixture — the seeding contract changed.\nIf intentional, regenerate with `go test -run TestAssessChangeGolden -update`.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestAssessChangeInstrumentedEquivalence is the acceptance gate for the
+// observability layer: the pipeline must serialize to the committed
+// golden fixture with instrumentation off and on, at every worker
+// count — attaching a *obs.Scope is strictly observational and cannot
+// perturb the (Seed, iteration) RNG contract. It also sanity-checks
+// that the live scope actually recorded a trace and metrics.
+func TestAssessChangeInstrumentedEquivalence(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_assessment.json"))
+	if err != nil {
+		t.Fatalf("%v (run TestAssessChangeGolden with -update to create the fixture)", err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, instrumented := range []bool{false, true} {
+			var scope *Scope
+			if instrumented {
+				scope = NewScope("golden", NewMetricsRegistry())
+			}
+			res, err := goldenPipelineObserved(workers, scope)
+			if err != nil {
+				t.Fatalf("workers=%d instrumented=%v: %v", workers, instrumented, err)
+			}
+			ser, err := serializeAssessment(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := append(ser, '\n'); !bytes.Equal(got, want) {
+				t.Errorf("workers=%d instrumented=%v: assessment deviates from the golden fixture:\ngot:\n%s\nwant:\n%s",
+					workers, instrumented, got, want)
+			}
+			if !instrumented {
+				continue
+			}
+			scope.End()
+			if len(scope.Span().Children()) == 0 {
+				t.Errorf("workers=%d: instrumented run recorded no child spans", workers)
+			}
+			snap := scope.Registry().Snapshot()
+			if len(snap) == 0 {
+				t.Errorf("workers=%d: instrumented run recorded no metrics", workers)
+			}
+		}
 	}
 }
 

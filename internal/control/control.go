@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 )
 
 // Predicate decides whether a candidate element is an acceptable control
@@ -183,6 +184,10 @@ type Selector struct {
 	// whole network"); the nearest candidates by distance to the study
 	// group are kept.
 	MaxSize int
+	// Obs is the optional observability scope: Select records a
+	// control-select span plus candidate/selected counters into it. Nil
+	// (the default) costs nothing and changes nothing.
+	Obs *obs.Scope
 }
 
 // DefaultMinSize and DefaultMaxSize bound control group sizes per §3.3.
@@ -196,6 +201,8 @@ const (
 // study group with ID tie-breaks. It returns an error when fewer than
 // MinSize candidates qualify.
 func (s *Selector) Select(studyIDs []string) ([]string, error) {
+	sc := s.Obs.Child(obs.SpanControlSelect)
+	defer sc.End()
 	if len(studyIDs) == 0 {
 		return nil, fmt.Errorf("control: empty study group")
 	}
@@ -265,6 +272,9 @@ func (s *Selector) Select(studyIDs []string) ([]string, error) {
 		}
 		return cands[i].id < cands[j].id
 	})
+	sc.SetAttr("predicate", s.Predicate.Name())
+	sc.SetAttr("candidates", len(cands))
+	sc.Counter(obs.MetricControlCandidates).Add(int64(len(cands)))
 	if len(cands) > maxSize {
 		cands = cands[:maxSize]
 	}
@@ -272,5 +282,6 @@ func (s *Selector) Select(studyIDs []string) ([]string, error) {
 	for i, c := range cands {
 		out[i] = c.id
 	}
+	sc.Counter(obs.MetricControlsSelected).Add(int64(len(out)))
 	return out, nil
 }

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/kpi"
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/timeseries"
 )
@@ -152,6 +153,9 @@ func (c Config) Validate() error {
 // Assessor runs the Litmus robust spatial regression.
 type Assessor struct {
 	cfg Config
+	// obs is the optional observability scope; nil (the default) is the
+	// zero-overhead fast path. See WithObserver.
+	obs *obs.Scope
 }
 
 // NewAssessor returns an assessor with cfg (zero fields defaulted). It
@@ -174,6 +178,23 @@ func MustNewAssessor(cfg Config) *Assessor {
 
 // Config returns the effective (defaulted) configuration.
 func (a *Assessor) Config() Config { return a.cfg }
+
+// WithObserver returns an assessor that records spans and metrics into
+// scope; the receiver is unchanged, so one assessor can serve
+// instrumented and uninstrumented callers concurrently. Instrumentation
+// is observational only: assessments are bit-identical with any scope —
+// the (Seed, iteration) RNG contract is untouched — and a nil scope
+// returns the receiver itself, preserving the zero-overhead fast path.
+func (a *Assessor) WithObserver(scope *obs.Scope) *Assessor {
+	if scope == nil {
+		return a
+	}
+	return &Assessor{cfg: a.cfg, obs: scope}
+}
+
+// Observer returns the scope the assessor records into (nil when
+// uninstrumented).
+func (a *Assessor) Observer() *obs.Scope { return a.obs }
 
 // maxLeverage caps hat-matrix diagonals in the leave-one-out adjustment;
 // a row with leverage near 1 would otherwise blow its residual up
@@ -206,6 +227,10 @@ var (
 // relative increase of the KPI at the study element; KPI direction
 // semantics translate it into improvement or degradation.
 func (a *Assessor) AssessElement(elementID string, study timeseries.Series, controls *timeseries.Panel, changeAt time.Time, metric kpi.KPI) (ElementResult, error) {
+	sc := a.obs.Child(obs.SpanAssessElement)
+	sc.SetAttr("element", elementID)
+	sc.SetAttr("kpi", metric.String())
+	defer sc.End()
 	if !study.Index.Equal(controls.Index()) {
 		return ElementResult{}, fmt.Errorf("core: study and control indexes differ")
 	}
@@ -249,6 +274,7 @@ func (a *Assessor) AssessElement(elementID string, study timeseries.Series, cont
 		ok     bool
 	}
 	fits := make([]iterFit, iters)
+	sampling := sc.Child(obs.SpanSampling)
 	forEach(a.cfg.Workers, iters, func(it int) {
 		cols := sampleColumns(iterRNG(a.cfg.Seed, it), n, k)
 		xb := xbFull.SelectCols(cols).WithInterceptColumn()
@@ -277,6 +303,9 @@ func (a *Assessor) AssessElement(elementID string, study timeseries.Series, cont
 		}
 		fits[it] = iterFit{fb: fb, fa: xa.MulVec(beta), r2: linalg.RSquared(xbFit, beta, ybFit), ok: true}
 	})
+	sampling.End()
+	sc.Counter(obs.MetricIterations).Add(int64(iters))
+	sc.Counter(obs.MetricControlsSampled).Add(int64(iters * k))
 	forecastsB := make([][]float64, 0, iters)
 	forecastsA := make([][]float64, 0, iters)
 	r2s := make([]float64, 0, iters)
@@ -288,10 +317,12 @@ func (a *Assessor) AssessElement(elementID string, study timeseries.Series, cont
 		forecastsA = append(forecastsA, fits[it].fa)
 		r2s = append(r2s, fits[it].r2)
 	}
+	sc.Counter(obs.MetricIterationsFailed).Add(int64(iters - len(forecastsB)))
 	if len(forecastsB) == 0 {
 		return ElementResult{}, fmt.Errorf("core: all %d sampling iterations failed to fit", iters)
 	}
 
+	agg := sc.Child(obs.SpanAggregate)
 	medB := a.aggregate(forecastsB, yBefore.Len())
 	medA := a.aggregate(forecastsA, yAfter.Len())
 
@@ -303,11 +334,14 @@ func (a *Assessor) AssessElement(elementID string, study timeseries.Series, cont
 	for i := range ya {
 		diffA[i] = ya[i] - medA[i]
 	}
+	agg.End()
 
 	cleanB := dropNonFinite(diffB)
 	cleanA := dropNonFinite(diffA)
+	rank := sc.Child(obs.SpanRankTest)
 	test, err := a.runTest(cleanB, cleanA)
 	if err != nil {
+		rank.End()
 		return ElementResult{}, fmt.Errorf("core: %v test failed: %v", a.cfg.Test, err)
 	}
 	// The forecast differences retain serial dependence (whatever share of
@@ -319,6 +353,8 @@ func (a *Assessor) AssessElement(elementID string, study timeseries.Series, cont
 		test.Statistic *= math.Sqrt((1 - rho) / (1 + rho))
 		test.P = stats.TwoSidedP(test.Statistic)
 	}
+	rank.End()
+	sc.Histogram(obs.MetricPValue, obs.PValueBuckets).Observe(test.P)
 	shift := stats.Median(cleanA) - stats.Median(cleanB)
 	dir := test.Direction(a.cfg.Alpha)
 	if a.cfg.EffectFloor > 0 && math.Abs(shift) < a.cfg.EffectFloor {
@@ -351,6 +387,14 @@ func (a *Assessor) AssessGroup(studies *timeseries.Panel, controls *timeseries.P
 	if len(ids) == 0 {
 		return GroupResult{}, fmt.Errorf("core: empty study group")
 	}
+	sc := a.obs.Child(obs.SpanAssessGroup)
+	sc.SetAttr("kpi", metric.String())
+	sc.SetAttr("elements", len(ids))
+	defer sc.End()
+	// Per-element spans parent under the group span; Scope is safe for
+	// concurrent sibling creation, so the fan-out below needs no
+	// serialization for tracing.
+	elem := a.WithObserver(sc)
 	// Elements are independent: fan them out over the worker pool and
 	// gather in ID order (per-iteration seeding makes each element's
 	// result independent of scheduling, so the group result is
@@ -358,7 +402,7 @@ func (a *Assessor) AssessGroup(studies *timeseries.Panel, controls *timeseries.P
 	perElement := make([]ElementResult, len(ids))
 	errs := make([]error, len(ids))
 	forEach(a.cfg.Workers, len(ids), func(i int) {
-		perElement[i], errs[i] = a.AssessElement(ids[i], studies.MustSeries(ids[i]), controls, changeAt, metric)
+		perElement[i], errs[i] = elem.AssessElement(ids[i], studies.MustSeries(ids[i]), controls, changeAt, metric)
 	})
 	results := make([]ElementResult, 0, len(ids))
 	var firstErr error
@@ -371,6 +415,8 @@ func (a *Assessor) AssessGroup(studies *timeseries.Panel, controls *timeseries.P
 		}
 		results = append(results, perElement[i])
 	}
+	sc.Counter(obs.MetricElementsAssessed).Add(int64(len(results)))
+	sc.Counter(obs.MetricElementsSkipped).Add(int64(len(ids) - len(results)))
 	if len(results) == 0 {
 		return GroupResult{}, firstErr
 	}

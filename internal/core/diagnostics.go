@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/timeseries"
 )
@@ -58,6 +59,25 @@ func (d GroupDiagnostics) Healthy() bool {
 // over the pre-change window. It returns an error when the window is too
 // short to estimate anything.
 func DiagnoseControls(study timeseries.Series, controls *timeseries.Panel, changeAt time.Time) (GroupDiagnostics, error) {
+	return DiagnoseControlsObserved(nil, study, controls, changeAt)
+}
+
+// DiagnoseControlsObserved is DiagnoseControls recording a
+// control-diagnostics span plus the diagnosed/flagged control counters
+// into scope (nil scope: identical to DiagnoseControls).
+func DiagnoseControlsObserved(scope *obs.Scope, study timeseries.Series, controls *timeseries.Panel, changeAt time.Time) (GroupDiagnostics, error) {
+	sc := scope.Child(obs.SpanDiagnostics)
+	defer sc.End()
+	out, err := diagnoseControls(study, controls, changeAt)
+	if err == nil {
+		sc.Counter(obs.MetricControlsDiagnosed).Add(int64(len(out.PerControl)))
+		sc.Counter(obs.MetricControlsFlagged).Add(int64(out.FlaggedCount))
+		sc.SetAttr("flagged", out.FlaggedCount)
+	}
+	return out, err
+}
+
+func diagnoseControls(study timeseries.Series, controls *timeseries.Panel, changeAt time.Time) (GroupDiagnostics, error) {
 	if !study.Index.Equal(controls.Index()) {
 		return GroupDiagnostics{}, fmt.Errorf("core: study and control indexes differ")
 	}

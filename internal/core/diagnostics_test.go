@@ -60,6 +60,32 @@ func TestDiagnoseControlsUnhealthyGroup(t *testing.T) {
 	}
 }
 
+func TestGroupDiagnosticsHealthyMajorityRule(t *testing.T) {
+	// Healthy is a strict-minority rule: the group is poorly selected as
+	// soon as half or more of the controls are flagged bad predictors.
+	cases := []struct {
+		flagged, total int
+		want           bool
+	}{
+		{0, 10, true},
+		{4, 10, true},
+		{5, 10, false}, // exactly half: already unhealthy
+		{6, 10, false},
+		{1, 3, true},
+		{2, 3, false},
+		{1, 2, false},
+	}
+	for _, c := range cases {
+		d := GroupDiagnostics{
+			FlaggedCount: c.flagged,
+			PerControl:   make([]ControlDiagnostic, c.total),
+		}
+		if got := d.Healthy(); got != c.want {
+			t.Errorf("Healthy(%d flagged of %d) = %v, want %v", c.flagged, c.total, got, c.want)
+		}
+	}
+}
+
 func TestDiagnoseControlsErrors(t *testing.T) {
 	w := newSynthWorld(43, 28, 14)
 	controls := w.controls(5, 0.8, 1.2)

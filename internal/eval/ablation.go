@@ -52,11 +52,17 @@ func RunAblation(cfg SyntheticConfig, variants []AblationVariant) (AblationResul
 	if len(variants) == 0 {
 		variants = AblationVariants()
 	}
+	run := cfg.Obs.Child("ablation")
+	defer run.End()
 	out := AblationResult{Variants: variants, Matrices: make(map[string]*Matrix, len(variants))}
 	for _, v := range variants {
 		vcfg := cfg
 		vcfg.Assessor = v.Config
+		variantScope := run.Child("ablation-variant")
+		variantScope.SetAttr("variant", v.Name)
+		vcfg.Obs = variantScope
 		res, err := RunSynthetic(vcfg)
+		variantScope.End()
 		if err != nil {
 			return AblationResult{}, fmt.Errorf("eval: ablation variant %q: %w", v.Name, err)
 		}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/kpi"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/timeseries"
 )
 
@@ -273,6 +274,11 @@ type KnownConfig struct {
 	// Workers bounds the assessor's worker pool (0 = GOMAXPROCS); the
 	// results are bit-identical for every value.
 	Workers int
+	// Obs is the optional observability scope: the run records one span
+	// per Table 2 row (with per-element assessment spans beneath it) and
+	// per-row case counters. Nil costs nothing; outcomes are
+	// bit-identical either way.
+	Obs *obs.Scope
 }
 
 // DefaultKnownConfig returns the configuration used for the Table 2
@@ -331,8 +337,14 @@ func RunKnownAssessments(cfg KnownConfig) (KnownResult, error) {
 	for _, a := range Algorithms() {
 		out.Matrices[a] = &Matrix{}
 	}
+	run := cfg.Obs.Child("known-eval")
+	defer run.End()
 	for _, row := range KnownRows() {
-		rr, err := runKnownRow(net, assessor, cfg, row)
+		rowScope := run.Child("known-row")
+		rowScope.SetAttr("row", row.Name)
+		rr, err := runKnownRow(net, assessor.WithObserver(rowScope), cfg, row)
+		rowScope.Counter(obs.Labeled(obs.MetricEvalCases, "row", row.Name)).Add(int64(row.Cases()))
+		rowScope.End()
 		if err != nil {
 			return KnownResult{}, fmt.Errorf("eval: row %q: %w", row.Name, err)
 		}
@@ -468,6 +480,9 @@ func runKnownRow(net *netsim.Network, assessor *core.Assessor, cfg KnownConfig, 
 			if err != nil {
 				return KnownRowResult{}, err
 			}
+			// The floor-specific assessor inherits the row's observer so
+			// its assessments land in the same trace.
+			kpiAssessor = kpiAssessor.WithObserver(assessor.Observer())
 		}
 		g := gen.New(net, gcfg)
 		controlPanel := g.Panel(rk.KPI, controls)

@@ -1,0 +1,83 @@
+package obs
+
+// Canonical span names — the stage taxonomy of the assessment path.
+// Every instrumented layer uses these constants so traces from different
+// entry points (Pipeline.AssessChange, a bare AssessGroup, the eval
+// harness) aggregate under the same stage names.
+const (
+	// SpanAssessChange covers one full Pipeline.AssessChange call.
+	SpanAssessChange = "assess-change"
+	// SpanControlSelect covers control.Selector.Select.
+	SpanControlSelect = "control-select"
+	// SpanPanelAssembly covers study/control panel construction from the
+	// series provider.
+	SpanPanelAssembly = "panel-assembly"
+	// SpanAssessGroup covers one per-KPI group assessment (voting across
+	// study elements).
+	SpanAssessGroup = "assess-group"
+	// SpanAssessElement covers one element's robust spatial regression.
+	SpanAssessElement = "assess-element"
+	// SpanSampling covers an element's whole sampling-iteration batch
+	// (the Iterations × least-squares fan-out).
+	SpanSampling = "sampling-iterations"
+	// SpanAggregate covers forecast aggregation and the forecast
+	// differences.
+	SpanAggregate = "aggregate-forecasts"
+	// SpanRankTest covers the two-sample test plus the autocorrelation
+	// correction.
+	SpanRankTest = "rank-test"
+	// SpanDiagnostics covers control-group quality diagnostics.
+	SpanDiagnostics = "control-diagnostics"
+)
+
+// Canonical metric names (Prometheus conventions: _total for counters,
+// base units in the name).
+const (
+	// MetricStageSeconds is the per-stage latency histogram; one series
+	// per span name, labeled stage="<name>". Recorded automatically by
+	// Scope.End.
+	MetricStageSeconds = "litmus_stage_seconds"
+	// MetricIterations counts sampling iterations run.
+	MetricIterations = "litmus_sampling_iterations_total"
+	// MetricIterationsFailed counts sampling iterations whose regression
+	// failed to fit (degenerate draws).
+	MetricIterationsFailed = "litmus_sampling_iterations_failed_total"
+	// MetricControlsSampled counts control columns drawn across sampling
+	// iterations (k per iteration).
+	MetricControlsSampled = "litmus_controls_sampled_total"
+	// MetricElementsAssessed counts study elements assessed successfully.
+	MetricElementsAssessed = "litmus_elements_assessed_total"
+	// MetricElementsSkipped counts study elements skipped by AssessGroup
+	// (individual assessment failed).
+	MetricElementsSkipped = "litmus_elements_skipped_total"
+	// MetricPValue is the histogram of assessment p-values.
+	MetricPValue = "litmus_p_value"
+	// MetricControlCandidates counts control candidates that matched the
+	// selection predicate (before the MaxSize cap).
+	MetricControlCandidates = "litmus_control_candidates_total"
+	// MetricControlsSelected counts control elements selected.
+	MetricControlsSelected = "litmus_controls_selected_total"
+	// MetricControlsFlagged counts controls flagged as bad predictors by
+	// the diagnostics.
+	MetricControlsFlagged = "litmus_controls_flagged_total"
+	// MetricControlsDiagnosed counts controls evaluated by the
+	// diagnostics.
+	MetricControlsDiagnosed = "litmus_controls_diagnosed_total"
+	// MetricDecisions counts pipeline go/no-go decisions, labeled
+	// decision="go|hold|no-go".
+	MetricDecisions = "litmus_decisions_total"
+	// MetricEvalCases counts evaluation-harness cases, labeled
+	// scenario="..." (synthetic) or row="..." (known assessments).
+	MetricEvalCases = "litmus_eval_cases_total"
+)
+
+// Default bucket bounds.
+var (
+	// StageBuckets spans the engine's latency range: microsecond stages
+	// (rank test on short windows) through multi-minute table
+	// reproductions.
+	StageBuckets = []float64{1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1, 5, 30, 120}
+	// PValueBuckets resolve the decision-relevant left tail around
+	// conventional significance levels.
+	PValueBuckets = []float64{0.001, 0.01, 0.05, 0.1, 0.25, 0.5}
+)

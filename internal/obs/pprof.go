@@ -1,0 +1,26 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on http.DefaultServeMux
+)
+
+// ServePprof starts an HTTP server on addr (e.g. "localhost:6060")
+// exposing net/http/pprof's profiling endpoints under /debug/pprof/ and
+// expvar under /debug/vars. The listener is bound synchronously — so a
+// bad address fails fast — and then served from a background goroutine
+// for the life of the process. The returned address is the bound one
+// (useful with a ":0" port).
+func ServePprof(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		// Serve exits only when the listener closes at process death;
+		// profiling servers have no graceful-shutdown story to tell.
+		_ = http.Serve(ln, nil)
+	}()
+	return ln.Addr().String(), nil
+}

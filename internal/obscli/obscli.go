@@ -1,0 +1,109 @@
+// Package obscli wires the observability layer into the command-line
+// tools: the shared -trace/-metrics/-pprof flag triple, scope creation,
+// and end-of-run reporting (trace JSON, flame summary, per-stage timing
+// table, Prometheus dump). Every Litmus command exposes the same
+// surface:
+//
+//	litmus ... -trace out.json   # write the span tree as JSON
+//	litmus ... -metrics          # print Prometheus text + stage timings on exit
+//	litmus ... -pprof :6060      # serve net/http/pprof and /debug/vars
+package obscli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+	"repro/internal/report"
+)
+
+// Flags holds the parsed observability flag values.
+type Flags struct {
+	// TracePath is -trace: where to write the JSON span tree ("" = off).
+	TracePath string
+	// Metrics is -metrics: print the Prometheus dump and per-stage
+	// timing table on exit.
+	Metrics bool
+	// PprofAddr is -pprof: address to serve net/http/pprof on ("" = off).
+	PprofAddr string
+}
+
+// Register installs -trace, -metrics and -pprof on the default flag set.
+// Call before flag.Parse.
+func Register() *Flags {
+	f := &Flags{}
+	flag.StringVar(&f.TracePath, "trace", "", "write the assessment span tree as JSON to this file")
+	flag.BoolVar(&f.Metrics, "metrics", false, "print Prometheus-text metrics and a per-stage timing table on exit")
+	flag.StringVar(&f.PprofAddr, "pprof", "", `serve net/http/pprof and /debug/vars on this address (e.g. "localhost:6060")`)
+	return f
+}
+
+// Enabled reports whether any instrumentation was requested; when false,
+// Scope returns nil and the engine runs its zero-overhead path.
+func (f *Flags) Enabled() bool {
+	return f.TracePath != "" || f.Metrics || f.PprofAddr != ""
+}
+
+// Scope starts the run's root scope named name, honoring the flags: nil
+// when no instrumentation was requested; otherwise a scope over a fresh
+// registry, published to expvar as "litmus.metrics", with the pprof
+// server started first if requested (a bad -pprof address is returned
+// as an error before any work runs).
+func (f *Flags) Scope(name string) (*obs.Scope, error) {
+	if !f.Enabled() {
+		return nil, nil
+	}
+	if f.PprofAddr != "" {
+		addr, err := obs.ServePprof(f.PprofAddr)
+		if err != nil {
+			return nil, fmt.Errorf("starting pprof server: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "pprof: serving profiles on http://%s/debug/pprof/\n", addr)
+	}
+	reg := obs.NewRegistry()
+	reg.PublishExpvar("litmus.metrics")
+	return obs.New(name, reg), nil
+}
+
+// Report ends the scope and emits everything the flags asked for: the
+// JSON trace to -trace's path, and — with -metrics — the flame summary,
+// per-stage timing table and Prometheus dump to w. A nil scope is a
+// no-op.
+func (f *Flags) Report(w io.Writer, scope *obs.Scope) error {
+	if scope == nil {
+		return nil
+	}
+	scope.End()
+	root := scope.Span()
+	if f.TracePath != "" {
+		out, err := os.Create(f.TracePath)
+		if err != nil {
+			return err
+		}
+		if err := root.WriteJSON(out); err != nil {
+			out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "trace: wrote span tree to %s\n", f.TracePath)
+	}
+	if f.Metrics {
+		fmt.Fprintf(w, "\n--- trace summary (%s) ---\n", root.Name)
+		if err := root.WriteFlame(w); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\n--- per-stage timings ---\n")
+		if err := report.WriteStageTimings(w, root); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\n--- metrics (Prometheus text) ---\n")
+		if err := scope.Registry().WritePrometheus(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

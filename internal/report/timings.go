@@ -1,0 +1,54 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// WriteStageTimings renders the per-stage timing table of a finished
+// trace: one row per span name aggregated over the whole tree (count,
+// total, mean, min/max, share of the root's wall time), heaviest stage
+// first, plus a coverage footer — the fraction of the root span's wall
+// time attributed to its direct children. Totals of stages that ran
+// concurrently (per-element spans under the worker pool) can exceed the
+// root's wall time; the share column is CPU-time-like for those rows.
+func WriteStageTimings(w io.Writer, root *obs.Span) error {
+	if root == nil {
+		return fmt.Errorf("report: no trace to summarize (nil root span)")
+	}
+	wall := root.Duration()
+	if _, err := fmt.Fprintf(w, "%-28s %7s %12s %12s %12s %12s %8s\n",
+		"stage", "count", "total", "mean", "min", "max", "% wall"); err != nil {
+		return err
+	}
+	for _, st := range obs.StageStats(root) {
+		share := 0.0
+		if wall > 0 {
+			share = 100 * float64(st.Total) / float64(wall)
+		}
+		if _, err := fmt.Fprintf(w, "%-28s %7d %12s %12s %12s %12s %7.1f%%\n",
+			st.Name, st.Count,
+			round(st.Total), round(st.Mean()), round(st.Min), round(st.Max), share); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "stage coverage: %.1f%% of %s wall time attributed to the root's direct children\n",
+		100*obs.Coverage(root), round(wall))
+	return err
+}
+
+// round trims durations to a readable precision without losing the
+// microsecond stages.
+func round(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond)
+	default:
+		return d.Round(100 * time.Nanosecond)
+	}
+}

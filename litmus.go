@@ -38,6 +38,7 @@ import (
 	"repro/internal/control"
 	"repro/internal/core"
 	"repro/internal/kpi"
+	"repro/internal/obs"
 	"repro/internal/timeseries"
 )
 
@@ -128,6 +129,13 @@ func DiagnoseControls(study Series, controls *Panel, changeAt time.Time) (GroupD
 	return core.DiagnoseControls(study, controls, changeAt)
 }
 
+// DiagnoseControlsObserved is DiagnoseControls recording a
+// control-diagnostics span and flagged-control counters into scope (nil
+// scope: identical to DiagnoseControls).
+func DiagnoseControlsObserved(scope *Scope, study Series, controls *Panel, changeAt time.Time) (GroupDiagnostics, error) {
+	return core.DiagnoseControlsObserved(scope, study, controls, changeAt)
+}
+
 // StudyOnly runs the study-group-only baseline analysis (see
 // core.StudyOnly).
 func StudyOnly(study Series, changeAt time.Time, metric KPI, alpha float64) (Verdict, error) {
@@ -146,3 +154,28 @@ type Predicate = control.Predicate
 
 // Selector re-exports the domain-knowledge-guided control group selector.
 type Selector = control.Selector
+
+// Observability surface (see internal/obs). A Scope threads structured
+// tracing and metrics through the assessment path: attach one to
+// Pipeline.Obs, Selector.Obs or Assessor.WithObserver and every stage —
+// control selection, panel assembly, per-element regression, sampling
+// batches, the rank test — records a span plus counters/histograms. A
+// nil Scope is the zero-overhead fast path, and instrumented
+// assessments are bit-identical to uninstrumented ones.
+type (
+	// Scope is a position in a trace tree plus a metrics registry handle.
+	Scope = obs.Scope
+	// Span is one timed node of an exported trace tree.
+	Span = obs.Span
+	// MetricsRegistry is the concurrency-safe counter/gauge/histogram
+	// registry with Prometheus-text and expvar publication.
+	MetricsRegistry = obs.Registry
+)
+
+// NewScope returns a live observability scope rooted at a span named
+// name, recording metrics into reg (nil reg: tracing only).
+func NewScope(name string, reg *MetricsRegistry) *Scope { return obs.New(name, reg) }
+
+// NewMetricsRegistry returns an empty metrics registry (see
+// MetricsRegistry).
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }

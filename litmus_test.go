@@ -161,6 +161,37 @@ func TestDecide(t *testing.T) {
 	}
 }
 
+func TestParseDecisionRoundTrip(t *testing.T) {
+	for _, d := range []Decision{NoGo, Hold, Go} {
+		got, err := ParseDecision(d.String())
+		if err != nil {
+			t.Fatalf("ParseDecision(%q): %v", d.String(), err)
+		}
+		if got != d {
+			t.Errorf("ParseDecision(%q) = %v, want %v", d.String(), got, d)
+		}
+	}
+	if _, err := ParseDecision("maybe"); err == nil {
+		t.Error("unknown decision string accepted")
+	}
+	// Out-of-range values format as Decision(n), which must not parse
+	// back — only the three canonical strings round-trip.
+	if _, err := ParseDecision(Decision(42).String()); err == nil {
+		t.Error("out-of-range decision string accepted")
+	}
+}
+
+func TestDecideEmptyPerKPI(t *testing.T) {
+	// A change assessed against zero KPIs yields no evidence either way:
+	// the recommendation must be Hold, not Go.
+	if got := decide(map[KPI]GroupResult{}); got != Hold {
+		t.Errorf("decide(empty) = %v, want Hold", got)
+	}
+	if got := decide(nil); got != Hold {
+		t.Errorf("decide(nil) = %v, want Hold", got)
+	}
+}
+
 func TestFacadeHelpers(t *testing.T) {
 	ix := NewIndex(epoch, time.Hour, 3)
 	s := NewSeries(ix, []float64{1, 2, 3})

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kpi"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 )
 
 // SeriesProvider supplies KPI time-series per network element — the
@@ -50,6 +51,22 @@ func (d Decision) String() string {
 	}
 }
 
+// ParseDecision is the inverse of Decision.String, so reports and JSON
+// documents that render decisions as text round-trip back into typed
+// values.
+func ParseDecision(s string) (Decision, error) {
+	switch s {
+	case "no-go":
+		return NoGo, nil
+	case "hold":
+		return Hold, nil
+	case "go":
+		return Go, nil
+	default:
+		return 0, fmt.Errorf("litmus: unknown decision %q (want no-go, hold or go)", s)
+	}
+}
+
 // ChangeAssessment is the full Litmus report for one change.
 type ChangeAssessment struct {
 	// Change is the assessed change record.
@@ -78,17 +95,28 @@ type Pipeline struct {
 	ControlPredicate Predicate
 	// MaxControls caps the control group size (default 100, §3.3).
 	MaxControls int
+	// Obs is the optional observability scope (see internal/obs and the
+	// root NewScope/NewMetricsRegistry helpers): AssessChange records an
+	// assess-change span with control-select, panel-assembly and per-KPI
+	// assessment stages beneath it, plus decision counters. Nil (the
+	// default) is the documented zero-overhead fast path; assessments are
+	// bit-identical either way.
+	Obs *obs.Scope
 }
 
 // AssessChange assesses a change over the given KPIs using windows of
 // windowDays before and after the change time.
 func (p *Pipeline) AssessChange(change *changelog.Change, kpis []KPI, windowDays int) (*ChangeAssessment, error) {
+	sc := p.Obs.Child(obs.SpanAssessChange)
+	defer sc.End()
 	if p.Network == nil || p.Provider == nil {
 		return nil, fmt.Errorf("litmus: pipeline needs a network and a series provider")
 	}
 	if err := change.Validate(p.Network); err != nil {
 		return nil, err
 	}
+	sc.SetAttr("change", change.ID)
+	sc.SetAttr("kpis", len(kpis))
 	if len(kpis) == 0 {
 		return nil, fmt.Errorf("litmus: no KPIs to assess")
 	}
@@ -109,12 +137,14 @@ func (p *Pipeline) AssessChange(change *changelog.Change, kpis []KPI, windowDays
 	}
 
 	// Select the control group outside the change's causal impact scope.
+	// The selector records its own control-select span under ours.
 	scope := change.ImpactScope(p.Network)
 	sel := &control.Selector{
 		Net:       p.Network,
 		Predicate: pred,
 		Exclude:   scope,
 		MaxSize:   p.MaxControls,
+		Obs:       sc,
 	}
 	controls, err := sel.Select(change.Elements)
 	if err != nil {
@@ -137,14 +167,20 @@ func (p *Pipeline) AssessChange(change *changelog.Change, kpis []KPI, windowDays
 	type kpiPanels struct {
 		studies, controls *Panel
 	}
+	assembly := sc.Child(obs.SpanPanelAssembly)
 	panels := make([]kpiPanels, len(kpis))
 	for i, metric := range kpis {
 		studies, controlsPanel, err := p.panels(change, controls, metric, windowDays)
 		if err != nil {
+			assembly.End()
 			return nil, fmt.Errorf("litmus: %v: %w", metric, err)
 		}
 		panels[i] = kpiPanels{studies: studies, controls: controlsPanel}
 	}
+	assembly.End()
+	// Each KPI's AssessGroup opens its own assess-group span under the
+	// assess-change span; sibling spans may be created concurrently.
+	assessor = assessor.WithObserver(sc)
 	results := make([]GroupResult, len(kpis))
 	errs := make([]error, len(kpis))
 	core.ForEachIndex(assessor.Config().Workers, len(kpis), func(i int) {
@@ -157,6 +193,7 @@ func (p *Pipeline) AssessChange(change *changelog.Change, kpis []KPI, windowDays
 		out.PerKPI[metric] = results[i]
 	}
 	out.Decision = decide(out.PerKPI)
+	sc.Counter(obs.Labeled(obs.MetricDecisions, "decision", out.Decision.String())).Add(1)
 	return out, nil
 }
 
