@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: ci vet lint build test race race-obs fuzz-seed bench bench-workers bench-obs clean
+.PHONY: ci vet lint build test race race-obs fuzz-seed bench bench-workers bench-obs bench-json clean
 
 ci: vet build test race fuzz-seed
 
@@ -59,6 +59,16 @@ bench-workers:
 # Observability overhead: instrumented vs nil-scope group assessment.
 bench-obs:
 	$(GO) test -bench 'AssessGroupInstrumented' -benchmem -run '^$$' .
+
+# Machine-readable snapshot of the assessment-kernel benchmarks
+# (ns/op, B/op, allocs/op per benchmark) — the artifact CI uploads so
+# kernel performance is reviewable per commit. Short -benchtime keeps it
+# cheap; use `make bench` for full-length local numbers.
+bench-json:
+	$(GO) test -bench 'AssessElement$$|AssessElementWorkers|WorkerScaling|QRReuse|Median$$' \
+		-benchmem -benchtime 0.2s -run '^$$' . ./internal/linalg ./internal/stats \
+		| $(GO) run ./cmd/benchjson -o BENCH_3.json
+	@echo wrote BENCH_3.json
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,109 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document mapping benchmark name → measured values (ns/op,
+// allocs/op, B/op, iterations). CI runs the short benchmark suite through
+// it (`make bench-json`) and uploads the result, so performance of the
+// assessment kernel is tracked as a reviewable artifact rather than
+// scraped from logs.
+//
+// Usage:
+//
+//	go test -bench . -benchmem -run '^$' ./... | benchjson -o BENCH.json
+//
+// Lines that are not benchmark results (package headers, PASS/ok
+// trailers) are ignored, so the whole `go test` stream can be piped in
+// unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result holds one benchmark's measurements. Fields mirror the testing
+// package's standard -bench/-benchmem columns; absent columns are zero.
+type Result struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// parseBench extracts benchmark results from a `go test -bench` stream.
+// The accepted line shape is
+//
+//	Benchmark<Name> <iterations> <value> <unit> [<value> <unit>]...
+//
+// Names are kept verbatim, including any GOMAXPROCS suffix: stripping it
+// is ambiguous against sub-benchmark names that legitimately end in -N
+// (e.g. WorkerScaling/workers-4), and a stable runner configuration keeps
+// the keys comparable across runs anyway.
+func parseBench(r io.Reader) (map[string]Result, error) {
+	out := make(map[string]Result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "Benchmarking..." chatter, not a result line
+		}
+		name := fields[0]
+		res := Result{Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		out[name] = res
+	}
+	return out, sc.Err()
+}
+
+func run(in io.Reader, outPath string) error {
+	results, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark results found on input")
+	}
+	// encoding/json marshals map keys in sorted order, so the document is
+	// deterministic for a given benchmark set.
+	doc, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if outPath == "" || outPath == "-" {
+		_, err = os.Stdout.Write(doc)
+		return err
+	}
+	return os.WriteFile(outPath, doc, 0o644)
+}
+
+func main() {
+	outPath := flag.String("o", "-", "output file (default stdout)")
+	flag.Parse()
+	if err := run(os.Stdin, *outPath); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

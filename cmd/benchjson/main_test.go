@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkAssessElement        	    2030	   1027368 ns/op	   95598 B/op	      85 allocs/op
+BenchmarkWorkerScaling/workers-1         	     531	   4322043 ns/op	 1715539 B/op	     695 allocs/op
+BenchmarkQRReuse/factor-once          	   82207	     14144 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro	24.973s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d results, want 3: %v", len(got), got)
+	}
+	ae := got["BenchmarkAssessElement"]
+	if ae.Iterations != 2030 || ae.NsPerOp != 1027368 || ae.BytesPerOp != 95598 || ae.AllocsPerOp != 85 {
+		t.Errorf("AssessElement = %+v", ae)
+	}
+	// Names must be kept verbatim — in particular a sub-benchmark ending
+	// in -N must not be mistaken for a GOMAXPROCS suffix and truncated.
+	if _, ok := got["BenchmarkWorkerScaling/workers-1"]; !ok {
+		t.Errorf("sub-benchmark name not preserved: %v", got)
+	}
+	if _, ok := got["BenchmarkQRReuse/factor-once"]; !ok {
+		t.Errorf("factor-once result missing: %v", got)
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	got, err := parseBench(strings.NewReader("PASS\nok  \trepro\t0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("parsed %d results from non-benchmark input", len(got))
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/kpi"
@@ -156,6 +157,9 @@ type Assessor struct {
 	// obs is the optional observability scope; nil (the default) is the
 	// zero-overhead fast path. See WithObserver.
 	obs *obs.Scope
+	// rt carries the scratch-arena pool and the deterministic sample
+	// cache (see scratch.go); shared by WithObserver-derived assessors.
+	rt *runtimeState
 }
 
 // NewAssessor returns an assessor with cfg (zero fields defaulted). It
@@ -164,7 +168,7 @@ func NewAssessor(cfg Config) (*Assessor, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Assessor{cfg: cfg.withDefaults()}, nil
+	return &Assessor{cfg: cfg.withDefaults(), rt: newRuntimeState()}, nil
 }
 
 // MustNewAssessor is NewAssessor for known-good configurations.
@@ -189,7 +193,7 @@ func (a *Assessor) WithObserver(scope *obs.Scope) *Assessor {
 	if scope == nil {
 		return a
 	}
-	return &Assessor{cfg: a.cfg, obs: scope}
+	return &Assessor{cfg: a.cfg, obs: scope, rt: a.rt}
 }
 
 // Observer returns the scope the assessor records into (nil when
@@ -255,57 +259,147 @@ func (a *Assessor) AssessElement(elementID string, study timeseries.Series, cont
 	xbFull := xBefore.DesignMatrix()
 	xaFull := xAfter.DesignMatrix()
 	yb := yBefore.Values
-	ya := yAfter.Values
 	ybFit := make([]float64, len(fitRows))
 	for i, r := range fitRows {
 		ybFit[i] = yb[r]
 	}
 
-	// Fan the sampling iterations out over the worker pool. Iteration it
-	// draws its control sample from a private RNG derived from
-	// (Seed, it) — see parallel.go — and writes into slot it, so the
-	// gathered forecasts are bit-identical to a sequential run for every
-	// worker count and schedule. The shared inputs (xbFull, xaFull,
-	// ybFit, fitRows) are only read; every linalg operation copies.
-	iters := a.cfg.Iterations
-	type iterFit struct {
-		fb, fa []float64
-		r2     float64
-		ok     bool
-	}
+	fits := a.runIterations(sc, xbFull, xaFull, fitRows, ybFit, k, yBefore.Len(), yAfter.Len())
+	sc.Counter(obs.MetricIterations).Add(int64(a.cfg.Iterations))
+	sc.Counter(obs.MetricControlsSampled).Add(int64(a.cfg.Iterations * k))
+	return a.finishElement(sc, elementID, metric, yBefore, yAfter, fits)
+}
+
+// iterFit is one sampling iteration's output: the before/after forecasts
+// (arena-backed; see runIterations) and the fit quality.
+type iterFit struct {
+	fb, fa []float64
+	r2     float64
+	ok     bool
+}
+
+// newIterFits builds the per-iteration fit slots with the forecast
+// vectors carved out of one arena allocation — iteration it owns slot it
+// exclusively, so the worker fan-out writes race-free and the whole batch
+// costs two allocations instead of two per iteration.
+func newIterFits(iters, lenB, lenA int) []iterFit {
 	fits := make([]iterFit, iters)
+	arena := make([]float64, iters*(lenB+lenA))
+	for it := range fits {
+		off := it * (lenB + lenA)
+		fits[it].fb = arena[off : off+lenB : off+lenB]
+		fits[it].fa = arena[off+lenB : off+lenB+lenA : off+lenB+lenA]
+	}
+	return fits
+}
+
+// runIterations fans the sampling iterations out over the worker pool.
+// Iteration it uses the cached control sample derived from (Seed, it) —
+// see scratch.go — and writes into slot it, so the gathered forecasts are
+// bit-identical to a sequential run for every worker count and schedule.
+// The shared inputs (xbFull, xaFull, ybFit, fitRows) are only read; all
+// mutable state lives in per-worker scratch arenas.
+func (a *Assessor) runIterations(sc *obs.Scope, xbFull, xaFull *linalg.Matrix, fitRows []int, ybFit []float64, k, lenB, lenA int) []iterFit {
+	iters := a.cfg.Iterations
+	samples := a.samplesFor(xbFull.Cols(), k)
+	fits := newIterFits(iters, lenB, lenA)
+	allRowsFit := len(fitRows) == lenB
+	var factorized, leverageSkipped atomic.Int64
+	ws := newWorkerScratches(a.cfg.Workers, iters)
 	sampling := sc.Child(obs.SpanSampling)
-	forEach(a.cfg.Workers, iters, func(it int) {
-		cols := sampleColumns(iterRNG(a.cfg.Seed, it), n, k)
-		xb := xbFull.SelectCols(cols).WithInterceptColumn()
-		xa := xaFull.SelectCols(cols).WithInterceptColumn()
-		xbFit := xb.SelectRows(fitRows)
-		beta, err := linalg.LeastSquares(xbFit, ybFit)
-		if err != nil {
-			// A degenerate draw (e.g. all-constant columns); skip it. The
-			// median aggregation tolerates missing iterations.
+	forEachWorker(a.cfg.Workers, iters, func(w, it int) {
+		s := ws.get(a.rt, w)
+		xb := xbFull.SelectColsWithIntercept(&s.xb, samples[it])
+		xa := xaFull.SelectColsWithIntercept(&s.xa, samples[it])
+		xfit := xb
+		if !allRowsFit {
+			xfit = xb.SelectRowsInto(&s.xfit, fitRows)
+		}
+		if xfit.Rows() < xfit.Cols() {
+			// Underdetermined draw; skip it (the median aggregation
+			// tolerates missing iterations).
 			return
 		}
-		fb := xb.MulVec(beta)
+		s.qr.Factor(xfit)
+		factorized.Add(1)
+		s.beta = growFloats(s.beta, xfit.Cols())
+		s.swork = growFloats(s.swork, xfit.Rows())
+		if err := s.qr.SolveInto(s.beta, ybFit, s.swork); err != nil {
+			// Rank-deficient draw (e.g. duplicate control columns): the
+			// same minimally regularized fallback as linalg.LeastSquares.
+			b2, err2 := linalg.SolveRidge(xfit, ybFit, linalg.RidgeFallbackLambda)
+			if err2 != nil {
+				return
+			}
+			copy(s.beta, b2)
+		}
+		fb := xb.MulVecInto(fits[it].fb, s.beta)
+		xa.MulVecInto(fits[it].fa, s.beta)
+		fits[it].r2 = rSquaredAtRows(fb, fitRows, ybFit)
 		// In-sample residuals are optimistically small, which would make
 		// the before-window forecast differences artificially tight and
 		// manufacture significance. Replace the fitted values at fitted
 		// rows with leave-one-out forecasts, y − e/(1−h), putting both
 		// windows on the out-of-sample error scale.
-		if hs, errH := linalg.Leverages(xbFit); errH == nil {
-			for fi, r := range fitRows {
-				h := hs[fi]
-				if h > maxLeverage {
-					h = maxLeverage
-				}
-				fb[r] = ybFit[fi] - (ybFit[fi]-fb[r])/(1-h)
-			}
+		s.hs = growFloats(s.hs, xfit.Rows())
+		s.zwork = growFloats(s.zwork, xfit.Cols())
+		if err := s.qr.LeveragesInto(s.hs, xfit, s.zwork); err == nil {
+			adjustLOO(fb, ybFit, fitRows, s.hs)
+		} else {
+			leverageSkipped.Add(1)
 		}
-		fits[it] = iterFit{fb: fb, fa: xa.MulVec(beta), r2: linalg.RSquared(xbFit, beta, ybFit), ok: true}
+		fits[it].ok = true
 	})
 	sampling.End()
-	sc.Counter(obs.MetricIterations).Add(int64(iters))
-	sc.Counter(obs.MetricControlsSampled).Add(int64(iters * k))
+	ws.release(a.rt)
+	sc.Counter(obs.MetricBeforeFactorizations).Add(factorized.Load())
+	sc.Counter(obs.MetricLeverageSkipped).Add(leverageSkipped.Load())
+	return fits
+}
+
+// adjustLOO replaces the fitted values at the fitted rows with
+// leave-one-out forecasts y − e/(1−h), capping leverages at maxLeverage.
+// hs is read-only, so one leverage vector can serve many elements.
+func adjustLOO(fb, ybFit []float64, fitRows []int, hs []float64) {
+	for fi, r := range fitRows {
+		h := hs[fi]
+		if h > maxLeverage {
+			h = maxLeverage
+		}
+		fb[r] = ybFit[fi] - (ybFit[fi]-fb[r])/(1-h)
+	}
+}
+
+// rSquaredAtRows is linalg.RSquared with the prediction read from the
+// already-computed full-window forecast at the fitted rows — the same
+// arithmetic in the same order, minus the extra matrix–vector product.
+func rSquaredAtRows(fb []float64, rows []int, y []float64) float64 {
+	var mean float64
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	var ssr, sst float64
+	for i, v := range y {
+		r := v - fb[rows[i]]
+		ssr += r * r
+		d := v - mean
+		sst += d * d
+	}
+	if sst == 0 {
+		return 0
+	}
+	return 1 - ssr/sst
+}
+
+// finishElement turns the gathered per-iteration fits into the element
+// verdict: aggregate forecasts, forecast differences, the rank-order test
+// with its autocorrelation correction, and the impact decision. It is
+// shared by AssessElement and the cross-element fast path of AssessGroup.
+func (a *Assessor) finishElement(sc *obs.Scope, elementID string, metric kpi.KPI, yBefore, yAfter timeseries.Series, fits []iterFit) (ElementResult, error) {
+	iters := len(fits)
+	yb := yBefore.Values
+	ya := yAfter.Values
 	forecastsB := make([][]float64, 0, iters)
 	forecastsA := make([][]float64, 0, iters)
 	r2s := make([]float64, 0, iters)
@@ -355,7 +449,10 @@ func (a *Assessor) AssessElement(elementID string, study timeseries.Series, cont
 	}
 	rank.End()
 	sc.Histogram(obs.MetricPValue, obs.PValueBuckets).Observe(test.P)
-	shift := stats.Median(cleanA) - stats.Median(cleanB)
+	// cleanA/cleanB and r2s are dead after these medians, so the in-place
+	// (quickselect) form is safe; DiffBefore/DiffAfter keep the original
+	// order in separate storage.
+	shift := stats.MedianInPlace(cleanA) - stats.MedianInPlace(cleanB)
 	dir := test.Direction(a.cfg.Alpha)
 	if a.cfg.EffectFloor > 0 && math.Abs(shift) < a.cfg.EffectFloor {
 		dir = 0
@@ -370,7 +467,7 @@ func (a *Assessor) AssessElement(elementID string, study timeseries.Series, cont
 		},
 		ElementID:      elementID,
 		KPI:            metric,
-		FitR2:          stats.Median(r2s),
+		FitR2:          stats.MedianInPlace(r2s),
 		ForecastBefore: timeseries.NewSeries(yBefore.Index, medB),
 		ForecastAfter:  timeseries.NewSeries(yAfter.Index, medA),
 		DiffBefore:     diffB,
@@ -395,15 +492,33 @@ func (a *Assessor) AssessGroup(studies *timeseries.Panel, controls *timeseries.P
 	// concurrent sibling creation, so the fan-out below needs no
 	// serialization for tracing.
 	elem := a.WithObserver(sc)
-	// Elements are independent: fan them out over the worker pool and
-	// gather in ID order (per-iteration seeding makes each element's
-	// result independent of scheduling, so the group result is
-	// deterministic for every worker count).
 	perElement := make([]ElementResult, len(ids))
 	errs := make([]error, len(ids))
-	forEach(a.cfg.Workers, len(ids), func(i int) {
-		perElement[i], errs[i] = elem.AssessElement(ids[i], studies.MustSeries(ids[i]), controls, changeAt, metric)
-	})
+	if gs := a.prepGroupShared(sc, studies, controls, changeAt); gs != nil {
+		// Cross-element sharing: the per-iteration factorizations were
+		// computed once above (see group_shared.go); qualifying elements
+		// reuse them read-only and parallelize over iterations instead of
+		// elements. Elements with missing before-window data take the
+		// ordinary path — results are bit-identical either way.
+		shared := 0
+		for i, id := range ids {
+			if gs.eligible[i] {
+				perElement[i], errs[i] = elem.assessElementShared(id, studies.MustSeries(id), gs, changeAt, metric)
+				shared++
+			} else {
+				perElement[i], errs[i] = elem.AssessElement(id, studies.MustSeries(id), controls, changeAt, metric)
+			}
+		}
+		sc.Counter(obs.MetricGroupSharedElements).Add(int64(shared))
+	} else {
+		// Elements are independent: fan them out over the worker pool and
+		// gather in ID order (per-iteration seeding makes each element's
+		// result independent of scheduling, so the group result is
+		// deterministic for every worker count).
+		forEach(a.cfg.Workers, len(ids), func(i int) {
+			perElement[i], errs[i] = elem.AssessElement(ids[i], studies.MustSeries(ids[i]), controls, changeAt, metric)
+		})
+	}
 	results := make([]ElementResult, 0, len(ids))
 	var firstErr error
 	for i, id := range ids {
@@ -455,8 +570,11 @@ func (a *Assessor) sampleSize(n, tBefore int) int {
 }
 
 // sampleColumns draws k distinct column indexes uniformly from [0, n).
+// It consumes exactly the draws rng.Perm(n) would (see permInto), so the
+// cached samples of scratch.go reproduce it bit-for-bit.
 func sampleColumns(rng *rand.Rand, n, k int) []int {
-	perm := rng.Perm(n)
+	perm := make([]int, n)
+	permInto(rng, perm)
 	cols := perm[:k]
 	sort.Ints(cols)
 	return cols
@@ -493,7 +611,9 @@ func pointwiseMedian(forecasts [][]float64, length int) []float64 {
 		for j, f := range forecasts {
 			buf[j] = f[i]
 		}
-		out[i] = stats.Median(buf)
+		// buf is rebuilt from scratch each timepoint, so the quickselect
+		// permutation is harmless and the full sort is avoided.
+		out[i] = stats.MedianInPlace(buf)
 	}
 	return out
 }

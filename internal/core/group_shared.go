@@ -1,0 +1,190 @@
+package core
+
+// Cross-element factorization sharing for AssessGroup. The control
+// columns iteration it draws depend only on (Seed, it, n, k) — never on
+// the study element — so every element of a group fits against the same
+// per-iteration design matrices. When an element's before window has no
+// missing data its fit rows cover the whole window, and the expensive
+// per-iteration products (the sampled designs, the QR factorization, the
+// hat-matrix diagonal) are element-independent too: AssessGroup computes
+// them once and every qualifying element reuses them read-only, reducing
+// the group's before-window factorizations from Iterations × Elements to
+// exactly Iterations. Elements with missing before-window data fall back
+// to the ordinary per-element AssessElement path; results are
+// bit-identical either way because the shared products are precisely the
+// values the per-element path would compute.
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/kpi"
+	"repro/internal/linalg"
+	"repro/internal/obs"
+	"repro/internal/timeseries"
+)
+
+// iterShared is one sampling iteration's element-independent products.
+// All fields are read-only after prepGroupShared returns; SolveInto and
+// LeveragesInto only read the factorization, so concurrent solves against
+// one iterShared are safe.
+type iterShared struct {
+	xb, xa *linalg.Matrix // sampled before/after designs (with intercept)
+	qr     *linalg.QR     // factorization of xb
+	hs     []float64      // hat-matrix diagonal of xb; nil if rank deficient
+	ok     bool           // false for underdetermined draws (skipped)
+}
+
+// groupShared is the per-group preparation shared by every qualifying
+// element: the fit rows (the whole before window), the sample size, and
+// the per-iteration products.
+type groupShared struct {
+	k        int
+	fitRows  []int
+	eligible []bool // aligned with the group's ID order
+	iters    []iterShared
+}
+
+// allFinite reports whether xs contains only finite values — the
+// no-missing-data condition under which an element's fit rows cover the
+// whole before window.
+func allFinite(xs []float64) bool {
+	for _, v := range xs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// prepGroupShared qualifies the group for cross-element factorization
+// sharing and, when at least one element qualifies, computes the shared
+// per-iteration products. It returns nil when the panel itself cannot be
+// assessed uniformly (index mismatch, too few controls, windows too
+// short, no admissible sample size) or when no element has a fully
+// observed before window — the caller then uses the per-element path
+// unchanged.
+func (a *Assessor) prepGroupShared(sc *obs.Scope, studies, controls *timeseries.Panel, changeAt time.Time) *groupShared {
+	if !studies.Index().Equal(controls.Index()) {
+		return nil
+	}
+	n := controls.Len()
+	if n < a.cfg.MinControls {
+		return nil
+	}
+	xBefore, xAfter := controls.SplitAt(changeAt)
+	lenB, lenA := xBefore.Index().N, xAfter.Index().N
+	if lenB < 3 || lenA < 3 {
+		return nil
+	}
+	k := a.sampleSize(n, lenB)
+	if k < 1 {
+		return nil
+	}
+	ids := studies.IDs()
+	eligible := make([]bool, len(ids))
+	any := false
+	for i, id := range ids {
+		yb, _ := studies.MustSeries(id).SplitAt(changeAt)
+		if allFinite(yb.Values) {
+			eligible[i] = true
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+
+	prep := sc.Child(obs.SpanGroupPrep)
+	defer prep.End()
+	gs := &groupShared{
+		k:        k,
+		fitRows:  make([]int, lenB),
+		eligible: eligible,
+		iters:    make([]iterShared, a.cfg.Iterations),
+	}
+	for i := range gs.fitRows {
+		gs.fitRows[i] = i
+	}
+	xbFull := xBefore.DesignMatrix()
+	xaFull := xAfter.DesignMatrix()
+	samples := a.samplesFor(n, k)
+	var factorized atomic.Int64
+	forEach(a.cfg.Workers, a.cfg.Iterations, func(it int) {
+		st := &gs.iters[it]
+		st.xb = xbFull.SelectColsWithIntercept(nil, samples[it])
+		st.xa = xaFull.SelectColsWithIntercept(nil, samples[it])
+		if st.xb.Rows() < st.xb.Cols() {
+			// Underdetermined draw: the per-element path skips it too.
+			return
+		}
+		st.qr = linalg.NewQRInPlace(st.xb, nil)
+		factorized.Add(1)
+		hs := make([]float64, st.xb.Rows())
+		work := make([]float64, st.xb.Cols())
+		if err := st.qr.LeveragesInto(hs, st.xb, work); err == nil {
+			st.hs = hs
+		}
+		st.ok = true
+	})
+	sc.Counter(obs.MetricBeforeFactorizations).Add(factorized.Load())
+	sc.Counter(obs.MetricControlsSampled).Add(int64(a.cfg.Iterations * k))
+	return gs
+}
+
+// assessElementShared is AssessElement for an element whose before window
+// is fully observed, fitting against the group's shared per-iteration
+// factorizations. Only the element-specific work remains in the loop: one
+// triangular solve, two matrix–vector forecasts, R², and the leave-one-
+// out adjustment. The arithmetic matches the per-element path operation
+// for operation, so the result is bit-identical.
+func (a *Assessor) assessElementShared(elementID string, study timeseries.Series, gs *groupShared, changeAt time.Time, metric kpi.KPI) (ElementResult, error) {
+	sc := a.obs.Child(obs.SpanAssessElement)
+	sc.SetAttr("element", elementID)
+	sc.SetAttr("kpi", metric.String())
+	defer sc.End()
+	yBefore, yAfter := study.SplitAt(changeAt)
+	// The before window is fully observed (prepGroupShared qualified it),
+	// so the fit observations are the window itself — no copy needed; the
+	// solver only reads the right-hand side.
+	ybFit := yBefore.Values
+
+	iters := a.cfg.Iterations
+	fits := newIterFits(iters, yBefore.Len(), yAfter.Len())
+	var leverageSkipped atomic.Int64
+	ws := newWorkerScratches(a.cfg.Workers, iters)
+	sampling := sc.Child(obs.SpanSampling)
+	forEachWorker(a.cfg.Workers, iters, func(w, it int) {
+		st := &gs.iters[it]
+		if !st.ok {
+			return
+		}
+		s := ws.get(a.rt, w)
+		s.beta = growFloats(s.beta, st.xb.Cols())
+		s.swork = growFloats(s.swork, st.xb.Rows())
+		if err := st.qr.SolveInto(s.beta, ybFit, s.swork); err != nil {
+			// Rank-deficient draw: the same minimally regularized fallback
+			// as the per-element path.
+			b2, err2 := linalg.SolveRidge(st.xb, ybFit, linalg.RidgeFallbackLambda)
+			if err2 != nil {
+				return
+			}
+			copy(s.beta, b2)
+		}
+		fb := st.xb.MulVecInto(fits[it].fb, s.beta)
+		st.xa.MulVecInto(fits[it].fa, s.beta)
+		fits[it].r2 = rSquaredAtRows(fb, gs.fitRows, ybFit)
+		if st.hs != nil {
+			adjustLOO(fb, ybFit, gs.fitRows, st.hs)
+		} else {
+			leverageSkipped.Add(1)
+		}
+		fits[it].ok = true
+	})
+	sampling.End()
+	ws.release(a.rt)
+	sc.Counter(obs.MetricIterations).Add(int64(iters))
+	sc.Counter(obs.MetricLeverageSkipped).Add(leverageSkipped.Load())
+	return a.finishElement(sc, elementID, metric, yBefore, yAfter, fits)
+}

@@ -34,9 +34,20 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // result to a slot owned by index i; forEach returns only after every
 // call completed, so the caller reads the slots race-free.
 func forEach(workers, n int, fn func(i int)) {
+	forEachWorker(workers, n, func(_, i int) { fn(i) })
+}
+
+// forEachWorker is forEach with the worker index exposed: fn(w, i) is
+// called with 0 <= w < min(workers, n), and no two concurrent calls share
+// a w. Callers use w to index per-worker scratch arenas — buffers reused
+// across iterations without locking, the allocation discipline of the
+// sampling hot loop. The sequential path always reports worker 0. As with
+// forEach, outputs must be written to slots owned by i, never by w, so
+// gathering stays deterministic for any schedule.
+func forEachWorker(workers, n int, fn func(w, i int)) {
 	if workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -47,16 +58,16 @@ func forEach(workers, n int, fn func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }
@@ -89,4 +100,18 @@ func deriveSeed(seed int64, stream uint64) int64 {
 // package documentation describes.
 func iterRNG(seed int64, iteration int) *rand.Rand {
 	return rand.New(rand.NewSource(deriveSeed(seed, uint64(iteration))))
+}
+
+// permInto fills p with a uniform permutation of [0, len(p)), consuming
+// exactly the same stream of draws as rng.Perm(len(p)) — the inside-out
+// Fisher–Yates of math/rand — so the sampled control columns stay
+// bit-identical to the historical contract while the buffer is reused
+// instead of allocated per iteration. TestPermIntoMatchesRandPerm pins
+// the draw-for-draw equivalence.
+func permInto(rng *rand.Rand, p []int) {
+	for i := range p {
+		j := rng.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
 }

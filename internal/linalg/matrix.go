@@ -121,6 +121,26 @@ func (m *Matrix) Clone() *Matrix {
 	return c
 }
 
+// Reshape resizes m to rows×cols, reusing the backing storage when its
+// capacity allows and allocating otherwise. The contents are unspecified
+// after the call — every caller in the hot path overwrites the full
+// matrix — so Reshape is the scratch-arena primitive: one long-lived
+// Matrix absorbs thousands of same-shaped design builds without
+// allocating. It returns m for chaining and panics on negative
+// dimensions.
+func (m *Matrix) Reshape(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: negative dimension %dx%d", rows, cols))
+	}
+	m.rows, m.cols = rows, cols
+	if n := rows * cols; cap(m.data) < n {
+		m.data = make([]float64, n)
+	} else {
+		m.data = m.data[:n]
+	}
+	return m
+}
+
 // SelectCols returns a new matrix containing the given columns of m, in
 // the given order. Indices may repeat. It panics on out-of-range indices.
 func (m *Matrix) SelectCols(idx []int) *Matrix {
@@ -139,31 +159,53 @@ func (m *Matrix) SelectCols(idx []int) *Matrix {
 // SelectRows returns a new matrix containing the given rows of m, in the
 // given order. Indices may repeat. It panics on out-of-range indices.
 func (m *Matrix) SelectRows(idx []int) *Matrix {
-	out := NewMatrix(len(idx), m.cols)
+	return m.SelectRowsInto(nil, idx)
+}
+
+// SelectRowsInto writes the given rows of m, in order, into dst (reshaped
+// to len(idx)×Cols(), reusing its storage). A nil dst allocates. It
+// returns dst and panics on out-of-range indices or dst == m.
+func (m *Matrix) SelectRowsInto(dst *Matrix, idx []int) *Matrix {
+	if dst == m {
+		panic("linalg: SelectRowsInto aliases source and destination")
+	}
+	if dst == nil {
+		dst = NewMatrix(len(idx), m.cols)
+	} else {
+		dst.Reshape(len(idx), m.cols)
+	}
 	for ii, i := range idx {
 		if i < 0 || i >= m.rows {
 			panic(fmt.Sprintf("linalg: SelectRows index %d out of range for %d rows", i, m.rows))
 		}
-		copy(out.data[ii*out.cols:(ii+1)*out.cols], m.data[i*m.cols:(i+1)*m.cols])
+		copy(dst.data[ii*dst.cols:(ii+1)*dst.cols], m.data[i*m.cols:(i+1)*m.cols])
 	}
-	return out
+	return dst
 }
 
 // MulVec returns m·x as a new slice. It panics if len(x) != Cols().
 func (m *Matrix) MulVec(x []float64) []float64 {
+	return m.MulVecInto(make([]float64, m.rows), x)
+}
+
+// MulVecInto computes m·x into dst with no allocation and returns dst.
+// It panics if len(x) != Cols() or len(dst) != Rows().
+func (m *Matrix) MulVecInto(dst, x []float64) []float64 {
 	if len(x) != m.cols {
 		panic(fmt.Sprintf("linalg: MulVec dimension mismatch: %dx%d matrix with vector of length %d", m.rows, m.cols, len(x)))
 	}
-	out := make([]float64, m.rows)
+	if len(dst) != m.rows {
+		panic(fmt.Sprintf("linalg: MulVecInto dst length %d, want %d", len(dst), m.rows))
+	}
 	for i := 0; i < m.rows; i++ {
 		row := m.data[i*m.cols : (i+1)*m.cols]
 		var s float64
 		for j, v := range row {
 			s += v * x[j]
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out
+	return dst
 }
 
 // Transpose returns a new matrix that is the transpose of m.
@@ -209,6 +251,38 @@ func (m *Matrix) WithInterceptColumn() *Matrix {
 		copy(out.data[i*out.cols+1:(i+1)*out.cols], m.data[i*m.cols:(i+1)*m.cols])
 	}
 	return out
+}
+
+// SelectColsWithIntercept writes [1 | m[:, idx]] — a leading intercept
+// column of ones followed by the selected columns of m, in order — into
+// dst (reshaped to Rows()×(len(idx)+1), reusing its storage). A nil dst
+// allocates. It fuses SelectCols and WithInterceptColumn into one pass so
+// the sampling inner loop builds each design matrix with zero
+// intermediate copies. It returns dst and panics on out-of-range indices
+// or dst == m.
+func (m *Matrix) SelectColsWithIntercept(dst *Matrix, idx []int) *Matrix {
+	if dst == m {
+		panic("linalg: SelectColsWithIntercept aliases source and destination")
+	}
+	if dst == nil {
+		dst = NewMatrix(m.rows, len(idx)+1)
+	} else {
+		dst.Reshape(m.rows, len(idx)+1)
+	}
+	for _, j := range idx {
+		if j < 0 || j >= m.cols {
+			panic(fmt.Sprintf("linalg: SelectCols index %d out of range for %d columns", j, m.cols))
+		}
+	}
+	for i := 0; i < m.rows; i++ {
+		drow := dst.data[i*dst.cols : (i+1)*dst.cols]
+		srow := m.data[i*m.cols : (i+1)*m.cols]
+		drow[0] = 1
+		for jj, j := range idx {
+			drow[jj+1] = srow[j]
+		}
+	}
+	return dst
 }
 
 // FrobeniusNorm returns the Frobenius norm of m.

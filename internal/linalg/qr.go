@@ -13,10 +13,16 @@ import (
 var ErrRankDeficient = errors.New("linalg: design matrix is numerically rank deficient")
 
 // QR holds the Householder QR factorization of an m×n matrix with m ≥ n.
-// The factorization is computed once and can solve multiple right-hand
-// sides.
+//
+// The factorization is the single product of one pass over the design
+// matrix: Solve, Leverages, and the fitted-value statistics all hang off
+// it, so the regression hot path factorizes each design exactly once. A
+// QR value owns its storage and may be reused across factorizations via
+// Factor (or NewQRInPlace), which recycles the packed-factor and diagonal
+// buffers instead of allocating — the scratch-arena discipline of the
+// assessment inner loop. The zero value is ready for Factor.
 type QR struct {
-	qr   *Matrix   // packed factors: R in upper triangle, Householder vectors below
+	qr   Matrix    // packed factors: R in upper triangle, Householder vectors below
 	rd   []float64 // diagonal of R
 	m, n int
 }
@@ -25,42 +31,92 @@ type QR struct {
 // fewer rows than columns (the regression always operates in the
 // overdetermined regime; see core.clampSampleSize).
 func NewQR(a *Matrix) *QR {
+	f := &QR{}
+	f.Factor(a)
+	return f
+}
+
+// NewQRInPlace factorizes a into f, reusing f's internal buffers when
+// their capacity allows, and returns f. A nil f behaves like NewQR. This
+// is the allocation-free entry point for callers that own a long-lived QR
+// scratch value (the assessment inner loop factorizes thousands of
+// same-shaped designs through one QR).
+func NewQRInPlace(a *Matrix, f *QR) *QR {
+	if f == nil {
+		f = &QR{}
+	}
+	f.Factor(a)
+	return f
+}
+
+// Factor computes the Householder QR factorization of a in f, replacing
+// any previous factorization and reusing f's storage when possible. a is
+// left untouched. It panics if a has fewer rows than columns.
+func (f *QR) Factor(a *Matrix) {
 	m, n := a.Rows(), a.Cols()
 	if m < n {
 		panic(fmt.Sprintf("linalg: QR requires rows >= cols, got %dx%d", m, n))
 	}
-	qr := a.Clone()
-	rd := make([]float64, n)
+	f.m, f.n = m, n
+	f.qr.Reshape(m, n)
+	copy(f.qr.data, a.data)
+	if cap(f.rd) < n {
+		f.rd = make([]float64, n)
+	}
+	f.rd = f.rd[:n]
+	qr := f.qr.data
 	for k := 0; k < n; k++ {
-		// Norm of the k-th column below the diagonal.
-		var nrm float64
+		// Euclidean norm of the k-th column below the diagonal, computed
+		// with one scaled sum-of-squares pass (LAPACK dlassq style):
+		// overflow/underflow-safe like math.Hypot, but a single multiply-add
+		// per element instead of a function call with its own sqrt.
+		var scale float64
+		ssq := 1.0
 		for i := k; i < m; i++ {
-			nrm = math.Hypot(nrm, qr.data[i*n+k])
+			v := qr[i*n+k]
+			if v == 0 {
+				continue
+			}
+			av := math.Abs(v)
+			if scale < av {
+				r := scale / av
+				ssq = 1 + ssq*r*r
+				scale = av
+			} else {
+				r := av / scale
+				ssq += r * r
+			}
 		}
+		nrm := scale * math.Sqrt(ssq)
 		if nrm != 0 {
-			if qr.data[k*n+k] < 0 {
+			if qr[k*n+k] < 0 {
 				nrm = -nrm
 			}
 			for i := k; i < m; i++ {
-				qr.data[i*n+k] /= nrm
+				qr[i*n+k] /= nrm
 			}
-			qr.data[k*n+k]++
+			qr[k*n+k]++
 			// Apply the transformation to the remaining columns.
 			for j := k + 1; j < n; j++ {
 				var s float64
 				for i := k; i < m; i++ {
-					s += qr.data[i*n+k] * qr.data[i*n+j]
+					s += qr[i*n+k] * qr[i*n+j]
 				}
-				s = -s / qr.data[k*n+k]
+				s = -s / qr[k*n+k]
 				for i := k; i < m; i++ {
-					qr.data[i*n+j] += s * qr.data[i*n+k]
+					qr[i*n+j] += s * qr[i*n+k]
 				}
 			}
 		}
-		rd[k] = -nrm
+		f.rd[k] = -nrm
 	}
-	return &QR{qr: qr, rd: rd, m: m, n: n}
 }
+
+// Rows returns the row count of the factored matrix.
+func (f *QR) Rows() int { return f.m }
+
+// Cols returns the column count of the factored matrix.
+func (f *QR) Cols() int { return f.n }
 
 // ConditionEstimate returns the ratio of the largest to smallest absolute
 // diagonal entry of R — a cheap lower bound on the condition number, used
@@ -110,15 +166,47 @@ func (f *QR) FullRank() bool {
 // Litmus core uses to put pre-change (in-sample) forecast differences on
 // the same scale as post-change (out-of-sample) ones. It returns
 // ErrRankDeficient when the factorization is numerically singular.
+//
+// This package-level form factorizes x itself; callers that already hold
+// the factorization (the regression hot path) use QR.LeveragesInto and
+// pay for exactly one factorization per design.
 func Leverages(x *Matrix) ([]float64, error) {
-	f := NewQR(x)
-	if !f.FullRank() {
-		return nil, ErrRankDeficient
-	}
-	n := x.Cols()
+	return NewQR(x).Leverages(x)
+}
+
+// Leverages computes the hat-matrix diagonal of x using the stored
+// factorization, allocating the result. x must be the matrix the
+// factorization was computed from.
+func (f *QR) Leverages(x *Matrix) ([]float64, error) {
 	out := make([]float64, x.Rows())
-	z := make([]float64, n)
-	for i := range out {
+	work := make([]float64, f.n)
+	if err := f.LeveragesInto(out, x, work); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// LeveragesInto computes the hat-matrix diagonal of x into dst using the
+// stored factorization, with no allocation: dst must have length x.Rows()
+// and work length ≥ Cols(). x must be the matrix the factorization was
+// computed from (same dimensions; the method reads x's rows, not the
+// packed factors, for the right-hand sides). It returns ErrRankDeficient
+// when the factorization is numerically singular. The method only reads
+// the factorization, so concurrent calls sharing one QR are safe as long
+// as each supplies its own dst and work.
+func (f *QR) LeveragesInto(dst []float64, x *Matrix, work []float64) error {
+	if x.Rows() != f.m || x.Cols() != f.n {
+		panic(fmt.Sprintf("linalg: LeveragesInto matrix %dx%d, factored %dx%d", x.Rows(), x.Cols(), f.m, f.n))
+	}
+	if len(dst) != f.m || len(work) < f.n {
+		panic(fmt.Sprintf("linalg: LeveragesInto dst %d work %d, want %d and >= %d", len(dst), len(work), f.m, f.n))
+	}
+	if !f.FullRank() {
+		return ErrRankDeficient
+	}
+	n := f.n
+	z := work[:n]
+	for i := range dst {
 		// Forward solve Rᵀ·z = xᵢ (Rᵀ lower triangular).
 		for j := 0; j < n; j++ {
 			s := x.At(i, j)
@@ -131,23 +219,42 @@ func Leverages(x *Matrix) ([]float64, error) {
 		for _, v := range z {
 			h += v * v
 		}
-		out[i] = h
+		dst[i] = h
 	}
-	return out, nil
+	return nil
 }
 
 // Solve computes the least-squares solution x minimizing ‖a·x − b‖₂ using
 // the stored factorization. It returns ErrRankDeficient if the factor is
 // numerically singular. It panics if len(b) != the factored row count.
 func (f *QR) Solve(b []float64) ([]float64, error) {
+	x := make([]float64, f.n)
+	work := make([]float64, f.m)
+	if err := f.SolveInto(x, b, work); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveInto computes the least-squares solution into x with no
+// allocation: x must have length Cols() and work length ≥ Rows() (work
+// holds the Qᵀb intermediate). It returns ErrRankDeficient if the factor
+// is numerically singular and panics on mismatched lengths. The method
+// only reads the factorization, so concurrent solves sharing one QR are
+// safe as long as each supplies its own x and work — this is what lets
+// AssessGroup share one factorization across every study element.
+func (f *QR) SolveInto(x, b, work []float64) error {
 	if len(b) != f.m {
 		panic(fmt.Sprintf("linalg: QR.Solve rhs length %d, want %d", len(b), f.m))
 	}
+	if len(x) != f.n || len(work) < f.m {
+		panic(fmt.Sprintf("linalg: QR.SolveInto x %d work %d, want %d and >= %d", len(x), len(work), f.n, f.m))
+	}
 	if !f.FullRank() {
-		return nil, ErrRankDeficient
+		return ErrRankDeficient
 	}
 	m, n := f.m, f.n
-	y := make([]float64, m)
+	y := work[:m]
 	copy(y, b)
 	// Compute Qᵀb.
 	for k := 0; k < n; k++ {
@@ -163,7 +270,6 @@ func (f *QR) Solve(b []float64) ([]float64, error) {
 		}
 	}
 	// Back-substitute R·x = Qᵀb.
-	x := make([]float64, n)
 	for k := n - 1; k >= 0; k-- {
 		s := y[k]
 		for j := k + 1; j < n; j++ {
@@ -171,5 +277,5 @@ func (f *QR) Solve(b []float64) ([]float64, error) {
 		}
 		x[k] = s / f.rd[k]
 	}
-	return x, nil
+	return nil
 }

@@ -31,9 +31,15 @@ func LeastSquares(x *Matrix, y []float64) ([]float64, error) {
 	if beta, err := qr.Solve(y); err == nil {
 		return beta, nil
 	}
-	const relLambda = 1e-8
-	return SolveRidge(x, y, relLambda)
+	return SolveRidge(x, y, RidgeFallbackLambda)
 }
+
+// RidgeFallbackLambda is the relative Tikhonov parameter used when a QR
+// solve reports rank deficiency — a numerical-stability device far below
+// any statistically meaningful shrinkage (see LeastSquares). Exported so
+// callers that drive the QR kernel directly (the assessment inner loop)
+// fall back with exactly the same regularization.
+const RidgeFallbackLambda = 1e-8
 
 // SolveRidge solves the Tikhonov-regularized normal equations
 // (XᵀX + λ·d̄·I)·beta = Xᵀy where d̄ is the mean diagonal of XᵀX, making
@@ -136,7 +142,19 @@ func Residuals(x *Matrix, beta, y []float64) []float64 {
 // RSquared returns the coefficient of determination of the fit beta on
 // (x, y): 1 − SSR/SST. If y has zero variance it returns 0.
 func RSquared(x *Matrix, beta, y []float64) float64 {
-	res := Residuals(x, beta, y)
+	pred := x.MulVec(beta)
+	return RSquaredFromFitted(pred, y)
+}
+
+// RSquaredFromFitted returns 1 − SSR/SST given the fitted values x·beta —
+// the allocation-free form for callers that already computed the
+// prediction (the sampling loop forecasts the full window and reuses the
+// fitted rows, so R² costs no extra matrix–vector product). If y has zero
+// variance it returns 0. It panics on mismatched lengths.
+func RSquaredFromFitted(fitted, y []float64) float64 {
+	if len(fitted) != len(y) {
+		panic(fmt.Sprintf("linalg: RSquaredFromFitted length mismatch: %d fitted vs %d observations", len(fitted), len(y)))
+	}
 	var mean float64
 	for _, v := range y {
 		mean += v
@@ -144,7 +162,8 @@ func RSquared(x *Matrix, beta, y []float64) float64 {
 	mean /= float64(len(y))
 	var ssr, sst float64
 	for i, v := range y {
-		ssr += res[i] * res[i]
+		r := v - fitted[i]
+		ssr += r * r
 		d := v - mean
 		sst += d * d
 	}

@@ -20,6 +20,10 @@ const (
 	// SpanSampling covers an element's whole sampling-iteration batch
 	// (the Iterations × least-squares fan-out).
 	SpanSampling = "sampling-iterations"
+	// SpanGroupPrep covers AssessGroup's shared per-iteration preparation:
+	// the control design matrices, sampled column sets, and the QR
+	// factorizations every element of the group reuses.
+	SpanGroupPrep = "group-iteration-prep"
 	// SpanAggregate covers forecast aggregation and the forecast
 	// differences.
 	SpanAggregate = "aggregate-forecasts"
@@ -45,6 +49,19 @@ const (
 	// MetricControlsSampled counts control columns drawn across sampling
 	// iterations (k per iteration).
 	MetricControlsSampled = "litmus_controls_sampled_total"
+	// MetricBeforeFactorizations counts QR factorizations of before-window
+	// design matrices — the unit the factor-once kernel minimizes. On the
+	// cross-element sharing path of AssessGroup this advances by exactly
+	// Iterations per group, not Iterations × Elements.
+	MetricBeforeFactorizations = "litmus_before_factorizations_total"
+	// MetricLeverageSkipped counts sampling iterations whose leave-one-out
+	// leverage adjustment was skipped because the factorization was
+	// numerically rank deficient — previously an invisible silent branch.
+	MetricLeverageSkipped = "litmus_leverage_skipped_total"
+	// MetricGroupSharedElements counts study elements assessed through
+	// AssessGroup's shared-factorization fast path (as opposed to the
+	// per-element fallback for panels with missing data).
+	MetricGroupSharedElements = "litmus_group_shared_elements_total"
 	// MetricElementsAssessed counts study elements assessed successfully.
 	MetricElementsAssessed = "litmus_elements_assessed_total"
 	// MetricElementsSkipped counts study elements skipped by AssessGroup

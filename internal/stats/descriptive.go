@@ -45,6 +45,87 @@ func Median(xs []float64) float64 {
 	return (tmp[n/2-1] + tmp[n/2]) / 2
 }
 
+// MedianInPlace returns the sample median of xs, permuting xs in the
+// process (a quickselect partial ordering rather than a full sort). It
+// computes exactly the same order statistics as Median — the returned
+// value is bit-identical on NaN-free input — but in O(n) expected time
+// with zero allocation, which is why the assessment hot path's
+// per-timepoint aggregation uses it over a reused buffer. It panics on an
+// empty sample. Callers that must preserve order use Median.
+func MedianInPlace(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		panic("stats: Median of empty sample")
+	}
+	hi := quickselect(xs, n/2)
+	if n%2 == 1 {
+		return hi
+	}
+	// Even length: quickselect left xs[:n/2] holding the n/2 smallest
+	// values, so the (n/2−1)-th order statistic is their maximum.
+	lo := xs[0]
+	for _, v := range xs[1:n/2] {
+		if v > lo {
+			lo = v
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// quickselect returns the k-th smallest value of xs (0-based), partially
+// ordering xs so that xs[:k] ≤ xs[k] ≤ xs[k+1:]. Deterministic
+// median-of-three pivoting; small ranges fall back to insertion sort.
+func quickselect(xs []float64, k int) float64 {
+	lo, hi := 0, len(xs)-1
+	for hi-lo > 12 {
+		// Median-of-three pivot, moved to xs[lo].
+		mid := lo + (hi-lo)/2
+		if xs[mid] < xs[lo] {
+			xs[mid], xs[lo] = xs[lo], xs[mid]
+		}
+		if xs[hi] < xs[lo] {
+			xs[hi], xs[lo] = xs[lo], xs[hi]
+		}
+		if xs[hi] < xs[mid] {
+			xs[hi], xs[mid] = xs[mid], xs[hi]
+		}
+		pivot := xs[mid]
+		xs[mid], xs[lo] = xs[lo], xs[mid]
+		// Hoare partition around the pivot value.
+		i, j := lo, hi+1
+		for {
+			for i++; i <= hi && xs[i] < pivot; i++ {
+			}
+			for j--; xs[j] > pivot; j-- {
+			}
+			if i >= j {
+				break
+			}
+			xs[i], xs[j] = xs[j], xs[i]
+		}
+		xs[lo], xs[j] = xs[j], xs[lo]
+		switch {
+		case k == j:
+			return xs[j]
+		case k < j:
+			hi = j - 1
+		default:
+			lo = j + 1
+		}
+	}
+	// Insertion sort the remaining window.
+	for i := lo + 1; i <= hi; i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= lo && xs[j] > v {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+	}
+	return xs[k]
+}
+
 // Variance returns the unbiased (n−1 denominator) sample variance.
 // It panics if the sample has fewer than two observations.
 func Variance(xs []float64) float64 {

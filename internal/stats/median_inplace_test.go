@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestMedianInPlaceMatchesMedian is the equivalence property the hot path
+// relies on: on NaN-free input the quickselect median is bit-identical to
+// the sort-based one, across lengths, duplicates, and orderings.
+func TestMedianInPlaceMatchesMedian(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(60)
+		xs := make([]float64, n)
+		switch trial % 4 {
+		case 0: // continuous values
+			for i := range xs {
+				xs[i] = rng.NormFloat64()
+			}
+		case 1: // heavy ties
+			for i := range xs {
+				xs[i] = float64(rng.Intn(4))
+			}
+		case 2: // sorted ascending (worst case for naive pivots)
+			for i := range xs {
+				xs[i] = float64(i)
+			}
+		case 3: // sorted descending
+			for i := range xs {
+				xs[i] = float64(n - i)
+			}
+		}
+		want := Median(xs)
+		got := MedianInPlace(xs)
+		if got != want {
+			t.Fatalf("trial %d (n=%d): MedianInPlace = %v, Median = %v", trial, n, got, want)
+		}
+	}
+}
+
+// TestMedianInPlacePermutesOnly checks the in-place form only reorders —
+// never rewrites — its input, so callers reusing buffers keep the same
+// multiset of values.
+func TestMedianInPlacePermutesOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	xs := make([]float64, 41)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	before := append([]float64(nil), xs...)
+	MedianInPlace(xs)
+	sort.Float64s(before)
+	after := append([]float64(nil), xs...)
+	sort.Float64s(after)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("value multiset changed at order statistic %d: %v vs %v", i, after[i], before[i])
+		}
+	}
+}
+
+func TestMedianInPlaceEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MedianInPlace(nil) did not panic")
+		}
+	}()
+	MedianInPlace(nil)
+}
+
+func BenchmarkMedian(b *testing.B) {
+	rng := rand.New(rand.NewSource(41))
+	xs := make([]float64, 50)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	b.Run("sort", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Median(xs)
+		}
+	})
+	b.Run("quickselect", func(b *testing.B) {
+		b.ReportAllocs()
+		buf := make([]float64, len(xs))
+		for i := 0; i < b.N; i++ {
+			copy(buf, xs)
+			MedianInPlace(buf)
+		}
+	})
+}
