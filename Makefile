@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: ci vet lint build test race race-obs fuzz-seed bench bench-workers bench-obs bench-json clean
+.PHONY: ci vet lint build test race race-obs fuzz-seed bench bench-workers bench-obs bench-json serve-smoke bench-serve clean
 
 ci: vet build test race fuzz-seed
 
@@ -69,6 +69,20 @@ bench-json:
 		-benchmem -benchtime 0.2s -run '^$$' . ./internal/linalg ./internal/stats \
 		| $(GO) run ./cmd/benchjson -o BENCH_3.json
 	@echo wrote BENCH_3.json
+
+# End-to-end smoke test of the assessment service binary: builds
+# cmd/litmus-serve, boots it on an ephemeral port, submits the golden
+# scenario through the typed client and asserts the decision (and exact
+# bytes) match testdata/golden_assessment.json, then SIGTERMs and
+# requires a clean drain.
+serve-smoke:
+	LITMUS_SERVE_SMOKE=1 $(GO) test -run TestServeSmoke -count=1 -v ./cmd/litmus-serve
+
+# Serving-layer latency/throughput snapshot (p50/p90/p99, jobs/sec,
+# cache hit counters) — the BENCH_4.json artifact CI uploads.
+bench-serve:
+	$(GO) run ./cmd/litmus-loadgen -n 200 -c 8 -o BENCH_4.json
+	@echo wrote BENCH_4.json
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,224 @@
+// Command litmus-loadgen drives the assessment service with a stream of
+// concurrent assessment requests and reports the end-to-end latency
+// distribution (submit → result in hand) plus throughput as JSON — the
+// BENCH_4.json artifact of the serving layer.
+//
+// Usage:
+//
+//	litmus-loadgen -n 200 -c 8 -o BENCH_4.json        # in-process server
+//	litmus-loadgen -addr http://localhost:8080 -n 100  # running instance
+//
+// Requests are the golden scenario with the generator seed varied per
+// request; -dup controls the fraction of requests that reuse a previous
+// seed and therefore exercise the result cache and in-flight dedup.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/serve/client"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 200, "total number of assessment requests")
+		c        = flag.Int("c", 8, "concurrent client workers")
+		dup      = flag.Float64("dup", 0.25, "fraction of requests that repeat an earlier request (cache hits)")
+		addr     = flag.String("addr", "", "service base URL (empty = run an in-process server)")
+		out      = flag.String("o", "BENCH_4.json", "output JSON path")
+		sWorkers = flag.Int("server-workers", 4, "in-process server: assessment workers")
+		sQueue   = flag.Int("server-queue", 64, "in-process server: queue depth")
+	)
+	flag.Parse()
+	if *n <= 0 || *c <= 0 || *dup < 0 || *dup >= 1 {
+		fatalf("need -n > 0, -c > 0 and -dup in [0, 1)")
+	}
+
+	baseURL := *addr
+	var reg *obs.Registry
+	if baseURL == "" {
+		s := serve.New(serve.Config{Workers: *sWorkers, QueueDepth: *sQueue, RetryAfter: 50 * time.Millisecond})
+		reg = s.Registry()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatalf("listen: %v", err)
+		}
+		httpServer := &http.Server{Handler: s.Handler()}
+		go func() { _ = httpServer.Serve(ln) }()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			_ = httpServer.Shutdown(ctx)
+			_ = s.Shutdown(ctx)
+		}()
+		baseURL = "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "litmus-loadgen: in-process server on %s (%d workers, queue %d)\n",
+			baseURL, *sWorkers, *sQueue)
+	}
+
+	cl := client.New(baseURL, nil)
+	ctx := context.Background()
+
+	// Request corpus: every (1/dup)-th request repeats seed 1; the rest
+	// get fresh seeds — a deterministic duplicate mix, no RNG needed.
+	seeds := make([]int64, *n)
+	stride := 0
+	if *dup > 0 {
+		stride = int(math.Round(1 / *dup))
+	}
+	next := int64(1)
+	for i := range seeds {
+		if stride > 0 && i%stride == 0 {
+			seeds[i] = 1
+			continue
+		}
+		next++
+		seeds[i] = next
+	}
+
+	latencies := make([]time.Duration, *n)
+	var failures atomic.Int64
+	var wg sync.WaitGroup
+	work := make(chan int)
+	started := time.Now()
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				req := goldenStyleRequest(seeds[i])
+				t0 := time.Now()
+				if _, err := cl.Assess(ctx, req); err != nil {
+					fmt.Fprintf(os.Stderr, "litmus-loadgen: request %d: %v\n", i, err)
+					failures.Add(1)
+					continue
+				}
+				latencies[i] = time.Since(t0)
+			}
+		}()
+	}
+	for i := 0; i < *n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	wall := time.Since(started)
+
+	ok := make([]float64, 0, *n)
+	for _, d := range latencies {
+		if d > 0 {
+			ok = append(ok, d.Seconds()*1000)
+		}
+	}
+	sort.Float64s(ok)
+	if len(ok) == 0 {
+		fatalf("all %d requests failed", *n)
+	}
+	var sum float64
+	for _, v := range ok {
+		sum += v
+	}
+	report := map[string]any{
+		"litmus_serve_loadgen": map[string]any{
+			"requests":           *n,
+			"concurrency":        *c,
+			"duplicate_fraction": *dup,
+			"failures":           failures.Load(),
+			"wall_seconds":       round3(wall.Seconds()),
+			"jobs_per_sec":       round3(float64(len(ok)) / wall.Seconds()),
+			"latency_ms": map[string]any{
+				"p50":  round3(quantile(ok, 0.50)),
+				"p90":  round3(quantile(ok, 0.90)),
+				"p99":  round3(quantile(ok, 0.99)),
+				"mean": round3(sum / float64(len(ok))),
+				"max":  round3(ok[len(ok)-1]),
+			},
+		},
+	}
+	if reg != nil {
+		snap := reg.Snapshot()
+		counter := func(name string) int64 {
+			v, _ := snap[name].(int64)
+			return v
+		}
+		inner := report["litmus_serve_loadgen"].(map[string]any)
+		inner["cache_hits"] = counter(obs.MetricCacheHits)
+		inner["cache_misses"] = counter(obs.MetricCacheMisses)
+		inner["queue_rejected"] = counter(obs.MetricQueueRejected)
+	}
+	payload, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	payload = append(payload, '\n')
+	if err := os.WriteFile(*out, payload, 0o644); err != nil {
+		fatalf("writing %s: %v", *out, err)
+	}
+	fmt.Printf("%s", payload)
+	fmt.Fprintf(os.Stderr, "litmus-loadgen: wrote %s\n", *out)
+	if failures.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// goldenStyleRequest is the golden scenario with a per-request generator
+// seed: identical world shape, distinct data, so equal seeds are cache
+// hits and distinct seeds are real work.
+func goldenStyleRequest(genSeed int64) *serve.AssessRequest {
+	topo := netsim.DefaultTopologyConfig()
+	topo.Seed = 17
+	net := netsim.Build(topo)
+	study := net.Children(net.OfKind(netsim.RNC)[0])[:3]
+	return &serve.AssessRequest{
+		Topology:  &serve.TopologySpec{Seed: 17},
+		Generator: &serve.GeneratorSpec{Seed: genSeed},
+		Index:     serve.IndexSpec{Start: "2012-03-01T00:00:00Z", Step: "6h", N: 28 * 4},
+		Change: serve.ChangeSpec{
+			ID:          "CHG-LOAD",
+			Description: "loadgen scenario",
+			Elements:    study,
+			At:          "2012-03-15T00:00:00Z",
+			TrueQuality: -1.5,
+		},
+		KPIs:       []string{"voice-retainability", "data-accessibility"},
+		WindowDays: 14,
+		Assessor:   &serve.AssessorSpec{Seed: 9},
+		Controls:   &serve.ControlsSpec{Predicates: []string{"same-kind", "same-parent"}},
+	}
+}
+
+// quantile reads the q-quantile from sorted ms latencies (nearest rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "litmus-loadgen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+// Command litmus-serve runs the Litmus assessment service: the HTTP API
+// of internal/serve on one address, with graceful drain on SIGINT /
+// SIGTERM.
+//
+// Usage:
+//
+//	litmus-serve -addr :8080
+//	curl -s localhost:8080/healthz
+//
+// Flags tune the queue depth, worker count, result-cache size, per-job
+// timeout and 429 Retry-After hint; -pprof mounts /debug/pprof on the
+// same listener. The effective listen address is printed on stdout as
+//
+//	litmus-serve: listening on http://127.0.0.1:8080
+//
+// so callers binding ":0" (tests, the serve-smoke CI job) can discover
+// the port.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address (use 127.0.0.1:0 for an ephemeral port)")
+		queueDepth   = flag.Int("queue", 0, "submission queue depth (0 = default 64)")
+		workers      = flag.Int("workers", 0, "concurrent assessment jobs (0 = default 2)")
+		cacheSize    = flag.Int("cache", 0, "result cache size in entries (0 = default 256)")
+		jobTimeout   = flag.Duration("job-timeout", 0, "per-job execution deadline (0 = default 5m)")
+		retryAfter   = flag.Duration("retry-after", 0, "backoff hint sent with 429 responses (0 = default 1s)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
+		enablePprof  = flag.Bool("pprof", false, "mount /debug/pprof on the service listener")
+	)
+	flag.Parse()
+
+	s := serve.New(serve.Config{
+		QueueDepth:  *queueDepth,
+		Workers:     *workers,
+		CacheSize:   *cacheSize,
+		JobTimeout:  *jobTimeout,
+		RetryAfter:  *retryAfter,
+		EnablePprof: *enablePprof,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("listen: %v", err)
+	}
+	httpServer := &http.Server{Handler: s.Handler()}
+	fmt.Printf("litmus-serve: listening on http://%s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpServer.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "litmus-serve: %s — draining (timeout %s)\n", sig, *drainTimeout)
+	case err := <-errc:
+		fatalf("serving: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop accepting connections first, then drain the job queue: queued
+	// and in-flight assessments finish unless the drain timeout expires,
+	// at which point their contexts are canceled.
+	if err := httpServer.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "litmus-serve: http shutdown: %v\n", err)
+	}
+	if err := s.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "litmus-serve: drain incomplete: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "litmus-serve: drained cleanly")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "litmus-serve: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,140 @@
+package main
+
+// Smoke test of the real litmus-serve binary: build it, boot it on an
+// ephemeral port, drive it with the typed client, and assert the golden
+// scenario's decision (and bytes) match the committed fixture, then
+// SIGTERM and require a clean drain.
+//
+// Gated behind LITMUS_SERVE_SMOKE=1 (it shells out to `go build`); run
+// via `make serve-smoke` or directly:
+//
+//	LITMUS_SERVE_SMOKE=1 go test ./cmd/litmus-serve/
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/serve"
+	"repro/internal/serve/client"
+)
+
+func TestServeSmoke(t *testing.T) {
+	if os.Getenv("LITMUS_SERVE_SMOKE") != "1" {
+		t.Skip("set LITMUS_SERVE_SMOKE=1 to run the binary smoke test")
+	}
+
+	bin := filepath.Join(t.TempDir(), "litmus-serve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building litmus-serve: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "2")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cmd.Process.Kill() }()
+
+	// The binary announces its effective address on stdout.
+	var baseURL string
+	scanner := bufio.NewScanner(stdout)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			baseURL = strings.TrimSpace(line[i+len("listening on "):])
+			break
+		}
+	}
+	if baseURL == "" {
+		t.Fatalf("litmus-serve never announced its address: %v", scanner.Err())
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	cl := client.New(baseURL, nil)
+
+	result, err := cl.Assess(ctx, smokeRequest(t))
+	if err != nil {
+		t.Fatalf("assessing over HTTP: %v", err)
+	}
+	want, err := os.ReadFile(filepath.Join("..", "..", "testdata", "golden_assessment.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := append(append([]byte(nil), result...), '\n'); !bytes.Equal(got, want) {
+		t.Errorf("binary result deviates from the golden fixture:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	var doc struct {
+		Decision string `json:"decision"`
+	}
+	if err := json.Unmarshal(result, &doc); err != nil {
+		t.Fatal(err)
+	}
+	var wantDoc struct {
+		Decision string `json:"decision"`
+	}
+	if err := json.Unmarshal(want, &wantDoc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Decision == "" || doc.Decision != wantDoc.Decision {
+		t.Errorf("decision = %q, want %q", doc.Decision, wantDoc.Decision)
+	}
+
+	// SIGTERM: the server must drain and exit zero.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("litmus-serve exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Error("litmus-serve did not exit within 30s of SIGTERM")
+	}
+}
+
+func smokeRequest(t *testing.T) *serve.AssessRequest {
+	t.Helper()
+	topo := netsim.DefaultTopologyConfig()
+	topo.Seed = 17
+	net := netsim.Build(topo)
+	rncs := net.OfKind(netsim.RNC)
+	if len(rncs) == 0 {
+		t.Fatal("golden topology has no RNCs")
+	}
+	return &serve.AssessRequest{
+		Topology:  &serve.TopologySpec{Seed: 17},
+		Generator: &serve.GeneratorSpec{Seed: 23},
+		Index:     serve.IndexSpec{Start: "2012-03-01T00:00:00Z", Step: "6h", N: 28 * 4},
+		Change: serve.ChangeSpec{
+			ID:          "CHG-GOLD",
+			Type:        "config-change",
+			Description: "golden fixture change",
+			Elements:    net.Children(rncs[0])[:3],
+			At:          "2012-03-15T00:00:00Z",
+			TrueQuality: -1.5,
+		},
+		KPIs:       []string{"voice-retainability", "data-accessibility"},
+		WindowDays: 14,
+		Assessor:   &serve.AssessorSpec{Seed: 9},
+		Controls:   &serve.ControlsSpec{Predicates: []string{"same-kind", "same-parent"}},
+	}
+}

@@ -84,15 +84,15 @@ func TestLoadCSVErrors(t *testing.T) {
 	}
 }
 
-func TestKPIByName(t *testing.T) {
-	k, err := kpiByName("dropped-call-ratio")
+func TestKPIParse(t *testing.T) {
+	k, err := kpi.Parse("dropped-call-ratio")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if k != kpi.DroppedCallRatio {
-		t.Errorf("kpiByName = %v", k)
+		t.Errorf("kpi.Parse = %v", k)
 	}
-	if _, err := kpiByName("nope"); err == nil {
+	if _, err := kpi.Parse("nope"); err == nil {
 		t.Error("unknown KPI accepted")
 	}
 }

@@ -56,7 +56,7 @@ func main() {
 	if err != nil {
 		fatalf("invalid -change %q: %v", *changeStr, err)
 	}
-	metric, err := kpiByName(*kpiName)
+	metric, err := kpi.Parse(*kpiName)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -127,15 +127,6 @@ func main() {
 	if err := obsFlags.Report(os.Stdout, scope); err != nil {
 		fatalf("writing observability report: %v", err)
 	}
-}
-
-func kpiByName(name string) (kpi.KPI, error) {
-	for _, k := range kpi.All() {
-		if k.String() == name {
-			return k, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown KPI %q; known: %v", name, kpi.All())
 }
 
 func fatalf(format string, args ...any) {

@@ -12,11 +12,9 @@ package litmus
 
 import (
 	"bytes"
-	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
-	"sort"
 	"testing"
 	"time"
 
@@ -75,55 +73,11 @@ func goldenPipelineObserved(workers int, scope *Scope) (*ChangeAssessment, error
 	return p.AssessChange(change, []KPI{kpi.VoiceRetainability, kpi.DataAccessibility}, 14)
 }
 
-// serializeAssessment renders a ChangeAssessment deterministically: KPIs
-// sorted by name, floats at full (shortest round-trip) precision, so two
-// serializations are equal iff every statistic, p-value and shift is
-// bit-identical.
+// serializeAssessment renders a ChangeAssessment deterministically via
+// the exported canonical serialization (marshal.go) — the same bytes the
+// assessment service returns over HTTP.
 func serializeAssessment(res *ChangeAssessment) ([]byte, error) {
-	type element struct {
-		ID        string  `json:"id"`
-		Impact    string  `json:"impact"`
-		Statistic float64 `json:"statistic"`
-		P         float64 `json:"p"`
-		Shift     float64 `json:"shift"`
-		FitR2     float64 `json:"fitR2"`
-	}
-	type group struct {
-		KPI      string         `json:"kpi"`
-		Overall  string         `json:"overall"`
-		Votes    map[string]int `json:"votes"`
-		Elements []element      `json:"elements"`
-	}
-	doc := struct {
-		ChangeID string   `json:"changeID"`
-		Decision string   `json:"decision"`
-		Controls []string `json:"controls"`
-		PerKPI   []group  `json:"perKPI"`
-	}{
-		ChangeID: res.Change.ID,
-		Decision: res.Decision.String(),
-		Controls: res.ControlGroup,
-	}
-	kpis := make([]KPI, 0, len(res.PerKPI))
-	for k := range res.PerKPI {
-		kpis = append(kpis, k)
-	}
-	sort.Slice(kpis, func(i, j int) bool { return kpis[i].String() < kpis[j].String() })
-	for _, k := range kpis {
-		gr := res.PerKPI[k]
-		g := group{KPI: k.String(), Overall: gr.Overall.String(), Votes: map[string]int{}}
-		for imp, n := range gr.Votes {
-			g.Votes[imp.String()] = n
-		}
-		for _, e := range gr.PerElement {
-			g.Elements = append(g.Elements, element{
-				ID: e.ElementID, Impact: e.Impact.String(),
-				Statistic: e.Statistic, P: e.P, Shift: e.Shift, FitR2: e.FitR2,
-			})
-		}
-		doc.PerKPI = append(doc.PerKPI, g)
-	}
-	return json.MarshalIndent(doc, "", "  ")
+	return MarshalAssessment(res)
 }
 
 func TestAssessChangeGolden(t *testing.T) {

@@ -35,6 +35,17 @@ func (t Type) String() string {
 	return fmt.Sprintf("Type(%d)", int(t))
 }
 
+// ParseType is the inverse of Type.String, so change records carried as
+// text (tickets, service requests) round-trip back into typed values.
+func ParseType(s string) (Type, error) {
+	for t := ConfigChange; t <= TrafficMove; t++ {
+		if t.String() == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("changelog: unknown change type %q", s)
+}
+
 // Frequency classifies how often a parameter is changed (paper §2.3).
 type Frequency int
 

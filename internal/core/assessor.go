@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -231,6 +232,19 @@ var (
 // relative increase of the KPI at the study element; KPI direction
 // semantics translate it into improvement or degradation.
 func (a *Assessor) AssessElement(elementID string, study timeseries.Series, controls *timeseries.Panel, changeAt time.Time, metric kpi.KPI) (ElementResult, error) {
+	return a.AssessElementContext(context.Background(), elementID, study, controls, changeAt, metric)
+}
+
+// AssessElementContext is AssessElement honoring ctx: cancellation (or a
+// deadline) is checked on entry and between sampling iterations, so a
+// canceled assessment stops its workers promptly and returns ctx.Err().
+// A background (non-cancelable) context takes the exact code path of
+// AssessElement — the Done channel is nil, so the per-iteration check is
+// skipped entirely and results stay bit-identical.
+func (a *Assessor) AssessElementContext(ctx context.Context, elementID string, study timeseries.Series, controls *timeseries.Panel, changeAt time.Time, metric kpi.KPI) (ElementResult, error) {
+	if err := ctx.Err(); err != nil {
+		return ElementResult{}, err
+	}
 	sc := a.obs.Child(obs.SpanAssessElement)
 	sc.SetAttr("element", elementID)
 	sc.SetAttr("kpi", metric.String())
@@ -264,7 +278,10 @@ func (a *Assessor) AssessElement(elementID string, study timeseries.Series, cont
 		ybFit[i] = yb[r]
 	}
 
-	fits := a.runIterations(sc, xbFull, xaFull, fitRows, ybFit, k, yBefore.Len(), yAfter.Len())
+	fits := a.runIterations(ctx, sc, xbFull, xaFull, fitRows, ybFit, k, yBefore.Len(), yAfter.Len())
+	if err := ctx.Err(); err != nil {
+		return ElementResult{}, err
+	}
 	sc.Counter(obs.MetricIterations).Add(int64(a.cfg.Iterations))
 	sc.Counter(obs.MetricControlsSampled).Add(int64(a.cfg.Iterations * k))
 	return a.finishElement(sc, elementID, metric, yBefore, yAfter, fits)
@@ -298,16 +315,22 @@ func newIterFits(iters, lenB, lenA int) []iterFit {
 // see scratch.go — and writes into slot it, so the gathered forecasts are
 // bit-identical to a sequential run for every worker count and schedule.
 // The shared inputs (xbFull, xaFull, ybFit, fitRows) are only read; all
-// mutable state lives in per-worker scratch arenas.
-func (a *Assessor) runIterations(sc *obs.Scope, xbFull, xaFull *linalg.Matrix, fitRows []int, ybFit []float64, k, lenB, lenA int) []iterFit {
+// mutable state lives in per-worker scratch arenas. A cancelable ctx is
+// polled before each iteration so canceled assessments drain fast; a
+// background context skips the poll (nil Done channel).
+func (a *Assessor) runIterations(ctx context.Context, sc *obs.Scope, xbFull, xaFull *linalg.Matrix, fitRows []int, ybFit []float64, k, lenB, lenA int) []iterFit {
 	iters := a.cfg.Iterations
 	samples := a.samplesFor(xbFull.Cols(), k)
 	fits := newIterFits(iters, lenB, lenA)
 	allRowsFit := len(fitRows) == lenB
+	cancelable := ctx.Done() != nil
 	var factorized, leverageSkipped atomic.Int64
 	ws := newWorkerScratches(a.cfg.Workers, iters)
 	sampling := sc.Child(obs.SpanSampling)
 	forEachWorker(a.cfg.Workers, iters, func(w, it int) {
+		if cancelable && ctx.Err() != nil {
+			return
+		}
 		s := ws.get(a.rt, w)
 		xb := xbFull.SelectColsWithIntercept(&s.xb, samples[it])
 		xa := xaFull.SelectColsWithIntercept(&s.xa, samples[it])
@@ -480,6 +503,17 @@ func (a *Assessor) finishElement(sc *obs.Scope, elementID string, metric kpi.KPI
 // assessment fails (e.g. a series too short) are skipped; the error is
 // returned only if every element fails.
 func (a *Assessor) AssessGroup(studies *timeseries.Panel, controls *timeseries.Panel, changeAt time.Time, metric kpi.KPI) (GroupResult, error) {
+	return a.AssessGroupContext(context.Background(), studies, controls, changeAt, metric)
+}
+
+// AssessGroupContext is AssessGroup honoring ctx: cancellation is
+// checked before each element and between each element's sampling
+// iterations, and a canceled assessment returns ctx.Err(). A background
+// context is the nil-cost path of AssessGroup.
+func (a *Assessor) AssessGroupContext(ctx context.Context, studies *timeseries.Panel, controls *timeseries.Panel, changeAt time.Time, metric kpi.KPI) (GroupResult, error) {
+	if err := ctx.Err(); err != nil {
+		return GroupResult{}, err
+	}
 	ids := studies.IDs()
 	if len(ids) == 0 {
 		return GroupResult{}, fmt.Errorf("core: empty study group")
@@ -492,9 +526,10 @@ func (a *Assessor) AssessGroup(studies *timeseries.Panel, controls *timeseries.P
 	// concurrent sibling creation, so the fan-out below needs no
 	// serialization for tracing.
 	elem := a.WithObserver(sc)
+	cancelable := ctx.Done() != nil
 	perElement := make([]ElementResult, len(ids))
 	errs := make([]error, len(ids))
-	if gs := a.prepGroupShared(sc, studies, controls, changeAt); gs != nil {
+	if gs := a.prepGroupShared(ctx, sc, studies, controls, changeAt); gs != nil {
 		// Cross-element sharing: the per-iteration factorizations were
 		// computed once above (see group_shared.go); qualifying elements
 		// reuse them read-only and parallelize over iterations instead of
@@ -502,11 +537,15 @@ func (a *Assessor) AssessGroup(studies *timeseries.Panel, controls *timeseries.P
 		// ordinary path — results are bit-identical either way.
 		shared := 0
 		for i, id := range ids {
+			if cancelable && ctx.Err() != nil {
+				errs[i] = ctx.Err()
+				continue
+			}
 			if gs.eligible[i] {
-				perElement[i], errs[i] = elem.assessElementShared(id, studies.MustSeries(id), gs, changeAt, metric)
+				perElement[i], errs[i] = elem.assessElementShared(ctx, id, studies.MustSeries(id), gs, changeAt, metric)
 				shared++
 			} else {
-				perElement[i], errs[i] = elem.AssessElement(id, studies.MustSeries(id), controls, changeAt, metric)
+				perElement[i], errs[i] = elem.AssessElementContext(ctx, id, studies.MustSeries(id), controls, changeAt, metric)
 			}
 		}
 		sc.Counter(obs.MetricGroupSharedElements).Add(int64(shared))
@@ -516,8 +555,15 @@ func (a *Assessor) AssessGroup(studies *timeseries.Panel, controls *timeseries.P
 		// result independent of scheduling, so the group result is
 		// deterministic for every worker count).
 		forEach(a.cfg.Workers, len(ids), func(i int) {
-			perElement[i], errs[i] = elem.AssessElement(ids[i], studies.MustSeries(ids[i]), controls, changeAt, metric)
+			if cancelable && ctx.Err() != nil {
+				errs[i] = ctx.Err()
+				return
+			}
+			perElement[i], errs[i] = elem.AssessElementContext(ctx, ids[i], studies.MustSeries(ids[i]), controls, changeAt, metric)
 		})
+	}
+	if err := ctx.Err(); err != nil {
+		return GroupResult{}, err
 	}
 	results := make([]ElementResult, 0, len(ids))
 	var firstErr error

@@ -15,6 +15,7 @@ package core
 // values the per-element path would compute.
 
 import (
+	"context"
 	"math"
 	"sync/atomic"
 	"time"
@@ -65,7 +66,7 @@ func allFinite(xs []float64) bool {
 // short, no admissible sample size) or when no element has a fully
 // observed before window — the caller then uses the per-element path
 // unchanged.
-func (a *Assessor) prepGroupShared(sc *obs.Scope, studies, controls *timeseries.Panel, changeAt time.Time) *groupShared {
+func (a *Assessor) prepGroupShared(ctx context.Context, sc *obs.Scope, studies, controls *timeseries.Panel, changeAt time.Time) *groupShared {
 	if !studies.Index().Equal(controls.Index()) {
 		return nil
 	}
@@ -110,8 +111,12 @@ func (a *Assessor) prepGroupShared(sc *obs.Scope, studies, controls *timeseries.
 	xbFull := xBefore.DesignMatrix()
 	xaFull := xAfter.DesignMatrix()
 	samples := a.samplesFor(n, k)
+	cancelable := ctx.Done() != nil
 	var factorized atomic.Int64
 	forEach(a.cfg.Workers, a.cfg.Iterations, func(it int) {
+		if cancelable && ctx.Err() != nil {
+			return
+		}
 		st := &gs.iters[it]
 		st.xb = xbFull.SelectColsWithIntercept(nil, samples[it])
 		st.xa = xaFull.SelectColsWithIntercept(nil, samples[it])
@@ -139,7 +144,10 @@ func (a *Assessor) prepGroupShared(sc *obs.Scope, studies, controls *timeseries.
 // triangular solve, two matrix–vector forecasts, R², and the leave-one-
 // out adjustment. The arithmetic matches the per-element path operation
 // for operation, so the result is bit-identical.
-func (a *Assessor) assessElementShared(elementID string, study timeseries.Series, gs *groupShared, changeAt time.Time, metric kpi.KPI) (ElementResult, error) {
+func (a *Assessor) assessElementShared(ctx context.Context, elementID string, study timeseries.Series, gs *groupShared, changeAt time.Time, metric kpi.KPI) (ElementResult, error) {
+	if err := ctx.Err(); err != nil {
+		return ElementResult{}, err
+	}
 	sc := a.obs.Child(obs.SpanAssessElement)
 	sc.SetAttr("element", elementID)
 	sc.SetAttr("kpi", metric.String())
@@ -152,10 +160,14 @@ func (a *Assessor) assessElementShared(elementID string, study timeseries.Series
 
 	iters := a.cfg.Iterations
 	fits := newIterFits(iters, yBefore.Len(), yAfter.Len())
+	cancelable := ctx.Done() != nil
 	var leverageSkipped atomic.Int64
 	ws := newWorkerScratches(a.cfg.Workers, iters)
 	sampling := sc.Child(obs.SpanSampling)
 	forEachWorker(a.cfg.Workers, iters, func(w, it int) {
+		if cancelable && ctx.Err() != nil {
+			return
+		}
 		st := &gs.iters[it]
 		if !st.ok {
 			return
@@ -184,6 +196,9 @@ func (a *Assessor) assessElementShared(elementID string, study timeseries.Series
 	})
 	sampling.End()
 	ws.release(a.rt)
+	if err := ctx.Err(); err != nil {
+		return ElementResult{}, err
+	}
 	sc.Counter(obs.MetricIterations).Add(int64(iters))
 	sc.Counter(obs.MetricLeverageSkipped).Add(leverageSkipped.Load())
 	return a.finishElement(sc, elementID, metric, yBefore, yAfter, fits)

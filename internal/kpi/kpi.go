@@ -68,6 +68,18 @@ func (k KPI) String() string {
 	return fmt.Sprintf("KPI(%d)", int(k))
 }
 
+// Parse is the inverse of String: it resolves a KPI by its canonical
+// name, so reports, CLI flags and service requests that carry KPIs as
+// text round-trip back into typed values.
+func Parse(name string) (KPI, error) {
+	for _, k := range All() {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("kpi: unknown KPI %q; known: %v", name, All())
+}
+
 // HigherIsBetter reports the direction semantics of the KPI: true when an
 // increase is a service improvement. DroppedCallRatio is the only
 // lower-is-better KPI; VoiceCallVolume is a workload measure with no

@@ -316,30 +316,35 @@ func (r *Registry) Snapshot() map[string]any {
 	return out
 }
 
-// published guards expvar.Publish, which panics on duplicate names; a
-// registry republished under a seen name is silently skipped (the expvar
-// Func closes over the registry pointer at first publication).
+// published guards expvar.Publish, which panics on duplicate names. Each
+// name maps to a holder the expvar Func reads through, so republishing a
+// name re-points /debug/vars at the newest registry instead of silently
+// serving the first one forever (a process can build several registries
+// over its lifetime — CLI runs, tests, a restarted service — and the
+// live one must win).
 var (
 	publishedMu sync.Mutex
-	published   = map[string]bool{}
+	published   = map[string]*atomic.Pointer[Registry]{}
 )
 
 // PublishExpvar exposes the registry's Snapshot under the given expvar
 // name (conventionally "litmus.metrics", served on /debug/vars by any
 // HTTP server on http.DefaultServeMux — e.g. the -pprof listener).
 // Publishing a second registry under a name already taken in this
-// process is a no-op.
+// process atomically re-points the expvar at the new registry.
 func (r *Registry) PublishExpvar(name string) {
 	if r == nil {
 		return
 	}
 	publishedMu.Lock()
 	defer publishedMu.Unlock()
-	if published[name] {
-		return
+	holder, ok := published[name]
+	if !ok {
+		holder = &atomic.Pointer[Registry]{}
+		published[name] = holder
+		expvar.Publish(name, expvar.Func(func() any { return holder.Load().Snapshot() }))
 	}
-	published[name] = true
-	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+	holder.Store(r)
 }
 
 func sortedKeys[V any](m map[string]V) []string {

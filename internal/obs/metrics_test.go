@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"expvar"
 	"strings"
 	"sync"
 	"testing"
@@ -137,6 +138,32 @@ func TestPublishExpvarIdempotent(t *testing.T) {
 	reg.PublishExpvar("litmus.metrics.test")
 	// A second publication under the same name must not panic.
 	NewRegistry().PublishExpvar("litmus.metrics.test")
+}
+
+// TestPublishExpvarRepoints: republishing a name must re-point the
+// expvar at the newest registry — previously the first registry was
+// served forever and later runs' metrics silently vanished from
+// /debug/vars.
+func TestPublishExpvarRepoints(t *testing.T) {
+	first := NewRegistry()
+	first.Counter("litmus_repoint_total").Add(1)
+	first.PublishExpvar("litmus.metrics.repoint")
+
+	second := NewRegistry()
+	second.Counter("litmus_repoint_total").Add(99)
+	second.PublishExpvar("litmus.metrics.repoint")
+
+	v := expvar.Get("litmus.metrics.repoint")
+	if v == nil {
+		t.Fatal("expvar not published")
+	}
+	snap, ok := v.(expvar.Func)().(map[string]any)
+	if !ok {
+		t.Fatalf("expvar value is %T, want snapshot map", v.(expvar.Func)())
+	}
+	if got := snap["litmus_repoint_total"]; got != int64(99) {
+		t.Errorf("expvar serves counter = %v, want 99 (the newest registry)", got)
+	}
 }
 
 func TestLabeled(t *testing.T) {

@@ -86,6 +86,34 @@ const (
 	// MetricEvalCases counts evaluation-harness cases, labeled
 	// scenario="..." (synthetic) or row="..." (known assessments).
 	MetricEvalCases = "litmus_eval_cases_total"
+
+	// MetricHTTPRequests counts assessment-service HTTP requests, labeled
+	// path="<route pattern>" and code="<status>".
+	MetricHTTPRequests = "litmus_http_requests_total"
+	// MetricQueueDepth is the current number of jobs waiting in the
+	// assessment service's bounded submission queue.
+	MetricQueueDepth = "litmus_queue_depth"
+	// MetricQueueRejected counts submissions rejected with 429 because
+	// the queue was full — the backpressure signal.
+	MetricQueueRejected = "litmus_queue_rejected_total"
+	// MetricCacheHits counts submissions answered from the result cache
+	// (or deduplicated onto an in-flight job) without recomputation.
+	MetricCacheHits = "litmus_cache_hits_total"
+	// MetricCacheMisses counts submissions that enqueued a fresh job.
+	MetricCacheMisses = "litmus_cache_misses_total"
+	// MetricJobSeconds is the queue-to-completion latency histogram of
+	// assessment jobs.
+	MetricJobSeconds = "litmus_job_seconds"
+	// MetricJobs counts finished assessment jobs, labeled
+	// status="done|failed|canceled".
+	MetricJobs = "litmus_jobs_total"
+)
+
+// Serving-layer span names.
+const (
+	// SpanServeJob covers one queued assessment job from dequeue to
+	// completion (the pipeline stages nest beneath it).
+	SpanServeJob = "serve-job"
 )
 
 // Default bucket bounds.

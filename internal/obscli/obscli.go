@@ -4,9 +4,14 @@
 // table, Prometheus dump). Every Litmus command exposes the same
 // surface:
 //
-//	litmus ... -trace out.json   # write the span tree as JSON
-//	litmus ... -metrics          # print Prometheus text + stage timings on exit
-//	litmus ... -pprof :6060      # serve net/http/pprof and /debug/vars
+//	litmus ... -trace out.json        # write the span tree as JSON
+//	litmus ... -metrics               # print Prometheus text + stage timings on exit
+//	litmus ... -metrics-file out.prom # write Prometheus text to a file
+//	litmus ... -pprof :6060           # serve net/http/pprof and /debug/vars
+//
+// The flags compose: one run can write the metrics file, print the
+// timing tables and serve the same registry on /debug/vars — the
+// registry is shared, not re-registered, so the views never disagree.
 package obscli
 
 import (
@@ -26,6 +31,10 @@ type Flags struct {
 	// Metrics is -metrics: print the Prometheus dump and per-stage
 	// timing table on exit.
 	Metrics bool
+	// MetricsPath is -metrics-file: where to write the Prometheus text
+	// exposition on exit ("" = off). Independent of -metrics, and served
+	// from the same registry as /debug/vars — no double registration.
+	MetricsPath string
 	// PprofAddr is -pprof: address to serve net/http/pprof on ("" = off).
 	PprofAddr string
 }
@@ -36,6 +45,7 @@ func Register() *Flags {
 	f := &Flags{}
 	flag.StringVar(&f.TracePath, "trace", "", "write the assessment span tree as JSON to this file")
 	flag.BoolVar(&f.Metrics, "metrics", false, "print Prometheus-text metrics and a per-stage timing table on exit")
+	flag.StringVar(&f.MetricsPath, "metrics-file", "", "write Prometheus-text metrics to this file on exit")
 	flag.StringVar(&f.PprofAddr, "pprof", "", `serve net/http/pprof and /debug/vars on this address (e.g. "localhost:6060")`)
 	return f
 }
@@ -43,7 +53,7 @@ func Register() *Flags {
 // Enabled reports whether any instrumentation was requested; when false,
 // Scope returns nil and the engine runs its zero-overhead path.
 func (f *Flags) Enabled() bool {
-	return f.TracePath != "" || f.Metrics || f.PprofAddr != ""
+	return f.TracePath != "" || f.Metrics || f.MetricsPath != "" || f.PprofAddr != ""
 }
 
 // Scope starts the run's root scope named name, honoring the flags: nil
@@ -68,9 +78,9 @@ func (f *Flags) Scope(name string) (*obs.Scope, error) {
 }
 
 // Report ends the scope and emits everything the flags asked for: the
-// JSON trace to -trace's path, and — with -metrics — the flame summary,
-// per-stage timing table and Prometheus dump to w. A nil scope is a
-// no-op.
+// JSON trace to -trace's path, the Prometheus text to -metrics-file's
+// path, and — with -metrics — the flame summary, per-stage timing table
+// and Prometheus dump to w. A nil scope is a no-op.
 func (f *Flags) Report(w io.Writer, scope *obs.Scope) error {
 	if scope == nil {
 		return nil
@@ -90,6 +100,20 @@ func (f *Flags) Report(w io.Writer, scope *obs.Scope) error {
 			return err
 		}
 		fmt.Fprintf(w, "trace: wrote span tree to %s\n", f.TracePath)
+	}
+	if f.MetricsPath != "" {
+		out, err := os.Create(f.MetricsPath)
+		if err != nil {
+			return err
+		}
+		if err := scope.Registry().WritePrometheus(out); err != nil {
+			out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "metrics: wrote Prometheus text to %s\n", f.MetricsPath)
 	}
 	if f.Metrics {
 		fmt.Fprintf(w, "\n--- trace summary (%s) ---\n", root.Name)

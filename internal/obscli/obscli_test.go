@@ -1,0 +1,81 @@
+package obscli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestDisabledFlagsNilScope(t *testing.T) {
+	f := &Flags{}
+	if f.Enabled() {
+		t.Fatal("empty flags report enabled")
+	}
+	scope, err := f.Scope("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scope != nil {
+		t.Fatal("disabled flags produced a scope")
+	}
+	if err := f.Report(os.Stderr, scope); err != nil {
+		t.Fatalf("nil-scope report: %v", err)
+	}
+}
+
+// TestMetricsFileAndDump: one run can write the metrics file and print
+// the stdout dump from the same registry — the two views must agree.
+func TestMetricsFileAndDump(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.prom")
+	f := &Flags{Metrics: true, MetricsPath: path}
+	if !f.Enabled() {
+		t.Fatal("flags with -metrics-file report disabled")
+	}
+	scope, err := f.Scope("test-run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scope.Registry().Counter("litmus_test_events_total").Add(7)
+
+	var buf bytes.Buffer
+	if err := f.Report(&buf, scope); err != nil {
+		t.Fatal(err)
+	}
+	fileText, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("metrics file not written: %v", err)
+	}
+	if !strings.Contains(string(fileText), "litmus_test_events_total 7") {
+		t.Errorf("metrics file lacks the counter:\n%s", fileText)
+	}
+	if !strings.Contains(buf.String(), "litmus_test_events_total 7") {
+		t.Errorf("stdout dump lacks the counter:\n%s", buf.String())
+	}
+}
+
+// TestScopeRepublishSafe: building scopes repeatedly (as sequential CLI
+// invocations in one process, or tests, do) must not panic on the
+// expvar name and must leave /debug/vars pointing at the newest
+// registry. This is the double-registration regression test.
+func TestScopeRepublishSafe(t *testing.T) {
+	mk := func() *obs.Scope {
+		f := &Flags{Metrics: true}
+		scope, err := f.Scope("republish")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return scope
+	}
+	first := mk()
+	first.Registry().Counter("litmus_republish_total").Add(1)
+	second := mk() // must not panic, must re-point the expvar
+	second.Registry().Counter("litmus_republish_total").Add(41)
+
+	if got := second.Registry().Snapshot()["litmus_republish_total"]; got != int64(41) {
+		t.Fatalf("second registry counter = %v, want 41", got)
+	}
+}

@@ -1,0 +1,186 @@
+// Package client is the typed Go client for the Litmus assessment
+// service (internal/serve). It wraps the JSON API in three primitives —
+// Submit, Job, Result — plus Assess, a blocking helper that submits,
+// rides out 429 backpressure using the server's Retry-After hint, polls
+// until the job finishes, and returns the canonical assessment
+// document.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Client talks to one assessment service instance.
+type Client struct {
+	baseURL string
+	httpc   *http.Client
+
+	// PollInterval is the job-status polling cadence used by Assess
+	// (default 50ms).
+	PollInterval time.Duration
+}
+
+// New returns a client for the service at baseURL (e.g.
+// "http://127.0.0.1:8080"). A nil httpc uses http.DefaultClient.
+func New(baseURL string, httpc *http.Client) *Client {
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	return &Client{
+		baseURL:      strings.TrimRight(baseURL, "/"),
+		httpc:        httpc,
+		PollInterval: 50 * time.Millisecond,
+	}
+}
+
+// APIError is a non-2xx response from the service.
+type APIError struct {
+	StatusCode int
+	Message    string
+	// RetryAfter is the server's backoff hint on 429 responses; zero
+	// otherwise.
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server returned %d: %s", e.StatusCode, e.Message)
+}
+
+// IsBackpressure reports whether err is the service shedding load (429
+// queue-full); callers should wait err.RetryAfter and resubmit.
+func IsBackpressure(err error) bool {
+	apiErr, ok := err.(*APIError)
+	return ok && apiErr.StatusCode == http.StatusTooManyRequests
+}
+
+func decodeAPIError(resp *http.Response) error {
+	apiErr := &APIError{StatusCode: resp.StatusCode}
+	var body serve.APIError
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body); err == nil {
+		apiErr.Message = body.Error
+	}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+		apiErr.RetryAfter = time.Duration(secs) * time.Second
+	}
+	return apiErr
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	return c.httpc.Do(req)
+}
+
+// Submit posts an assessment request. A 200/202 yields the submit
+// response (Cached reports a result-cache or in-flight dedup hit); any
+// other status is an *APIError — 429 carries the Retry-After hint.
+func (c *Client) Submit(ctx context.Context, req *serve.AssessRequest) (*serve.SubmitResponse, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("encoding request: %w", err)
+	}
+	resp, err := c.do(ctx, http.MethodPost, "/v1/assess", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return nil, decodeAPIError(resp)
+	}
+	var sub serve.SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		return nil, fmt.Errorf("decoding submit response: %w", err)
+	}
+	return &sub, nil
+}
+
+// Job fetches a job's status.
+func (c *Client) Job(ctx context.Context, id string) (*serve.JobStatus, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeAPIError(resp)
+	}
+	var st serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("decoding job status: %w", err)
+	}
+	return &st, nil
+}
+
+// Result fetches a finished job's canonical assessment document, as raw
+// bytes (the service's golden wire format).
+func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeAPIError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Assess submits req and blocks until the assessment finishes,
+// returning the canonical result bytes. Queue-full 429s are retried
+// after the server's Retry-After hint; job status is polled at
+// PollInterval. Cancel ctx to give up.
+func (c *Client) Assess(ctx context.Context, req *serve.AssessRequest) ([]byte, error) {
+	var sub *serve.SubmitResponse
+	for {
+		var err error
+		sub, err = c.Submit(ctx, req)
+		if err == nil {
+			break
+		}
+		apiErr, ok := err.(*APIError)
+		if !ok || apiErr.StatusCode != http.StatusTooManyRequests {
+			return nil, err
+		}
+		wait := apiErr.RetryAfter
+		if wait <= 0 {
+			wait = time.Second
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(wait):
+		}
+	}
+	for {
+		st, err := c.Job(ctx, sub.ID)
+		if err != nil {
+			return nil, err
+		}
+		switch st.Status {
+		case "done":
+			return c.Result(ctx, sub.ID)
+		case "failed":
+			return nil, fmt.Errorf("job %s failed: %s", sub.ID, st.Error)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(c.PollInterval):
+		}
+	}
+}

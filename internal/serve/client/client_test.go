@@ -1,0 +1,182 @@
+package client
+
+// End-to-end tests driving a real service instance through the typed
+// client: the golden scenario must come back bit-identical to the
+// committed fixture, and Assess must ride out 429 backpressure using
+// the server's Retry-After hint.
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/serve"
+)
+
+func goldenRequest(t *testing.T) *serve.AssessRequest {
+	t.Helper()
+	topo := netsim.DefaultTopologyConfig()
+	topo.Seed = 17
+	net := netsim.Build(topo)
+	rncs := net.OfKind(netsim.RNC)
+	if len(rncs) == 0 {
+		t.Fatal("golden topology has no RNCs")
+	}
+	study := net.Children(rncs[0])[:3]
+	return &serve.AssessRequest{
+		Topology:  &serve.TopologySpec{Seed: 17},
+		Generator: &serve.GeneratorSpec{Seed: 23},
+		Index:     serve.IndexSpec{Start: "2012-03-01T00:00:00Z", Step: "6h", N: 28 * 4},
+		Change: serve.ChangeSpec{
+			ID:          "CHG-GOLD",
+			Type:        "config-change",
+			Description: "golden fixture change",
+			Elements:    study,
+			At:          "2012-03-15T00:00:00Z",
+			TrueQuality: -1.5,
+		},
+		KPIs:       []string{"voice-retainability", "data-accessibility"},
+		WindowDays: 14,
+		Assessor:   &serve.AssessorSpec{Seed: 9},
+		Controls:   &serve.ControlsSpec{Predicates: []string{"same-kind", "same-parent"}},
+	}
+}
+
+func newService(t *testing.T, cfg serve.Config) *Client {
+	t.Helper()
+	s := serve.New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return New(ts.URL, ts.Client())
+}
+
+// TestAssessGolden is the client-side half of the e2e acceptance gate:
+// submit, poll, fetch — the bytes must equal the committed fixture.
+func TestAssessGolden(t *testing.T) {
+	c := newService(t, serve.Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	result, err := c.Assess(ctx, goldenRequest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("..", "..", "..", "testdata", "golden_assessment.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := append(append([]byte(nil), result...), '\n'); !bytes.Equal(got, want) {
+		t.Errorf("client result deviates from the golden fixture:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Second Assess of the same request: served from the cache, same
+	// bytes.
+	again, err := c.Assess(ctx, goldenRequest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(result, again) {
+		t.Error("cached Assess returned different bytes")
+	}
+}
+
+func TestSubmitAndPollPrimitives(t *testing.T) {
+	c := newService(t, serve.Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	sub, err := c.Submit(ctx, goldenRequest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.ID == "" {
+		t.Fatal("submit returned empty job id")
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := c.Job(ctx, sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Status == "done" {
+			break
+		}
+		if st.Status == "failed" {
+			t.Fatalf("job failed: %s", st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", st.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := c.Result(ctx, sub.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownJobError(t *testing.T) {
+	c := newService(t, serve.Config{})
+	ctx := context.Background()
+	_, err := c.Job(ctx, "jdeadbeef")
+	apiErr, ok := err.(*APIError)
+	if !ok || apiErr.StatusCode != http.StatusNotFound {
+		t.Fatalf("err = %v, want *APIError with 404", err)
+	}
+}
+
+// TestAssessRidesOutBackpressure floods a tiny queue with concurrent
+// Assess calls; the client must absorb the 429s (honoring Retry-After)
+// and every call must still land the correct result.
+func TestAssessRidesOutBackpressure(t *testing.T) {
+	c := newService(t, serve.Config{Workers: 1, QueueDepth: 1, RetryAfter: 10 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	const calls = 6
+	var wg sync.WaitGroup
+	errs := make([]error, calls)
+	results := make([][]byte, calls)
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := goldenRequest(t)
+			req.Generator.Seed = int64(100 + i) // distinct jobs: no dedup shortcut
+			results[i], errs[i] = c.Assess(ctx, req)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < calls; i++ {
+		if errs[i] != nil {
+			t.Errorf("call %d: %v", i, errs[i])
+			continue
+		}
+		if len(results[i]) == 0 {
+			t.Errorf("call %d: empty result", i)
+		}
+	}
+}
+
+func TestIsBackpressure(t *testing.T) {
+	if !IsBackpressure(&APIError{StatusCode: http.StatusTooManyRequests}) {
+		t.Error("429 APIError not recognized as backpressure")
+	}
+	if IsBackpressure(&APIError{StatusCode: http.StatusNotFound}) {
+		t.Error("404 APIError misread as backpressure")
+	}
+	if IsBackpressure(context.Canceled) {
+		t.Error("non-API error misread as backpressure")
+	}
+}

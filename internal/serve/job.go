@@ -1,0 +1,102 @@
+package serve
+
+// Job and cache bookkeeping. All mutable job state is guarded by the
+// server mutex; result bytes are immutable once set, so handlers can
+// hand them to the response writer without copying.
+
+import (
+	"container/list"
+	"time"
+)
+
+// Job states.
+const (
+	stateQueued  = "queued"
+	stateRunning = "running"
+	stateDone    = "done"
+	stateFailed  = "failed"
+)
+
+// job is one submitted assessment: the compiled request plus its
+// lifecycle state.
+type job struct {
+	id  string
+	req *compiledRequest
+
+	state     string
+	cached    bool // answered from the result cache, no computation
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	result    []byte // canonical assessment document, immutable once set
+	err       string
+
+	// done is closed when the job reaches a terminal state (done or
+	// failed) — the in-process wait hook used by drains and tests.
+	done chan struct{}
+}
+
+func newJob(id string, req *compiledRequest, now time.Time) *job {
+	return &job{id: id, req: req, state: stateQueued, submitted: now, done: make(chan struct{})}
+}
+
+// status renders the job's API view. Callers hold the server mutex.
+func (j *job) status() JobStatus {
+	st := JobStatus{ID: j.id, Status: j.state, Cached: j.cached, SubmittedAt: j.submitted, Error: j.err}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	return st
+}
+
+// lruCache is a size-bounded least-recently-used map from canonical
+// request hash to result bytes. Not safe for concurrent use — the
+// server mutex guards it.
+type lruCache struct {
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val []byte
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{capacity: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached value and refreshes its recency.
+func (c *lruCache) get(key string) ([]byte, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// put inserts or refreshes a value, evicting the least recently used
+// entry beyond capacity.
+func (c *lruCache) put(key string, val []byte) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).val = val
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// len returns the number of cached results.
+func (c *lruCache) len() int { return c.ll.Len() }

@@ -1,0 +1,73 @@
+package serve
+
+// Scenario construction: a compiled request deterministically rebuilds
+// the synthetic world (topology, generator, change record) and wires the
+// assessment pipeline — the exact construction sequence of the golden
+// fixture, so the service reproduces offline assessments byte-for-byte.
+
+import (
+	"fmt"
+
+	"repro/internal/changelog"
+	"repro/internal/control"
+	"repro/internal/gen"
+	"repro/internal/kpi"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+
+	litmus "repro"
+)
+
+// buildPipeline materializes the request's world and returns the wired
+// pipeline plus the change record to assess. Unknown study elements (the
+// one validation that needs the topology) surface here, as a job error.
+func (c *compiledRequest) buildPipeline(scope *obs.Scope) (*litmus.Pipeline, *changelog.Change, error) {
+	net := netsim.Build(c.topo)
+	changeType, err := changelog.ParseType(c.norm.Change.Type)
+	if err != nil {
+		return nil, nil, err
+	}
+	change := &changelog.Change{
+		ID:                     c.norm.Change.ID,
+		Type:                   changeType,
+		Description:            c.norm.Change.Description,
+		Elements:               c.norm.Change.Elements,
+		At:                     c.changeAt,
+		PropagateToDescendants: c.norm.Change.PropagateToDescendants,
+		TrueQuality:            c.norm.Change.TrueQuality,
+		TrueLoadMult:           c.norm.Change.TrueLoadMult,
+	}
+	if err := change.Validate(net); err != nil {
+		return nil, nil, fmt.Errorf("change does not fit the requested topology: %w", err)
+	}
+
+	gcfg := gen.DefaultConfig(c.index)
+	gcfg.Seed = c.genSeed
+	gcfg.Effects = []gen.Effect{change.Effect(net)}
+	g := gen.New(net, gcfg)
+	provider := litmus.ProviderFunc(func(id string, metric kpi.KPI) (litmus.Series, bool) {
+		if net.Element(id) == nil {
+			return litmus.Series{}, false
+		}
+		return g.Series(id, metric), true
+	})
+
+	assessor, err := litmus.NewAssessor(c.cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	var pred litmus.Predicate
+	if len(c.preds) == 1 {
+		pred = c.preds[0]
+	} else {
+		pred = control.And(c.preds...)
+	}
+	return &litmus.Pipeline{
+		Network:          net,
+		Provider:         provider,
+		Assessor:         assessor,
+		ControlPredicate: pred,
+		MaxControls:      c.maxCtrls,
+		Obs:              scope,
+	}, change, nil
+}

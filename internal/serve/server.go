@@ -1,0 +1,473 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+
+	litmus "repro"
+)
+
+// Config parameterizes the assessment service. The zero value is usable:
+// every field falls back to the documented default.
+type Config struct {
+	// QueueDepth bounds the submission queue (default 64). A full queue
+	// rejects submissions with 429 and a Retry-After hint — backpressure
+	// instead of unbounded memory growth.
+	QueueDepth int
+	// Workers is the number of concurrent assessment jobs (default 2).
+	// Each job additionally fans its sampling iterations out over the
+	// assessor's own worker pool.
+	Workers int
+	// CacheSize bounds the LRU result cache (default 256 results).
+	CacheSize int
+	// JobRetention bounds how many finished job records stay queryable
+	// (default 1024; oldest finished jobs are forgotten first — their
+	// results may still live in the cache).
+	JobRetention int
+	// JobTimeout is the per-job execution deadline (default 5m). The
+	// deadline propagates through AssessChangeContext, so a stuck job
+	// stops between sampling iterations.
+	JobTimeout time.Duration
+	// RetryAfter is the backoff hint returned with 429 (default 1s).
+	RetryAfter time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+	// Registry receives the service and engine metrics (default: a fresh
+	// registry, exposed on /metrics either way).
+	Registry *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers == 0 {
+		c.Workers = 2
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.JobRetention == 0 {
+		c.JobRetention = 1024
+	}
+	if c.JobTimeout == 0 {
+		c.JobTimeout = 5 * time.Minute
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	return c
+}
+
+// Server is the Litmus assessment service: HTTP API, bounded job queue,
+// worker pool, LRU result cache. Create with New, mount Handler, stop
+// with Shutdown.
+type Server struct {
+	cfg Config
+	reg *obs.Registry
+	mux *http.ServeMux
+
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+
+	mu          sync.Mutex
+	jobs        map[string]*job
+	finished    *list.List // job ids in completion order, oldest first
+	cache       *lruCache
+	queue       chan *job
+	draining    bool
+	queueClosed bool
+
+	wg sync.WaitGroup
+
+	// Test hooks: when testStarted is non-nil, runJob announces the job
+	// id on it and then blocks on testRelease before executing — tests
+	// use this to hold workers and fill the queue deterministically.
+	// Set between newServer and start only.
+	testStarted chan string
+	testRelease chan struct{}
+}
+
+// New returns a running server: workers are started immediately; the
+// returned server's Handler can be mounted on any http.Server.
+func New(cfg Config) *Server {
+	s := newServer(cfg)
+	s.start()
+	return s
+}
+
+func newServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		reg:      cfg.Registry,
+		mux:      http.NewServeMux(),
+		jobs:     make(map[string]*job),
+		finished: list.New(),
+		cache:    newLRUCache(cfg.CacheSize),
+		queue:    make(chan *job, cfg.QueueDepth),
+	}
+	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
+	s.routes()
+	return s
+}
+
+func (s *Server) start() {
+	s.wg.Add(s.cfg.Workers)
+	for i := 0; i < s.cfg.Workers; i++ {
+		go s.worker()
+	}
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the metrics registry the service records into.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Config returns the effective (defaulted) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+func (s *Server) routes() {
+	s.route("POST /v1/assess", s.handleSubmit)
+	s.route("GET /v1/jobs/{id}", s.handleJob)
+	s.route("GET /v1/jobs/{id}/result", s.handleResult)
+	s.route("GET /healthz", s.handleHealthz)
+	s.route("GET /readyz", s.handleReadyz)
+	s.route("GET /metrics", s.handleMetrics)
+	if s.cfg.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+}
+
+// statusWriter captures the response code for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// route mounts a handler with per-route request counting, labeled by
+// route pattern and status code.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.reg.Counter(obs.Labeled(obs.MetricHTTPRequests,
+			"path", pattern, "code", strconv.Itoa(sw.code))).Add(1)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, APIError{Error: fmt.Sprintf(format, args...)})
+}
+
+// maxRequestBody bounds POST bodies; assessment requests are a few KB.
+const maxRequestBody = 1 << 20
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req AssessRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	compiled, err := compile(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request: %v", err)
+		return
+	}
+	id := compiled.hash()
+	now := time.Now()
+
+	s.mu.Lock()
+	if j, ok := s.jobs[id]; ok {
+		switch j.state {
+		case stateDone:
+			// Same canonical request, result already computed: pure cache
+			// hit, the result bytes are identical by the determinism
+			// contract.
+			s.cache.get(id) // refresh recency
+			resp := SubmitResponse{ID: id, Status: stateDone, Cached: true}
+			s.mu.Unlock()
+			s.reg.Counter(obs.MetricCacheHits).Add(1)
+			writeJSON(w, http.StatusOK, resp)
+			return
+		case stateQueued, stateRunning:
+			// Identical request already in flight: deduplicate onto it
+			// instead of queueing duplicate work.
+			resp := SubmitResponse{ID: id, Status: j.state, Cached: true}
+			s.mu.Unlock()
+			s.reg.Counter(obs.MetricCacheHits).Add(1)
+			writeJSON(w, http.StatusAccepted, resp)
+			return
+		case stateFailed:
+			// Failed jobs are retried on resubmit (the failure may have
+			// been a timeout or a drain-time cancellation).
+			if ok, resp := s.enqueueLocked(w, j, now); ok {
+				s.mu.Unlock()
+				writeJSON(w, http.StatusAccepted, resp)
+			}
+			return
+		}
+	}
+	if result, ok := s.cache.get(id); ok {
+		// The job record aged out but the result is still cached:
+		// resurrect a done job around the cached bytes.
+		j := newJob(id, compiled, now)
+		j.state = stateDone
+		j.cached = true
+		j.finished = now
+		j.result = result
+		close(j.done)
+		s.jobs[id] = j
+		s.recordFinishedLocked(id)
+		s.mu.Unlock()
+		s.reg.Counter(obs.MetricCacheHits).Add(1)
+		writeJSON(w, http.StatusOK, SubmitResponse{ID: id, Status: stateDone, Cached: true})
+		return
+	}
+	j := newJob(id, compiled, now)
+	if ok, resp := s.enqueueLocked(w, j, now); ok {
+		s.jobs[id] = j
+		s.mu.Unlock()
+		s.reg.Counter(obs.MetricCacheMisses).Add(1)
+		writeJSON(w, http.StatusAccepted, resp)
+	}
+}
+
+// enqueueLocked pushes j onto the bounded queue. It is called with the
+// server mutex held; on the backpressure and draining paths it writes
+// the error response itself (releasing the mutex first) and returns
+// ok=false.
+func (s *Server) enqueueLocked(w http.ResponseWriter, j *job, now time.Time) (bool, SubmitResponse) {
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return false, SubmitResponse{}
+	}
+	j.state = stateQueued
+	j.submitted = now
+	j.err = ""
+	select {
+	case s.queue <- j:
+		s.reg.Gauge(obs.MetricQueueDepth).Set(float64(len(s.queue)))
+		return true, SubmitResponse{ID: j.id, Status: stateQueued}
+	default:
+		s.mu.Unlock()
+		s.reg.Counter(obs.MetricQueueRejected).Add(1)
+		retry := int(math.Ceil(s.cfg.RetryAfter.Seconds()))
+		if retry < 1 {
+			retry = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeError(w, http.StatusTooManyRequests, "submission queue full (%d jobs); retry after %ds", s.cfg.QueueDepth, retry)
+		return false, SubmitResponse{}
+	}
+}
+
+// recordFinishedLocked appends id to the finished order and forgets the
+// oldest finished jobs beyond the retention bound.
+func (s *Server) recordFinishedLocked(id string) {
+	s.finished.PushBack(id)
+	for s.finished.Len() > s.cfg.JobRetention {
+		oldest := s.finished.Front()
+		s.finished.Remove(oldest)
+		delete(s.jobs, oldest.Value.(string))
+	}
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var st JobStatus
+	if ok {
+		st = j.status()
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var state string
+	var result []byte
+	var errMsg string
+	if ok {
+		state, result, errMsg = j.state, j.result, j.err
+	}
+	s.mu.Unlock()
+	switch {
+	case !ok:
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+	case state == stateDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(result)
+	case state == stateFailed:
+		writeError(w, http.StatusInternalServerError, "job failed: %s", errMsg)
+	default:
+		writeError(w, http.StatusConflict, "job %s is %s; poll /v1/jobs/%s until done", id, state, id)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	depth := len(s.queue)
+	s.mu.Unlock()
+	if draining {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ready",
+		"queueDepth": depth,
+		"queueCap":   s.cfg.QueueDepth,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.reg.WritePrometheus(w)
+}
+
+// worker consumes the queue until it is closed and drained.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one assessment under the per-job deadline and the
+// server's base context (canceled on hard shutdown).
+func (s *Server) runJob(j *job) {
+	s.reg.Gauge(obs.MetricQueueDepth).Set(float64(len(s.queue)))
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.JobTimeout)
+	defer cancel()
+
+	s.mu.Lock()
+	j.state = stateRunning
+	j.started = time.Now()
+	s.mu.Unlock()
+
+	if s.testStarted != nil {
+		s.testStarted <- j.id
+		<-s.testRelease
+	}
+
+	// Each job gets its own trace root (discarded after the job — the
+	// service keeps no per-job trace history) recording stage latencies
+	// and engine counters into the shared registry.
+	scope := obs.New(obs.SpanServeJob, s.reg)
+	var result []byte
+	p, change, err := j.req.buildPipeline(scope)
+	if err == nil {
+		var res *litmus.ChangeAssessment
+		res, err = p.AssessChangeContext(ctx, change, j.req.kpis, j.req.window)
+		if err == nil {
+			result, err = litmus.MarshalAssessment(res)
+		}
+	}
+	scope.End()
+
+	statusLabel := stateDone
+	if err != nil {
+		statusLabel = stateFailed
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			statusLabel = "canceled"
+		}
+	}
+
+	s.mu.Lock()
+	j.finished = time.Now()
+	if err != nil {
+		j.state = stateFailed
+		j.err = err.Error()
+	} else {
+		j.state = stateDone
+		j.result = result
+		s.cache.put(j.id, result)
+	}
+	s.recordFinishedLocked(j.id)
+	latency := j.finished.Sub(j.submitted)
+	s.mu.Unlock()
+
+	s.reg.Counter(obs.Labeled(obs.MetricJobs, "status", statusLabel)).Add(1)
+	s.reg.Histogram(obs.MetricJobSeconds, obs.StageBuckets).Observe(latency.Seconds())
+	close(j.done)
+}
+
+// Shutdown gracefully drains the service: submissions are rejected with
+// 503, queued and in-flight jobs keep running until done or until ctx
+// expires — at which point the per-job contexts are canceled and the
+// workers stop between sampling iterations. Safe to call more than
+// once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.queueClosed {
+		s.draining = true
+		s.queueClosed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// Hard stop: cancel every in-flight job context; the engine's
+		// between-iteration checks make the workers exit promptly.
+		s.cancelBase()
+		<-done
+		return ctx.Err()
+	}
+}

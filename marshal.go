@@ -1,0 +1,78 @@
+package litmus
+
+// Canonical JSON serialization of a ChangeAssessment. This is the wire
+// format of the assessment service (internal/serve) and the format of
+// the committed golden fixture (testdata/golden_assessment.json): KPIs
+// sorted by name, floats at shortest round-trip precision, so two
+// serializations are byte-equal iff every statistic, p-value and shift
+// is bit-identical. Treat any change here as a wire-format break — the
+// golden test and the service's cache-hit contract both pin it.
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// AssessmentElementDoc is one study element's row in the canonical
+// assessment document.
+type AssessmentElementDoc struct {
+	ID        string  `json:"id"`
+	Impact    string  `json:"impact"`
+	Statistic float64 `json:"statistic"`
+	P         float64 `json:"p"`
+	Shift     float64 `json:"shift"`
+	FitR2     float64 `json:"fitR2"`
+}
+
+// AssessmentGroupDoc is one KPI's voted group result in the canonical
+// assessment document.
+type AssessmentGroupDoc struct {
+	KPI      string                 `json:"kpi"`
+	Overall  string                 `json:"overall"`
+	Votes    map[string]int         `json:"votes"`
+	Elements []AssessmentElementDoc `json:"elements"`
+}
+
+// AssessmentDoc is the canonical JSON document for one ChangeAssessment.
+type AssessmentDoc struct {
+	ChangeID string               `json:"changeID"`
+	Decision string               `json:"decision"`
+	Controls []string             `json:"controls"`
+	PerKPI   []AssessmentGroupDoc `json:"perKPI"`
+}
+
+// AssessmentToDoc converts a ChangeAssessment into its canonical
+// document form (KPIs sorted by name; element order preserved).
+func AssessmentToDoc(res *ChangeAssessment) AssessmentDoc {
+	doc := AssessmentDoc{
+		ChangeID: res.Change.ID,
+		Decision: res.Decision.String(),
+		Controls: res.ControlGroup,
+	}
+	kpis := make([]KPI, 0, len(res.PerKPI))
+	for k := range res.PerKPI {
+		kpis = append(kpis, k)
+	}
+	sort.Slice(kpis, func(i, j int) bool { return kpis[i].String() < kpis[j].String() })
+	for _, k := range kpis {
+		gr := res.PerKPI[k]
+		g := AssessmentGroupDoc{KPI: k.String(), Overall: gr.Overall.String(), Votes: map[string]int{}}
+		for imp, n := range gr.Votes {
+			g.Votes[imp.String()] = n
+		}
+		for _, e := range gr.PerElement {
+			g.Elements = append(g.Elements, AssessmentElementDoc{
+				ID: e.ElementID, Impact: e.Impact.String(),
+				Statistic: e.Statistic, P: e.P, Shift: e.Shift, FitR2: e.FitR2,
+			})
+		}
+		doc.PerKPI = append(doc.PerKPI, g)
+	}
+	return doc
+}
+
+// MarshalAssessment renders the canonical, deterministic JSON document
+// for a ChangeAssessment (two-space indented, no trailing newline).
+func MarshalAssessment(res *ChangeAssessment) ([]byte, error) {
+	return json.MarshalIndent(AssessmentToDoc(res), "", "  ")
+}

@@ -1,6 +1,7 @@
 package litmus
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -107,6 +108,18 @@ type Pipeline struct {
 // AssessChange assesses a change over the given KPIs using windows of
 // windowDays before and after the change time.
 func (p *Pipeline) AssessChange(change *changelog.Change, kpis []KPI, windowDays int) (*ChangeAssessment, error) {
+	return p.AssessChangeContext(context.Background(), change, kpis, windowDays)
+}
+
+// AssessChangeContext is AssessChange honoring ctx: cancellation (or a
+// deadline) propagates into every per-KPI group assessment and from
+// there between sampling iterations, so a canceled assessment stops its
+// workers promptly and returns ctx.Err(). A background context takes
+// the exact AssessChange path and produces bit-identical results.
+func (p *Pipeline) AssessChangeContext(ctx context.Context, change *changelog.Change, kpis []KPI, windowDays int) (*ChangeAssessment, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	sc := p.Obs.Child(obs.SpanAssessChange)
 	defer sc.End()
 	if p.Network == nil || p.Provider == nil {
@@ -178,14 +191,20 @@ func (p *Pipeline) AssessChange(change *changelog.Change, kpis []KPI, windowDays
 		panels[i] = kpiPanels{studies: studies, controls: controlsPanel}
 	}
 	assembly.End()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Each KPI's AssessGroup opens its own assess-group span under the
 	// assess-change span; sibling spans may be created concurrently.
 	assessor = assessor.WithObserver(sc)
 	results := make([]GroupResult, len(kpis))
 	errs := make([]error, len(kpis))
 	core.ForEachIndex(assessor.Config().Workers, len(kpis), func(i int) {
-		results[i], errs[i] = assessor.AssessGroup(panels[i].studies, panels[i].controls, change.At, kpis[i])
+		results[i], errs[i] = assessor.AssessGroupContext(ctx, panels[i].studies, panels[i].controls, change.At, kpis[i])
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for i, metric := range kpis {
 		if errs[i] != nil {
 			return nil, fmt.Errorf("litmus: %v: %w", metric, errs[i])
