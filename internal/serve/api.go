@@ -348,7 +348,9 @@ func compile(req *AssessRequest) (*compiledRequest, error) {
 // hash returns the canonical request hash — the job and cache key. It
 // covers the normalized form, so notation differences (omitted vs
 // explicit defaults, KPI order, timezone spelling, worker count) map to
-// the same key.
+// the same key. The full sha256 digest is kept: ids are opaque to
+// clients, and a truncated key colliding would silently serve one
+// request's cached assessment as another's.
 func (c *compiledRequest) hash() string {
 	b, err := json.Marshal(c.norm)
 	if err != nil {
@@ -356,7 +358,7 @@ func (c *compiledRequest) hash() string {
 		panic("serve: marshaling normalized request: " + err.Error())
 	}
 	sum := sha256.Sum256(b)
-	return "j" + hex.EncodeToString(sum[:8])
+	return "j" + hex.EncodeToString(sum[:])
 }
 
 // SubmitResponse is the POST /v1/assess response body.

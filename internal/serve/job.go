@@ -31,8 +31,15 @@ type job struct {
 	result    []byte // canonical assessment document, immutable once set
 	err       string
 
+	// finishedElem is this job's node in the server's finished order,
+	// nil while the job has never finished or is back in flight after a
+	// retry. Tracking the element keeps the order duplicate-free, so
+	// retention evicts by true completion recency.
+	finishedElem *list.Element
+
 	// done is closed when the job reaches a terminal state (done or
-	// failed) — the in-process wait hook used by drains and tests.
+	// failed) — the in-process wait hook used by drains and tests. A
+	// failed job that is resubmitted gets a fresh channel for the retry.
 	done chan struct{}
 }
 

@@ -8,6 +8,7 @@ package serve
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -534,6 +535,12 @@ func TestCanonicalHash(t *testing.T) {
 	base := goldenRequest(t)
 	baseHash := mustHash(t, base)
 
+	// The id carries the full sha256 digest: a truncated key could let
+	// two distinct requests collide and silently share a cached answer.
+	if want := 1 + 2*sha256.Size; len(baseHash) != want {
+		t.Errorf("id length = %d, want %d (full digest)", len(baseHash), want)
+	}
+
 	variants := map[string]func(*AssessRequest){
 		"kpi order":        func(r *AssessRequest) { r.KPIs = []string{"data-accessibility", "voice-retainability"} },
 		"kpi duplicates":   func(r *AssessRequest) { r.KPIs = append(r.KPIs, "voice-retainability") },
@@ -644,8 +651,7 @@ func TestCacheOutlivesJobRetention(t *testing.T) {
 // failed with a 500 result and a populated error.
 func TestJobFailureSurfaces(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	req := requestWithSeed(t, 6001)
-	req.Change.Elements = []string{"no-such-element"}
+	req := failingRequest(t, 6001)
 	sub, _ := submit(t, ts, req)
 	st := waitDone(t, ts, sub.ID)
 	if st.Status != stateFailed {
@@ -656,5 +662,124 @@ func TestJobFailureSurfaces(t *testing.T) {
 	}
 	if _, code := fetchResult(t, ts, sub.ID); code != http.StatusInternalServerError {
 		t.Errorf("failed result: status = %d, want 500", code)
+	}
+}
+
+// failingRequest compiles cleanly but fails at run time: the study
+// element does not exist in the requested topology.
+func failingRequest(t *testing.T, seed int64) *AssessRequest {
+	t.Helper()
+	req := requestWithSeed(t, seed)
+	req.Change.Elements = []string{"no-such-element"}
+	return req
+}
+
+// TestFailedJobRetryCompletes: resubmitting a failed job must re-run it
+// to a terminal state. The retry gets a fresh done channel — the first
+// run already closed the old one, so reusing it would panic the worker
+// with a double close — and the finished order holds the job at most
+// once across retries, so retention evicts by true recency.
+func TestFailedJobRetryCompletes(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	req := failingRequest(t, 7001)
+
+	sub, _ := submit(t, ts, req)
+	if st := waitDone(t, ts, sub.ID); st.Status != stateFailed {
+		t.Fatalf("job finished %s, want failed", st.Status)
+	}
+
+	sub2, resp2 := submit(t, ts, req)
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("retry submit: status = %d, want 202", resp2.StatusCode)
+	}
+	if sub2.ID != sub.ID {
+		t.Fatalf("retry id %s != original %s", sub2.ID, sub.ID)
+	}
+	if st := waitDone(t, ts, sub.ID); st.Status != stateFailed {
+		t.Fatalf("retried job finished %s, want failed", st.Status)
+	}
+	if n := counterValue(t, s.Registry(), obs.Labeled(obs.MetricJobs, "status", stateFailed)); n != 2 {
+		t.Errorf("failed jobs = %d, want 2 (the retry must actually run)", n)
+	}
+
+	s.mu.Lock()
+	finished := s.finished.Len()
+	s.mu.Unlock()
+	if finished != 1 {
+		t.Errorf("finished order holds %d entries after a retry, want 1", finished)
+	}
+}
+
+// TestFailedJobRetryQueueFull: a failed-job resubmit shed by the full
+// queue must leave the record failed — still retryable — rather than
+// wedged in a phantom "queued" state that never runs and dedups every
+// future identical submit onto it.
+func TestFailedJobRetryQueueFull(t *testing.T) {
+	s, ts := gatedServer(t, Config{Workers: 1, QueueDepth: 1})
+	// Registered after gatedServer's cleanup, so it runs first (LIFO)
+	// and frees any gated worker before Shutdown waits on the pool.
+	t.Cleanup(func() { close(s.testRelease) })
+
+	fail := failingRequest(t, 7101)
+	subF, _ := submit(t, ts, fail)
+	<-s.testStarted
+	s.testRelease <- struct{}{}
+	if st := waitDone(t, ts, subF.ID); st.Status != stateFailed {
+		t.Fatalf("job finished %s, want failed", st.Status)
+	}
+
+	// Job A occupies the worker (held at the gate); job B fills the
+	// one-slot queue.
+	subA, _ := submit(t, ts, requestWithSeed(t, 7102))
+	<-s.testStarted
+	subB, respB := submit(t, ts, requestWithSeed(t, 7103))
+	if respB.StatusCode != http.StatusAccepted {
+		t.Fatalf("job B: status = %d, want 202", respB.StatusCode)
+	}
+
+	// The retry is shed with 429…
+	payload, _ := json.Marshal(fail)
+	resp := postJSON(t, ts.URL+"/v1/assess", payload)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("retry under full queue: status = %d, want 429", resp.StatusCode)
+	}
+	// …and the record stays failed, not phantom-queued.
+	jr, err := http.Get(ts.URL + "/v1/jobs/" + subF.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(jr.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	jr.Body.Close()
+	if st.Status != stateFailed {
+		t.Fatalf("after shed retry: status = %s, want failed", st.Status)
+	}
+
+	// Drain A and B; once the queue frees up the retry must be accepted
+	// and actually run to a terminal state.
+	s.testRelease <- struct{}{}
+	if st := waitDone(t, ts, subA.ID); st.Status != stateDone {
+		t.Fatalf("job A finished %s (%s), want done", st.Status, st.Error)
+	}
+	<-s.testStarted
+	s.testRelease <- struct{}{}
+	if st := waitDone(t, ts, subB.ID); st.Status != stateDone {
+		t.Fatalf("job B finished %s (%s), want done", st.Status, st.Error)
+	}
+
+	subF2, respF2 := submit(t, ts, fail)
+	if respF2.StatusCode != http.StatusAccepted {
+		t.Fatalf("retry after drain: status = %d, want 202", respF2.StatusCode)
+	}
+	if subF2.ID != subF.ID {
+		t.Fatalf("retry id %s != original %s", subF2.ID, subF.ID)
+	}
+	<-s.testStarted
+	s.testRelease <- struct{}{}
+	if st := waitDone(t, ts, subF.ID); st.Status != stateFailed {
+		t.Fatalf("drained retry finished %s, want failed", st.Status)
 	}
 }

@@ -234,8 +234,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		case stateFailed:
 			// Failed jobs are retried on resubmit (the failure may have
-			// been a timeout or a drain-time cancellation).
+			// been a timeout or a drain-time cancellation). The record is
+			// reset for the new run only once the enqueue succeeds: a
+			// fresh done channel (the old one is closed), cleared
+			// lifecycle fields, and removal from the finished order so
+			// retention cannot evict the job while it is back in flight.
+			// On the 429 path the job is left failed and retryable.
 			if ok, resp := s.enqueueLocked(w, j, now); ok {
+				j.done = make(chan struct{})
+				j.started = time.Time{}
+				j.finished = time.Time{}
+				j.result = nil
+				if j.finishedElem != nil {
+					s.finished.Remove(j.finishedElem)
+					j.finishedElem = nil
+				}
 				s.mu.Unlock()
 				writeJSON(w, http.StatusAccepted, resp)
 			}
@@ -252,7 +265,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		j.result = result
 		close(j.done)
 		s.jobs[id] = j
-		s.recordFinishedLocked(id)
+		s.recordFinishedLocked(j)
 		s.mu.Unlock()
 		s.reg.Counter(obs.MetricCacheHits).Add(1)
 		writeJSON(w, http.StatusOK, SubmitResponse{ID: id, Status: stateDone, Cached: true})
@@ -267,21 +280,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// enqueueLocked pushes j onto the bounded queue. It is called with the
-// server mutex held; on the backpressure and draining paths it writes
-// the error response itself (releasing the mutex first) and returns
-// ok=false.
+// enqueueLocked pushes j onto the bounded queue, mutating the job only
+// once the send succeeds — a rejected job keeps its previous state, so
+// a failed job stays retryable instead of being wedged as "queued". It
+// is called with the server mutex held; on the backpressure and
+// draining paths it writes the error response itself (releasing the
+// mutex first) and returns ok=false. A worker may receive j as soon as
+// the send succeeds, but cannot touch it until the mutex is released.
 func (s *Server) enqueueLocked(w http.ResponseWriter, j *job, now time.Time) (bool, SubmitResponse) {
 	if s.draining {
 		s.mu.Unlock()
 		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
 		return false, SubmitResponse{}
 	}
-	j.state = stateQueued
-	j.submitted = now
-	j.err = ""
 	select {
 	case s.queue <- j:
+		j.state = stateQueued
+		j.submitted = now
+		j.err = ""
 		s.reg.Gauge(obs.MetricQueueDepth).Set(float64(len(s.queue)))
 		return true, SubmitResponse{ID: j.id, Status: stateQueued}
 	default:
@@ -297,10 +313,18 @@ func (s *Server) enqueueLocked(w http.ResponseWriter, j *job, now time.Time) (bo
 	}
 }
 
-// recordFinishedLocked appends id to the finished order and forgets the
-// oldest finished jobs beyond the retention bound.
-func (s *Server) recordFinishedLocked(id string) {
-	s.finished.PushBack(id)
+// recordFinishedLocked marks j finished: it moves the job to the back
+// of the finished order (appending on first finish) and forgets the
+// oldest finished jobs beyond the retention bound. Element tracking
+// keeps each job in the order at most once, so re-finishes (cache
+// resurrection, failed-job retries) refresh recency instead of
+// duplicating entries.
+func (s *Server) recordFinishedLocked(j *job) {
+	if j.finishedElem != nil {
+		s.finished.MoveToBack(j.finishedElem)
+	} else {
+		j.finishedElem = s.finished.PushBack(j.id)
+	}
 	for s.finished.Len() > s.cfg.JobRetention {
 		oldest := s.finished.Front()
 		s.finished.Remove(oldest)
@@ -432,13 +456,16 @@ func (s *Server) runJob(j *job) {
 		j.result = result
 		s.cache.put(j.id, result)
 	}
-	s.recordFinishedLocked(j.id)
+	s.recordFinishedLocked(j)
 	latency := j.finished.Sub(j.submitted)
+	// Close under the mutex so the close pairs with the done channel
+	// this run owned — a concurrent retry resubmit swaps in a fresh
+	// channel only between terminal states, never mid-run.
+	close(j.done)
 	s.mu.Unlock()
 
 	s.reg.Counter(obs.Labeled(obs.MetricJobs, "status", statusLabel)).Add(1)
 	s.reg.Histogram(obs.MetricJobSeconds, obs.StageBuckets).Observe(latency.Seconds())
-	close(j.done)
 }
 
 // Shutdown gracefully drains the service: submissions are rejected with
