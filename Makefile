@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci vet lint build test race race-obs fuzz-seed bench bench-workers bench-obs bench-json serve-smoke bench-serve clean
+.PHONY: ci vet lint build test race race-obs chaos fuzz-seed bench bench-workers bench-obs bench-json serve-smoke bench-serve clean
 
-ci: vet build test race fuzz-seed
+ci: vet build test race chaos fuzz-seed
 
 vet:
 	$(GO) vet ./...
@@ -43,11 +43,19 @@ race-obs:
 	$(GO) test -race ./internal/obs
 	$(GO) test -race -run 'TestAssessChangeInstrumentedEquivalence' .
 
+# Chaos suite under the race detector: every fault injector through the
+# pipeline (result or typed Degraded reason, clean inputs bit-identical
+# to the golden fixture, same fault seed identical at every worker
+# count), the broken-data panic audit, and the serve-layer hardening
+# tests.
+chaos:
+	$(GO) test -race -run 'Chaos|Degrad|Fault|Panic|Retr' ./...
+
 # Replay the committed fuzz seed corpora as unit tests (no fuzzing
 # engine; catches regressions in the never-panic contracts). Use
 # `go test -fuzz=FuzzReadSeries ./cmd/litmus` etc. for real fuzzing.
 fuzz-seed:
-	$(GO) test ./cmd/litmus ./internal/stats -run '^Fuzz'
+	$(GO) test ./cmd/litmus ./internal/stats ./internal/faults -run '^Fuzz'
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .

@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -22,6 +23,7 @@ import (
 
 	"repro/internal/control"
 	"repro/internal/extfactor"
+	"repro/internal/faults"
 	"repro/internal/gen"
 	"repro/internal/kpi"
 	"repro/internal/netsim"
@@ -40,6 +42,9 @@ func main() {
 		region    = flag.String("region", "Northeast", "region for the study element")
 		kpiName   = flag.String("kpi", "voice-retainability", "KPI to emit")
 		controlsN = flag.Int("controls", 0, "cap control group size (0 = all matching)")
+		faultSpec = flag.String("faults", "", "corrupt the emitted dataset: name[=rate],... or \"all\" (names: "+strings.Join(faults.KindNames(), ", ")+")")
+		faultSeed = flag.Int64("fault-seed", 1, "fault-injection seed (same seed, same corruption)")
+		faultRate = flag.Float64("fault-rate", 0, "default rate for -faults entries without an explicit rate (0 = "+fmt.Sprint(faults.DefaultRate)+")")
 	)
 	obsFlags := obscli.Register()
 	flag.Parse()
@@ -113,19 +118,41 @@ func main() {
 	g := gen.New(net, gcfg)
 
 	synthScope := scope.Child("series-synthesis")
-	studyValues := g.Series(study, metric).Values
-	cols := map[string][]float64{}
+	studySeries := g.Series(study, metric)
+	panel := timeseries.NewPanel(ix)
 	for _, id := range controls {
-		cols[id] = g.Series(id, metric).Values
+		panel.Add(id, g.Series(id, metric))
 	}
 	synthScope.SetAttr("series", fmt.Sprint(1+len(controls)))
 	synthScope.End()
+
+	// Optional fault injection: corrupt the emitted dataset so cmd/litmus
+	// (and any other consumer) can be exercised against broken inputs
+	// with a known clean twin one seed away. Missing observations are
+	// written as empty CSV cells — the loader's missing-value convention.
+	fset, err := faults.Parse(*faultSpec, *faultSeed, *faultRate)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if fset.Active() {
+		fmt.Printf("fault injection:   %s (seed %d)\n", fset, *faultSeed)
+		studySeries = fset.Series(study, studySeries)
+		panel = fset.Panel(panel)
+		if panel.Len() == 0 {
+			fatalf("fault injection dropped every control element; raise -controls or lower the rate")
+		}
+	}
+	controls = panel.IDs()
+	cols := map[string][]float64{}
+	for _, id := range controls {
+		cols[id] = panel.MustSeries(id).Values
+	}
 
 	writeScope := scope.Child("csv-write")
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatalf("%v", err)
 	}
-	if err := writeSeriesCSV(filepath.Join(*outDir, "study.csv"), ix, map[string][]float64{"value": studyValues}, []string{"value"}); err != nil {
+	if err := writeSeriesCSV(filepath.Join(*outDir, "study.csv"), ix, map[string][]float64{"value": studySeries.Values}, []string{"value"}); err != nil {
 		fatalf("%v", err)
 	}
 	if err := writeSeriesCSV(filepath.Join(*outDir, "controls.csv"), ix, cols, controls); err != nil {
@@ -170,7 +197,13 @@ func writeSeriesCSV(path string, ix timeseries.Index, cols map[string][]float64,
 	for i := 0; i < ix.N; i++ {
 		sb.WriteString(ix.TimeAt(i).Format(time.RFC3339))
 		for _, id := range order {
-			sb.WriteString(fmt.Sprintf(",%.6g", cols[id][i]))
+			// Missing observations are empty cells: the cmd/litmus loader
+			// rejects literal "NaN" tokens as malformed data.
+			if v := cols[id][i]; math.IsNaN(v) {
+				sb.WriteString(",")
+			} else {
+				sb.WriteString(fmt.Sprintf(",%.6g", v))
+			}
 		}
 		sb.WriteString("\n")
 	}

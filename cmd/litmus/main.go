@@ -25,8 +25,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/kpi"
 	"repro/internal/obscli"
 
@@ -45,6 +47,9 @@ func main() {
 		fraction     = flag.Float64("fraction", 0, "control sample fraction per iteration (0 = default 2/3)")
 		workers      = flag.Int("workers", 0, "assessment worker pool size (0 = GOMAXPROCS; results are identical for any value)")
 		diagnose     = flag.Bool("diagnose", false, "also print per-control quality diagnostics")
+		faultSpec    = flag.String("faults", "", "inject data faults after loading: name[=rate],... or \"all\" (names: "+strings.Join(faults.KindNames(), ", ")+")")
+		faultSeed    = flag.Int64("fault-seed", 1, "fault-injection seed (same seed, same corruption)")
+		faultRate    = flag.Float64("fault-rate", 0, "default rate for -faults entries without an explicit rate (0 = "+fmt.Sprint(faults.DefaultRate)+")")
 	)
 	obsFlags := obscli.Register()
 	flag.Parse()
@@ -73,6 +78,25 @@ func main() {
 		fatalf("study and control files are on different time grids")
 	}
 
+	// Optional fault injection: corrupt the loaded data deterministically
+	// before assessment, to demonstrate (and let operators rehearse) the
+	// engine's graceful degradation on broken inputs.
+	fset, err := faults.Parse(*faultSpec, *faultSeed, *faultRate)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if fset.Active() {
+		fmt.Printf("fault injection: %s (seed %d)\n", fset, *faultSeed)
+		if fset.DropsElement("study") {
+			fatalf("fault injection dropped the study element; nothing to assess")
+		}
+		study = fset.Series("study", study)
+		controls = fset.Panel(controls)
+		if controls.Len() == 0 {
+			fatalf("fault injection dropped every control element; nothing to regress against")
+		}
+	}
+
 	assessor, err := litmus.NewAssessor(litmus.Config{
 		Alpha:          *alpha,
 		EffectFloor:    *floor,
@@ -92,6 +116,11 @@ func main() {
 	assessor = assessor.WithObserver(scope)
 	res, err := assessor.AssessElement("study", study, controls, changeAt, metric)
 	if err != nil {
+		// Degradations are data-caused and machine-classified; surface
+		// the reason code so scripts can dispatch on it.
+		if litmus.IsDegradation(err) {
+			fatalf("assessment degraded (reason %s): %v", litmus.ReasonOf(err), err)
+		}
 		fatalf("assessment failed: %v", err)
 	}
 	fmt.Printf("litmus robust spatial regression: %s\n", res.Verdict)

@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -206,16 +205,6 @@ func (a *Assessor) Observer() *obs.Scope { return a.obs }
 // arbitrarily.
 const maxLeverage = 0.9
 
-// Errors returned by the assessor.
-var (
-	// ErrControlTooSmall means the control group has fewer members than
-	// Config.MinControls.
-	ErrControlTooSmall = errors.New("core: control group too small")
-	// ErrWindowTooShort means a before/after window has too few
-	// observations to fit the regression or run the test.
-	ErrWindowTooShort = errors.New("core: assessment window too short")
-)
-
 // AssessElement assesses the impact of a change at time changeAt on one
 // study element, given its KPI series and the control group panel on the
 // same index. It implements §3.2 of the paper:
@@ -250,7 +239,7 @@ func (a *Assessor) AssessElementContext(ctx context.Context, elementID string, s
 	sc.SetAttr("kpi", metric.String())
 	defer sc.End()
 	if !study.Index.Equal(controls.Index()) {
-		return ElementResult{}, fmt.Errorf("core: study and control indexes differ")
+		return ElementResult{}, ErrIndexMismatch
 	}
 	n := controls.Len()
 	if n < a.cfg.MinControls {
@@ -324,7 +313,7 @@ func (a *Assessor) runIterations(ctx context.Context, sc *obs.Scope, xbFull, xaF
 	fits := newIterFits(iters, lenB, lenA)
 	allRowsFit := len(fitRows) == lenB
 	cancelable := ctx.Done() != nil
-	var factorized, leverageSkipped atomic.Int64
+	var factorized, leverageSkipped, resampled atomic.Int64
 	ws := newWorkerScratches(a.cfg.Workers, iters)
 	sampling := sc.Child(obs.SpanSampling)
 	forEachWorker(a.cfg.Workers, iters, func(w, it int) {
@@ -332,30 +321,39 @@ func (a *Assessor) runIterations(ctx context.Context, sc *obs.Scope, xbFull, xaF
 			return
 		}
 		s := ws.get(a.rt, w)
-		xb := xbFull.SelectColsWithIntercept(&s.xb, samples[it])
-		xa := xaFull.SelectColsWithIntercept(&s.xa, samples[it])
-		xfit := xb
-		if !allRowsFit {
-			xfit = xb.SelectRowsInto(&s.xfit, fitRows)
-		}
-		if xfit.Rows() < xfit.Cols() {
-			// Underdetermined draw; skip it (the median aggregation
-			// tolerates missing iterations).
-			return
-		}
-		s.qr.Factor(xfit)
-		factorized.Add(1)
-		s.beta = growFloats(s.beta, xfit.Cols())
-		s.swork = growFloats(s.swork, xfit.Rows())
-		if err := s.qr.SolveInto(s.beta, ybFit, s.swork); err != nil {
-			// Rank-deficient draw (e.g. duplicate control columns): the
-			// same minimally regularized fallback as linalg.LeastSquares.
-			b2, err2 := linalg.SolveRidge(xfit, ybFit, linalg.RidgeFallbackLambda)
-			if err2 != nil {
+		cols := samples[it]
+		var xb, xfit *linalg.Matrix
+		solved := false
+		for attempt := 0; ; attempt++ {
+			xb = xbFull.SelectColsWithIntercept(&s.xb, cols)
+			xfit = xb
+			if !allRowsFit {
+				xfit = xb.SelectRowsInto(&s.xfit, fitRows)
+			}
+			if xfit.Rows() < xfit.Cols() {
+				// Underdetermined draw: every redraw has the same shape, so
+				// resampling cannot help; skip it (the median aggregation
+				// tolerates missing iterations).
 				return
 			}
-			copy(s.beta, b2)
+			s.qr.Factor(xfit)
+			factorized.Add(1)
+			s.beta = growFloats(s.beta, xfit.Cols())
+			s.swork = growFloats(s.swork, xfit.Rows())
+			if solveWithFallbacks(&s.qr, xfit, s.beta, ybFit, s.swork) {
+				solved = true
+				break
+			}
+			if attempt >= maxResampleAttempts {
+				break
+			}
+			cols = a.resampleColumns(xbFull.Cols(), k, it, attempt+1)
+			resampled.Add(1)
 		}
+		if !solved {
+			return
+		}
+		xa := xaFull.SelectColsWithIntercept(&s.xa, cols)
 		fb := xb.MulVecInto(fits[it].fb, s.beta)
 		xa.MulVecInto(fits[it].fa, s.beta)
 		fits[it].r2 = rSquaredAtRows(fb, fitRows, ybFit)
@@ -377,6 +375,7 @@ func (a *Assessor) runIterations(ctx context.Context, sc *obs.Scope, xbFull, xaF
 	ws.release(a.rt)
 	sc.Counter(obs.MetricBeforeFactorizations).Add(factorized.Load())
 	sc.Counter(obs.MetricLeverageSkipped).Add(leverageSkipped.Load())
+	sc.Counter(obs.MetricIterationsResampled).Add(resampled.Load())
 	return fits
 }
 
@@ -436,7 +435,7 @@ func (a *Assessor) finishElement(sc *obs.Scope, elementID string, metric kpi.KPI
 	}
 	sc.Counter(obs.MetricIterationsFailed).Add(int64(iters - len(forecastsB)))
 	if len(forecastsB) == 0 {
-		return ElementResult{}, fmt.Errorf("core: all %d sampling iterations failed to fit", iters)
+		return ElementResult{}, fmt.Errorf("%w (%d attempted)", ErrAllIterationsFailed, iters)
 	}
 
 	agg := sc.Child(obs.SpanAggregate)
@@ -459,7 +458,9 @@ func (a *Assessor) finishElement(sc *obs.Scope, elementID string, metric kpi.KPI
 	test, err := a.runTest(cleanB, cleanA)
 	if err != nil {
 		rank.End()
-		return ElementResult{}, fmt.Errorf("core: %v test failed: %v", a.cfg.Test, err)
+		// %w keeps the stats sentinel (ErrSampleTooSmall/ErrDegenerate)
+		// reachable for ReasonOf alongside the engine-level one.
+		return ElementResult{}, fmt.Errorf("%w: %v test failed: %w", ErrDegenerateStatistics, a.cfg.Test, err)
 	}
 	// The forecast differences retain serial dependence (whatever share of
 	// the regional process the regression did not capture). Rank tests
@@ -566,12 +567,14 @@ func (a *Assessor) AssessGroupContext(ctx context.Context, studies *timeseries.P
 		return GroupResult{}, err
 	}
 	results := make([]ElementResult, 0, len(ids))
+	var failures []Failure
 	var firstErr error
 	for i, id := range ids {
 		if errs[i] != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("core: element %s: %w", id, errs[i])
 			}
+			failures = append(failures, failureOf(id, errs[i]))
 			continue
 		}
 		results = append(results, perElement[i])
@@ -582,7 +585,7 @@ func (a *Assessor) AssessGroupContext(ctx context.Context, studies *timeseries.P
 		return GroupResult{}, firstErr
 	}
 	overall, votes := vote(results)
-	return GroupResult{KPI: metric, PerElement: results, Overall: overall, Votes: votes}, nil
+	return GroupResult{KPI: metric, PerElement: results, Overall: overall, Votes: votes, Failures: failures}, nil
 }
 
 // runTest applies the configured two-sample test.

@@ -26,7 +26,7 @@ func StudyOnly(study timeseries.Series, changeAt time.Time, metric kpi.KPI, alph
 	}
 	test, err := stats.FlignerPolicello(b, a)
 	if err != nil {
-		return Verdict{}, fmt.Errorf("core: rank-order test failed: %v", err)
+		return Verdict{}, fmt.Errorf("%w: rank-order test failed: %w", ErrDegenerateStatistics, err)
 	}
 	return Verdict{
 		Impact:    kpi.ImpactOfShift(metric, test.Direction(alpha)),
@@ -91,7 +91,7 @@ func DiD(study timeseries.Series, controls *timeseries.Panel, changeAt time.Time
 		return Verdict{}, nil, fmt.Errorf("core: alpha %v outside (0,1)", alpha)
 	}
 	if !study.Index.Equal(controls.Index()) {
-		return Verdict{}, nil, fmt.Errorf("core: study and control indexes differ")
+		return Verdict{}, nil, ErrIndexMismatch
 	}
 	if controls.Len() == 0 {
 		return Verdict{}, nil, fmt.Errorf("%w: no controls", ErrControlTooSmall)
@@ -127,7 +127,7 @@ func DiD(study timeseries.Series, controls *timeseries.Panel, changeAt time.Time
 	}
 	test, err := stats.OneSampleT(ds, 0)
 	if err != nil {
-		return Verdict{}, nil, fmt.Errorf("core: DiD t-test failed: %v", err)
+		return Verdict{}, nil, fmt.Errorf("%w: DiD t-test failed: %w", ErrDegenerateStatistics, err)
 	}
 	return Verdict{
 		Impact:    kpi.ImpactOfShift(metric, test.Direction(alpha)),

@@ -79,7 +79,7 @@ func DiagnoseControlsObserved(scope *obs.Scope, study timeseries.Series, control
 
 func diagnoseControls(study timeseries.Series, controls *timeseries.Panel, changeAt time.Time) (GroupDiagnostics, error) {
 	if !study.Index.Equal(controls.Index()) {
-		return GroupDiagnostics{}, fmt.Errorf("core: study and control indexes differ")
+		return GroupDiagnostics{}, ErrIndexMismatch
 	}
 	yBefore, _ := study.SplitAt(changeAt)
 	xBefore, _ := controls.SplitAt(changeAt)

@@ -112,20 +112,35 @@ func (a *Assessor) prepGroupShared(ctx context.Context, sc *obs.Scope, studies, 
 	xaFull := xAfter.DesignMatrix()
 	samples := a.samplesFor(n, k)
 	cancelable := ctx.Done() != nil
-	var factorized atomic.Int64
+	var factorized, resampled atomic.Int64
 	forEach(a.cfg.Workers, a.cfg.Iterations, func(it int) {
 		if cancelable && ctx.Err() != nil {
 			return
 		}
 		st := &gs.iters[it]
-		st.xb = xbFull.SelectColsWithIntercept(nil, samples[it])
-		st.xa = xaFull.SelectColsWithIntercept(nil, samples[it])
-		if st.xb.Rows() < st.xb.Cols() {
-			// Underdetermined draw: the per-element path skips it too.
-			return
+		cols := samples[it]
+		for attempt := 0; ; attempt++ {
+			st.xb = xbFull.SelectColsWithIntercept(nil, cols)
+			if st.xb.Rows() < st.xb.Cols() {
+				// Underdetermined draw: resampling cannot change the shape;
+				// the per-element path skips it too.
+				return
+			}
+			st.qr = linalg.NewQRInPlace(st.xb, st.qr)
+			factorized.Add(1)
+			// The solver chain's failure conditions depend on the design
+			// alone, so the group decides accept/resample once, exactly as
+			// every element would alone (see resample.go).
+			if designUsable(st.qr, st.xb) {
+				break
+			}
+			if attempt >= maxResampleAttempts {
+				return
+			}
+			cols = a.resampleColumns(n, k, it, attempt+1)
+			resampled.Add(1)
 		}
-		st.qr = linalg.NewQRInPlace(st.xb, nil)
-		factorized.Add(1)
+		st.xa = xaFull.SelectColsWithIntercept(nil, cols)
 		hs := make([]float64, st.xb.Rows())
 		work := make([]float64, st.xb.Cols())
 		if err := st.qr.LeveragesInto(hs, st.xb, work); err == nil {
@@ -135,6 +150,7 @@ func (a *Assessor) prepGroupShared(ctx context.Context, sc *obs.Scope, studies, 
 	})
 	sc.Counter(obs.MetricBeforeFactorizations).Add(factorized.Load())
 	sc.Counter(obs.MetricControlsSampled).Add(int64(a.cfg.Iterations * k))
+	sc.Counter(obs.MetricIterationsResampled).Add(resampled.Load())
 	return gs
 }
 
@@ -175,14 +191,10 @@ func (a *Assessor) assessElementShared(ctx context.Context, elementID string, st
 		s := ws.get(a.rt, w)
 		s.beta = growFloats(s.beta, st.xb.Cols())
 		s.swork = growFloats(s.swork, st.xb.Rows())
-		if err := st.qr.SolveInto(s.beta, ybFit, s.swork); err != nil {
-			// Rank-deficient draw: the same minimally regularized fallback
-			// as the per-element path.
-			b2, err2 := linalg.SolveRidge(st.xb, ybFit, linalg.RidgeFallbackLambda)
-			if err2 != nil {
-				return
-			}
-			copy(s.beta, b2)
+		// The same degradation chain as the per-element path; prep accepted
+		// this design via designUsable, so one of the stages succeeds.
+		if !solveWithFallbacks(st.qr, st.xb, s.beta, ybFit, s.swork) {
+			return
 		}
 		fb := st.xb.MulVecInto(fits[it].fb, s.beta)
 		st.xa.MulVecInto(fits[it].fa, s.beta)

@@ -1,0 +1,166 @@
+package core
+
+// Panic audit: the boundary between data-reachable failures and
+// programmer-error contracts, pinned as a table.
+//
+// Policy: no input DATA — however broken — may panic the engine.
+// Degenerate values (NaN, constants, collinear columns, outliers,
+// truncated histories) must come back as typed errors the degradation
+// taxonomy classifies, or as defined verdicts. Contract violations
+// (negative dimensions, mismatched shapes, duplicate panel ids) are
+// bugs in the CALLER and stay loud panics — silently absorbing them
+// would let a miswired pipeline publish garbage verdicts.
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/kpi"
+	"repro/internal/linalg"
+	"repro/internal/timeseries"
+)
+
+// brokenDataCases enumerates adversarial data shapes. None may panic;
+// each must produce a typed degradation error or a defined verdict.
+func brokenDataCases() map[string]func(w *synthWorld) (timeseries.Series, *timeseries.Panel) {
+	nanSeries := func(ix timeseries.Index) timeseries.Series {
+		vals := make([]float64, ix.N)
+		for i := range vals {
+			vals[i] = math.NaN()
+		}
+		return timeseries.NewSeries(ix, vals)
+	}
+	constSeries := func(ix timeseries.Index, v float64) timeseries.Series {
+		vals := make([]float64, ix.N)
+		for i := range vals {
+			vals[i] = v
+		}
+		return timeseries.NewSeries(ix, vals)
+	}
+	return map[string]func(w *synthWorld) (timeseries.Series, *timeseries.Panel){
+		"healthy baseline": func(w *synthWorld) (timeseries.Series, *timeseries.Panel) {
+			return w.series(10, 1, 0), w.controls(8, 0.5, 1.5)
+		},
+		"constant study and identical constant controls": func(w *synthWorld) (timeseries.Series, *timeseries.Panel) {
+			p := timeseries.NewPanel(w.ix)
+			for i := 0; i < 6; i++ {
+				p.Add(controlID(i), constSeries(w.ix, 7))
+			}
+			return constSeries(w.ix, 7), p
+		},
+		"perfectly collinear controls": func(w *synthWorld) (timeseries.Series, *timeseries.Panel) {
+			base := w.series(10, 1, 0)
+			p := timeseries.NewPanel(w.ix)
+			for i := 0; i < 6; i++ {
+				p.Add(controlID(i), base) // six copies of one column
+			}
+			return w.series(10, 1, 0), p
+		},
+		"study entirely NaN": func(w *synthWorld) (timeseries.Series, *timeseries.Panel) {
+			return nanSeries(w.ix), w.controls(8, 0.5, 1.5)
+		},
+		"controls entirely NaN": func(w *synthWorld) (timeseries.Series, *timeseries.Panel) {
+			p := timeseries.NewPanel(w.ix)
+			for i := 0; i < 6; i++ {
+				p.Add(controlID(i), nanSeries(w.ix))
+			}
+			return w.series(10, 1, 0), p
+		},
+		"one dead control among live ones": func(w *synthWorld) (timeseries.Series, *timeseries.Panel) {
+			p := w.controls(7, 0.5, 1.5)
+			p.Add("dead", nanSeries(w.ix))
+			return w.series(10, 1, 0), p
+		},
+		"alternating missing timepoints everywhere": func(w *synthWorld) (timeseries.Series, *timeseries.Panel) {
+			study := w.series(10, 1, 0)
+			for i := 0; i < study.Len(); i += 2 {
+				study.Values[i] = math.NaN()
+			}
+			p := timeseries.NewPanel(w.ix)
+			for c := 0; c < 6; c++ {
+				s := w.series(10, 1, 0)
+				for i := c % 2; i < s.Len(); i += 2 {
+					s.Values[i] = math.NaN()
+				}
+				p.Add(controlID(c), s)
+			}
+			return study, p
+		},
+		"extreme outlier spikes": func(w *synthWorld) (timeseries.Series, *timeseries.Panel) {
+			study := w.series(10, 1, 0)
+			study.Values[3] = 1e12
+			study.Values[17] = -1e12
+			p := w.controls(6, 0.5, 1.5)
+			return study, p
+		},
+	}
+}
+
+// TestBrokenDataNeverPanics feeds every adversarial shape through
+// AssessElement at several change positions (including windows too
+// short to assess) and requires a defined verdict or a typed
+// degradation — never a panic, never an unclassifiable error.
+func TestBrokenDataNeverPanics(t *testing.T) {
+	for name, build := range brokenDataCases() {
+		for _, changeDay := range []int{1, 14, 27} { // short-before, centered, short-after
+			t.Run(name+"/changeDay="+string(rune('0'+changeDay/10))+string(rune('0'+changeDay%10)), func(t *testing.T) {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("engine panicked on broken data: %v", r)
+					}
+				}()
+				w := newSynthWorld(401, 28, changeDay)
+				study, controls := build(w)
+				a := MustNewAssessor(Config{Seed: 11, Iterations: 20})
+				res, err := a.AssessElement("e", study, controls, w.changeAt, kpi.VoiceRetainability)
+				if err != nil {
+					if !IsDegradation(err) {
+						t.Errorf("error %v is not a classified degradation (reason %s)", err, ReasonOf(err))
+					}
+					return
+				}
+				if math.IsNaN(res.Statistic) || math.IsNaN(res.P) || math.IsNaN(res.Shift) {
+					t.Errorf("verdict carries NaN: %+v", res.Verdict)
+				}
+			})
+		}
+	}
+}
+
+// TestContractViolationsStillPanic pins the other side of the line:
+// shape and identity violations are caller bugs and must stay loud.
+func TestContractViolationsStillPanic(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic; contract violations must not be absorbed", name)
+			}
+		}()
+		f()
+	}
+
+	mustPanic("negative matrix dimension", func() { linalg.NewMatrix(-1, 2) })
+	mustPanic("underdetermined QR factorization", func() {
+		linalg.NewQR(linalg.NewMatrix(2, 5))
+	})
+	mustPanic("matrix-vector dimension mismatch", func() {
+		linalg.NewMatrix(3, 3).MulVec(make([]float64, 2))
+	})
+	ix := timeseries.NewIndex(epoch, 24*time.Hour, 4)
+	mustPanic("duplicate panel element", func() {
+		p := timeseries.NewPanel(ix)
+		s := timeseries.NewSeries(ix, make([]float64, 4))
+		p.Add("x", s)
+		p.Add("x", s)
+	})
+	mustPanic("panel index mismatch", func() {
+		p := timeseries.NewPanel(ix)
+		other := timeseries.NewIndex(epoch, time.Hour, 4)
+		p.Add("x", timeseries.NewSeries(other, make([]float64, 4)))
+	})
+	mustPanic("invalid assessor config", func() {
+		MustNewAssessor(Config{Alpha: 42})
+	})
+}

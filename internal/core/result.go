@@ -62,7 +62,14 @@ type GroupResult struct {
 	Overall kpi.Impact
 	// Votes counts elements per impact.
 	Votes map[kpi.Impact]int
+	// Failures records study elements that could not be assessed, in
+	// input order. A non-empty list marks the result as degraded: the
+	// vote stands on the elements that did assess.
+	Failures []Failure
 }
+
+// Degraded reports whether some study elements failed to assess.
+func (g GroupResult) Degraded() bool { return len(g.Failures) > 0 }
 
 // vote tallies per-element impacts into an overall verdict: the strict
 // majority wins; without a strict majority the verdict is NoImpact (an

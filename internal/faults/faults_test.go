@@ -1,0 +1,401 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/timeseries"
+)
+
+func testSeries(n int) timeseries.Series {
+	ix := timeseries.NewIndex(time.Unix(0, 0).UTC(), time.Hour, n)
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 10 + math.Sin(float64(i)/5)
+	}
+	return timeseries.NewSeries(ix, v)
+}
+
+func testPanel(n, cols int) *timeseries.Panel {
+	ix := timeseries.NewIndex(time.Unix(0, 0).UTC(), time.Hour, n)
+	p := timeseries.NewPanel(ix)
+	for c := 0; c < cols; c++ {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = float64(c) + math.Cos(float64(i)/3+float64(c))
+		}
+		p.Add(string(rune('A'+c)), timeseries.NewSeries(ix, v))
+	}
+	return p
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		spec    string
+		wantErr bool
+		kinds   []Kind
+	}{
+		{"", false, nil},
+		{"  ", false, nil},
+		{"gap", false, []Kind{Gap}},
+		{"gap=0.5,spike", false, []Kind{Gap, Spike}},
+		{"missing, reset ,dupcol", false, []Kind{Missing, Reset, DupCol}},
+		{"all", false, allKinds},
+		{"all=1", false, allKinds},
+		{"bogus", true, nil},
+		{"gap=2", true, nil},
+		{"gap=-0.1", true, nil},
+		{"gap=x", true, nil},
+		{",,,", false, nil},
+	}
+	for _, c := range cases {
+		s, err := Parse(c.spec, 1, 0)
+		if c.wantErr != (err != nil) {
+			t.Errorf("Parse(%q) error = %v, wantErr %v", c.spec, err, c.wantErr)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if c.kinds == nil {
+			if s != nil {
+				t.Errorf("Parse(%q) = %v, want nil set", c.spec, s)
+			}
+			continue
+		}
+		if got := s.Kinds(); !reflect.DeepEqual(got, c.kinds) {
+			t.Errorf("Parse(%q).Kinds() = %v, want %v", c.spec, got, c.kinds)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	s, err := Parse("gap=0.25,spike,dropcol=1", 7, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Parse(s.String(), 7, 0.4)
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", s.String(), err)
+	}
+	if !reflect.DeepEqual(s.rates, s2.rates) {
+		t.Errorf("round trip changed rates: %v vs %v", s.rates, s2.rates)
+	}
+}
+
+func TestNilSetIsInert(t *testing.T) {
+	var s *Set
+	sr := testSeries(50)
+	if got := s.Series("x", sr); !reflect.DeepEqual(got, sr) {
+		t.Error("nil Set.Series changed the series")
+	}
+	p := testPanel(50, 3)
+	if got := s.Panel(p); got != p {
+		t.Error("nil Set.Panel returned a different panel")
+	}
+	if s.DropsElement("x") {
+		t.Error("nil Set drops elements")
+	}
+	if s.Active() {
+		t.Error("nil Set is active")
+	}
+}
+
+// sameValues compares float slices treating NaN as equal to NaN.
+func sameValues(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		an, bn := math.IsNaN(a[i]), math.IsNaN(b[i])
+		if an != bn || (!an && a[i] != b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// corruptionMask marks the positions a faulted copy differs from base.
+func corruptionMask(base, faulted []float64) []bool {
+	mask := make([]bool, len(base))
+	for i := range base {
+		mask[i] = math.IsNaN(faulted[i]) != math.IsNaN(base[i]) ||
+			(!math.IsNaN(faulted[i]) && faulted[i] != base[i])
+	}
+	return mask
+}
+
+// affectedID returns an element id the set's (kind, rate) selection hits.
+func affectedID(t *testing.T, s *Set, k Kind) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		id := "elem-" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+i/676))
+		if s.affected(k, id) {
+			return id
+		}
+	}
+	t.Fatalf("no element affected by %s", k)
+	return ""
+}
+
+func TestSeriesDeterministicAndPure(t *testing.T) {
+	for _, kind := range []Kind{Missing, Gap, Spike, Reset} {
+		s := New(42, 1, kind)
+		orig := testSeries(80)
+		origCopy := append([]float64(nil), orig.Values...)
+		a := s.Series("cell-1", orig)
+		b := s.Series("cell-1", testSeries(80))
+		if !sameValues(a.Values, b.Values) {
+			t.Errorf("%s: same (seed, id) produced different corruption", kind)
+		}
+		if !sameValues(orig.Values, origCopy) {
+			t.Errorf("%s: input series mutated", kind)
+		}
+		if sameValues(a.Values, origCopy) {
+			t.Errorf("%s at rate 1: no corruption at all", kind)
+		}
+	}
+}
+
+// At rate 1 every full-corruption injector hits the whole series, so
+// element/seed independence only shows in corruption *positions* at
+// sub-unit rates.
+func TestCorruptionVariesByElementAndSeed(t *testing.T) {
+	const n = 200
+	base := testSeries(n).Values
+	for _, kind := range []Kind{Missing, Gap, Spike, Reset} {
+		s := New(42, 0.3, kind)
+		id0 := affectedID(t, s, kind)
+		m0 := corruptionMask(base, s.Series(id0, testSeries(n)).Values)
+		distinctElem := false
+		for i := 0; i < 10000 && !distinctElem; i++ {
+			id := fmt.Sprintf("other-%d", i)
+			if !s.affected(kind, id) {
+				continue
+			}
+			m := corruptionMask(base, s.Series(id, testSeries(n)).Values)
+			distinctElem = !reflect.DeepEqual(m0, m)
+		}
+		if !distinctElem {
+			t.Errorf("%s: corruption positions identical across elements", kind)
+		}
+		distinctSeed := false
+		for seed := int64(43); seed < 243 && !distinctSeed; seed++ {
+			s2 := New(seed, 0.3, kind)
+			if !s2.affected(kind, id0) {
+				continue
+			}
+			m := corruptionMask(base, s2.Series(id0, testSeries(n)).Values)
+			distinctSeed = !reflect.DeepEqual(m0, m)
+		}
+		if !distinctSeed {
+			t.Errorf("%s: corruption positions identical across seeds", kind)
+		}
+	}
+}
+
+func TestSeriesFaultShapes(t *testing.T) {
+	n := 100
+	t.Run("missing is one contiguous NaN run", func(t *testing.T) {
+		s := New(5, 0.2, Missing)
+		v := s.Series(affectedID(t, s, Missing), testSeries(n)).Values
+		first, last, count := -1, -1, 0
+		for i, x := range v {
+			if math.IsNaN(x) {
+				if first < 0 {
+					first = i
+				}
+				last = i
+				count++
+			}
+		}
+		if count == 0 {
+			t.Fatal("no NaNs injected")
+		}
+		if last-first+1 != count {
+			t.Errorf("NaNs not contiguous: first %d last %d count %d", first, last, count)
+		}
+		if want := runLength(0.2, n); count != want {
+			t.Errorf("run length %d, want %d", count, want)
+		}
+	})
+	t.Run("spike leaves values finite", func(t *testing.T) {
+		s := New(5, 0.5, Spike)
+		v := s.Series("e", testSeries(n)).Values
+		changed := 0
+		base := testSeries(n).Values
+		for i, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Fatalf("spike produced non-finite value at %d", i)
+			}
+			if x != base[i] {
+				changed++
+			}
+		}
+		if changed == 0 {
+			t.Error("no spikes injected")
+		}
+	})
+	t.Run("reset collapses to the finite minimum", func(t *testing.T) {
+		s := New(5, 0.3, Reset)
+		base := testSeries(n).Values
+		v := s.Series(affectedID(t, s, Reset), testSeries(n)).Values
+		floor := finiteMin(base)
+		hit := 0
+		for i, x := range v {
+			if x != base[i] {
+				if x != floor {
+					t.Fatalf("reset value %g at %d, want floor %g", x, i, floor)
+				}
+				hit++
+			}
+		}
+		if hit == 0 {
+			t.Error("no reset injected")
+		}
+	})
+}
+
+func TestPanelFaults(t *testing.T) {
+	t.Run("dupcol makes exact duplicates, ids stable", func(t *testing.T) {
+		p := testPanel(60, 4)
+		s := New(11, 1, DupCol)
+		fp := s.Panel(p)
+		if !reflect.DeepEqual(fp.IDs(), p.IDs()) {
+			t.Fatalf("dupcol changed ids: %v vs %v", fp.IDs(), p.IDs())
+		}
+		dup := 0
+		ids := fp.IDs()
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				a := fp.MustSeries(ids[i]).Values
+				b := fp.MustSeries(ids[j]).Values
+				if reflect.DeepEqual(a, b) {
+					dup++
+				}
+			}
+		}
+		if dup == 0 {
+			t.Error("dupcol at rate 1 produced no duplicate columns")
+		}
+	})
+	t.Run("dropcol removes columns", func(t *testing.T) {
+		p := testPanel(60, 6)
+		s := New(11, 0.5, DropCol)
+		fp := s.Panel(p)
+		if fp.Len() >= p.Len() {
+			t.Errorf("dropcol at rate 0.5 kept all %d columns", fp.Len())
+		}
+	})
+	t.Run("dropcol can empty the panel", func(t *testing.T) {
+		p := testPanel(60, 3)
+		fp := New(11, 1, DropCol).Panel(p)
+		if fp.Len() != 0 {
+			t.Errorf("dropcol at rate 1 kept %d columns", fp.Len())
+		}
+	})
+	t.Run("shorthist NaNs the leading half", func(t *testing.T) {
+		p := testPanel(60, 2)
+		fp := New(11, 1, ShortHist).Panel(p)
+		v := fp.MustSeries("A").Values
+		for i := 0; i < len(v)/2; i++ {
+			if !math.IsNaN(v[i]) {
+				t.Fatalf("shorthist left finite value at leading index %d", i)
+			}
+		}
+		for i := len(v) / 2; i < len(v); i++ {
+			if math.IsNaN(v[i]) {
+				t.Fatalf("shorthist corrupted trailing index %d", i)
+			}
+		}
+	})
+	t.Run("panel application is deterministic", func(t *testing.T) {
+		s, err := Parse("all", 3, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := s.Panel(testPanel(60, 5))
+		b := s.Panel(testPanel(60, 5))
+		if !reflect.DeepEqual(a.IDs(), b.IDs()) {
+			t.Fatalf("ids differ: %v vs %v", a.IDs(), b.IDs())
+		}
+		for _, id := range a.IDs() {
+			av, bv := a.MustSeries(id).Values, b.MustSeries(id).Values
+			for i := range av {
+				an, bn := math.IsNaN(av[i]), math.IsNaN(bv[i])
+				if an != bn || (!an && av[i] != bv[i]) {
+					t.Fatalf("column %s differs at %d: %g vs %g", id, i, av[i], bv[i])
+				}
+			}
+		}
+	})
+	t.Run("input panel not mutated", func(t *testing.T) {
+		p := testPanel(60, 4)
+		before := make(map[string][]float64)
+		for _, id := range p.IDs() {
+			before[id] = append([]float64(nil), p.MustSeries(id).Values...)
+		}
+		_ = New(11, 1, Missing, Gap, Spike, Reset, DupCol, ShortHist).Panel(p)
+		for _, id := range p.IDs() {
+			if !reflect.DeepEqual(before[id], p.MustSeries(id).Values) {
+				t.Fatalf("panel column %s mutated", id)
+			}
+		}
+	})
+}
+
+func TestDropsElementRate(t *testing.T) {
+	s := New(9, 0.5, DropElem)
+	dropped := 0
+	for i := 0; i < 200; i++ {
+		if s.DropsElement(string(rune('a'+i%26)) + string(rune('0'+i/26))) {
+			dropped++
+		}
+	}
+	if dropped == 0 || dropped == 200 {
+		t.Errorf("DropsElement at rate 0.5 dropped %d/200", dropped)
+	}
+	if New(9, 0, DropElem).DropsElement("x") {
+		t.Error("rate 0 dropped an element")
+	}
+}
+
+func FuzzParseSpec(f *testing.F) {
+	f.Add("gap", int64(1), 0.1)
+	f.Add("all", int64(0), 0.0)
+	f.Add("gap=0.5,spike,dupcol=1", int64(-3), 0.9)
+	f.Add("missing,reset,shorthist,dropelem", int64(99), 0.5)
+	f.Add(",,,=,=0.2,all=", int64(7), 0.3)
+	f.Add("GAP,Spike", int64(2), 0.2)
+	f.Add("gap=NaN", int64(1), 0.1)
+	f.Fuzz(func(t *testing.T, spec string, seed int64, rate float64) {
+		s, err := Parse(spec, seed, rate)
+		if err != nil {
+			return
+		}
+		if s == nil {
+			return
+		}
+		// A parsed set must round-trip through its spec form and behave
+		// deterministically without panicking on any input series.
+		s2, err := Parse(s.String(), seed, rate)
+		if err != nil {
+			t.Fatalf("round trip of %q failed: %v", s.String(), err)
+		}
+		if !reflect.DeepEqual(s.rates, s2.rates) {
+			t.Fatalf("round trip changed rates: %v vs %v", s.rates, s2.rates)
+		}
+		sr := s.Series("e", testSeries(16))
+		sr2 := s.Series("e", testSeries(16))
+		for i := range sr.Values {
+			a, b := sr.Values[i], sr2.Values[i]
+			if (math.IsNaN(a) != math.IsNaN(b)) || (!math.IsNaN(a) && a != b) {
+				t.Fatalf("non-deterministic corruption at %d: %g vs %g", i, a, b)
+			}
+		}
+		_ = s.Panel(testPanel(16, 3))
+	})
+}

@@ -1,0 +1,94 @@
+package linalg
+
+import (
+	"math"
+	"sort"
+)
+
+// Rank-deficiency fallback: detect which columns collapsed the R diagonal
+// and refit without them. The Householder factorization proceeds left to
+// right, so a numerically negligible pivot marks a column that is (nearly)
+// linearly dependent on the columns before it — dropping it keeps the
+// first of a duplicated pair and preserves every independent regressor.
+// This is the engine's last resort after the ridge fallback: it never
+// panics on data, it either returns a defined fit on the surviving
+// columns or a typed error.
+
+// qrRankTol is the relative pivot tolerance shared with QR.FullRank.
+const qrRankTol = 1e-12
+
+// DeficientColumns returns the indices of factored columns whose R
+// diagonal is numerically negligible relative to the largest one — the
+// columns a pruned refit should drop. The result is nil for a full-rank
+// factorization and all columns when the matrix is identically zero.
+func (f *QR) DeficientColumns() []int {
+	var maxd float64
+	for _, d := range f.rd {
+		if ad := math.Abs(d); ad > maxd {
+			maxd = ad
+		}
+	}
+	var out []int
+	for j, d := range f.rd {
+		if math.Abs(d) <= qrRankTol*maxd {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// SolvePruned computes a least-squares fit of y on x that survives rank
+// deficiency by dropping collinear columns: it factorizes x, removes the
+// columns DeficientColumns flags, and refits on the survivors (repeating
+// in the rare case pruning exposes further deficiency). The returned beta
+// has len = x.Cols() with zeros at the dropped positions — forecasts
+// computed as x·beta therefore ignore the pruned regressors exactly.
+// dropped lists the pruned column indices in ascending order (nil when
+// the design was full rank). It returns ErrRankDeficient only when no
+// usable columns survive.
+func SolvePruned(x *Matrix, y []float64) (beta []float64, dropped []int, err error) {
+	keep := make([]int, x.Cols())
+	for j := range keep {
+		keep[j] = j
+	}
+	cur := x
+	var f QR
+	for {
+		if cur.Rows() < cur.Cols() || cur.Cols() == 0 {
+			return nil, nil, ErrRankDeficient
+		}
+		f.Factor(cur)
+		bad := f.DeficientColumns()
+		if len(bad) == 0 {
+			sub, serr := f.Solve(y)
+			if serr != nil {
+				return nil, nil, serr
+			}
+			beta = make([]float64, x.Cols())
+			for i, j := range keep {
+				beta[j] = sub[i]
+			}
+			sort.Ints(dropped)
+			return beta, dropped, nil
+		}
+		if len(bad) == len(keep) {
+			return nil, nil, ErrRankDeficient
+		}
+		// Drop the flagged columns and refit on the survivors.
+		isBad := make(map[int]bool, len(bad))
+		for _, j := range bad {
+			isBad[j] = true
+			dropped = append(dropped, keep[j])
+		}
+		kept := keep[:0]
+		cols := make([]int, 0, len(keep)-len(bad))
+		for j, orig := range keep {
+			if !isBad[j] {
+				kept = append(kept, orig)
+				cols = append(cols, j)
+			}
+		}
+		keep = kept
+		cur = cur.SelectCols(cols)
+	}
+}

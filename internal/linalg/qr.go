@@ -142,7 +142,6 @@ func (f *QR) ConditionEstimate() float64 {
 // FullRank reports whether R has no numerically negligible diagonal entry
 // relative to its largest one.
 func (f *QR) FullRank() bool {
-	const relTol = 1e-12
 	var maxd float64
 	for _, d := range f.rd {
 		if ad := math.Abs(d); ad > maxd {
@@ -153,7 +152,7 @@ func (f *QR) FullRank() bool {
 		return false
 	}
 	for _, d := range f.rd {
-		if math.Abs(d) <= relTol*maxd {
+		if math.Abs(d) <= qrRankTol*maxd {
 			return false
 		}
 	}

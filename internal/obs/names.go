@@ -49,6 +49,10 @@ const (
 	// MetricControlsSampled counts control columns drawn across sampling
 	// iterations (k per iteration).
 	MetricControlsSampled = "litmus_controls_sampled_total"
+	// MetricIterationsResampled counts sampling iterations whose control
+	// draw was replaced after an unusable design (rank deficiency every
+	// fallback failed to absorb) — the iteration-level resilience budget.
+	MetricIterationsResampled = "litmus_iterations_resampled_total"
 	// MetricBeforeFactorizations counts QR factorizations of before-window
 	// design matrices — the unit the factor-once kernel minimizes. On the
 	// cross-element sharing path of AssessGroup this advances by exactly
@@ -105,8 +109,15 @@ const (
 	// assessment jobs.
 	MetricJobSeconds = "litmus_job_seconds"
 	// MetricJobs counts finished assessment jobs, labeled
-	// status="done|failed|canceled".
+	// status="done|failed|canceled|degraded" (degraded = completed with a
+	// partial, Degraded-flagged assessment).
 	MetricJobs = "litmus_jobs_total"
+	// MetricJobRetries counts worker-side retries of transiently failed
+	// assessment jobs (exponential backoff + jitter between attempts).
+	MetricJobRetries = "litmus_job_retries_total"
+	// MetricJobPanics counts per-job panics recovered by the worker; the
+	// job fails with a stack-annotated error, the worker survives.
+	MetricJobPanics = "litmus_job_panics_total"
 )
 
 // Serving-layer span names.

@@ -375,9 +375,13 @@ type SubmitResponse struct {
 
 // JobStatus is the GET /v1/jobs/{id} response body.
 type JobStatus struct {
-	ID          string     `json:"id"`
-	Status      string     `json:"status"`
-	Cached      bool       `json:"cached,omitempty"`
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Cached bool   `json:"cached,omitempty"`
+	// Degraded reports that the assessment finished but parts of it could
+	// not be computed; the result document's failures list the
+	// machine-readable reasons.
+	Degraded    bool       `json:"degraded,omitempty"`
 	SubmittedAt time.Time  `json:"submittedAt"`
 	StartedAt   *time.Time `json:"startedAt,omitempty"`
 	FinishedAt  *time.Time `json:"finishedAt,omitempty"`

@@ -160,10 +160,8 @@ func (c *Client) Assess(ctx context.Context, req *serve.AssessRequest) ([]byte, 
 		if wait <= 0 {
 			wait = time.Second
 		}
-		select {
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		case <-time.After(wait):
+		if err := sleepCtx(ctx, wait); err != nil {
+			return nil, err
 		}
 	}
 	for {
@@ -177,10 +175,24 @@ func (c *Client) Assess(ctx context.Context, req *serve.AssessRequest) ([]byte, 
 		case "failed":
 			return nil, fmt.Errorf("job %s failed: %s", sub.ID, st.Error)
 		}
-		select {
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		case <-time.After(c.PollInterval):
+		if err := sleepCtx(ctx, c.PollInterval); err != nil {
+			return nil, err
 		}
+	}
+}
+
+// sleepCtx sleeps for d or until ctx is done, returning ctx.Err() on
+// early wake. Unlike time.After — whose timer lingers until it fires
+// even after the select has moved on — the timer is released
+// immediately, so a tight retry loop under a long Retry-After hint does
+// not accumulate pending timers.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
 	}
 }

@@ -8,6 +8,7 @@ package client
 import (
 	"bytes"
 	"context"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -166,6 +167,33 @@ func TestAssessRidesOutBackpressure(t *testing.T) {
 		if len(results[i]) == 0 {
 			t.Errorf("call %d: empty result", i)
 		}
+	}
+}
+
+// TestAssessCancelDuringBackoff: canceling the context while Assess is
+// sleeping on a long Retry-After hint must return promptly with
+// ctx.Err() — the backoff select listens on ctx, not just the timer.
+func TestAssessCancelDuringBackoff(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Retry-After", "3600")
+		w.WriteHeader(http.StatusTooManyRequests)
+		_, _ = w.Write([]byte(`{"error": "queue full"}`))
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.Assess(ctx, goldenRequest(t))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("Assess took %v to notice cancellation mid-backoff", elapsed)
 	}
 }
 

@@ -25,6 +25,7 @@ type job struct {
 
 	state     string
 	cached    bool // answered from the result cache, no computation
+	degraded  bool // done, but with isolated per-KPI/per-element failures
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
@@ -49,7 +50,7 @@ func newJob(id string, req *compiledRequest, now time.Time) *job {
 
 // status renders the job's API view. Callers hold the server mutex.
 func (j *job) status() JobStatus {
-	st := JobStatus{ID: j.id, Status: j.state, Cached: j.cached, SubmittedAt: j.submitted, Error: j.err}
+	st := JobStatus{ID: j.id, Status: j.state, Cached: j.cached, Degraded: j.degraded, SubmittedAt: j.submitted, Error: j.err}
 	if !j.started.IsZero() {
 		t := j.started
 		st.StartedAt = &t
@@ -59,6 +60,14 @@ func (j *job) status() JobStatus {
 		st.FinishedAt = &t
 	}
 	return st
+}
+
+// cachedResult is one cache entry: the canonical result bytes plus the
+// degraded flag, so a resurrected job's status stays truthful without
+// re-parsing the document.
+type cachedResult struct {
+	result   []byte
+	degraded bool
 }
 
 // lruCache is a size-bounded least-recently-used map from canonical
@@ -72,7 +81,7 @@ type lruCache struct {
 
 type lruEntry struct {
 	key string
-	val []byte
+	val cachedResult
 }
 
 func newLRUCache(capacity int) *lruCache {
@@ -80,10 +89,10 @@ func newLRUCache(capacity int) *lruCache {
 }
 
 // get returns the cached value and refreshes its recency.
-func (c *lruCache) get(key string) ([]byte, bool) {
+func (c *lruCache) get(key string) (cachedResult, bool) {
 	el, ok := c.items[key]
 	if !ok {
-		return nil, false
+		return cachedResult{}, false
 	}
 	c.ll.MoveToFront(el)
 	return el.Value.(*lruEntry).val, true
@@ -91,7 +100,7 @@ func (c *lruCache) get(key string) ([]byte, bool) {
 
 // put inserts or refreshes a value, evicting the least recently used
 // entry beyond capacity.
-func (c *lruCache) put(key string, val []byte) {
+func (c *lruCache) put(key string, val cachedResult) {
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		el.Value.(*lruEntry).val = val

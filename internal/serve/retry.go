@@ -1,0 +1,132 @@
+package serve
+
+// Job execution hardening: one broken request must never take down a
+// worker (and with it a slice of the queue), and a transient failure
+// must not permanently fail a job that a retry would complete.
+//
+// Failure classes, in order of handling:
+//
+//   - panic: recovered per attempt, converted into a stack-annotated
+//     error, counted in litmus_job_panics_total, never retried (a panic
+//     on deterministic input is a bug, not weather).
+//   - permanent: request-building and data-caused (degradation-typed)
+//     errors. The request is self-contained and the engine is
+//     deterministic — the same bytes in produce the same failure out —
+//     so retrying cannot succeed.
+//   - context: deadline or shutdown; retrying against a dead context is
+//     pointless.
+//   - everything else is presumed transient (resource exhaustion and
+//     other environmental weather) and retried with exponential backoff
+//     plus jitter, up to Config.MaxJobAttempts, counted in
+//     litmus_job_retries_total.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/obs"
+
+	litmus "repro"
+)
+
+// panicError is a recovered job panic: the panic value plus the stack
+// at recovery time, so the bug is diagnosable from the job record.
+type panicError struct {
+	val   any
+	stack []byte
+}
+
+func (e *panicError) Error() string {
+	return fmt.Sprintf("job panicked: %v\n%s", e.val, e.stack)
+}
+
+// permanentError marks a failure that retrying cannot fix.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// executeJob runs one attempt of j's assessment under ctx. A panic
+// anywhere in the attempt — scenario build, assessment, serialization —
+// is recovered into a *panicError so the worker survives.
+func (s *Server) executeJob(ctx context.Context, j *job) (result []byte, degraded bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.reg.Counter(obs.MetricJobPanics).Add(1)
+			result, degraded = nil, false
+			err = &panicError{val: r, stack: debug.Stack()}
+		}
+	}()
+
+	if s.testExecute != nil {
+		return s.testExecute(ctx, j)
+	}
+
+	// Each attempt gets its own trace root (discarded after the job —
+	// the service keeps no per-job trace history) recording stage
+	// latencies and engine counters into the shared registry.
+	scope := obs.New(obs.SpanServeJob, s.reg)
+	defer scope.End()
+
+	p, change, err := j.req.buildPipeline(scope)
+	if err != nil {
+		// World generation is seeded and deterministic: rebuilding the
+		// same request cannot succeed where this attempt failed.
+		return nil, false, &permanentError{err: err}
+	}
+	res, err := p.AssessChangeContext(ctx, change, j.req.kpis, j.req.window)
+	if err != nil {
+		return nil, false, err
+	}
+	result, err = litmus.MarshalAssessment(res)
+	return result, res.Degraded, err
+}
+
+// retryable reports whether a failed attempt is worth repeating.
+func retryable(err error) bool {
+	var pe *panicError
+	var perm *permanentError
+	switch {
+	case errors.As(err, &pe), errors.As(err, &perm):
+		return false
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return false
+	case litmus.IsDegradation(err):
+		// Data-caused and deterministic: the engine already degraded as
+		// far as it could.
+		return false
+	}
+	return true
+}
+
+// retryBackoff returns the sleep before retry attempt+1: exponential
+// from 100ms, capped at 5s, with up to +50% random jitter so a burst of
+// transient failures does not resynchronize the workers.
+func retryBackoff(attempt int) time.Duration {
+	d := 100 * time.Millisecond
+	for i := 0; i < attempt && d < 5*time.Second; i++ {
+		d *= 2
+	}
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	return d + rand.N(d/2+1)
+}
+
+// sleepCtx sleeps for d or until ctx is done, reporting whether the
+// full sleep elapsed. Unlike time.After, the timer is released
+// immediately on early wake.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

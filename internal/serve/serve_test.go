@@ -585,12 +585,12 @@ func mustHash(t *testing.T, req *AssessRequest) string {
 // and size-bounded eviction.
 func TestLRUCacheEviction(t *testing.T) {
 	c := newLRUCache(2)
-	c.put("a", []byte("A"))
-	c.put("b", []byte("B"))
+	c.put("a", cachedResult{result: []byte("A")})
+	c.put("b", cachedResult{result: []byte("B")})
 	if _, ok := c.get("a"); !ok { // refresh a; b is now LRU
 		t.Fatal("a missing")
 	}
-	c.put("c", []byte("C")) // evicts b
+	c.put("c", cachedResult{result: []byte("C")}) // evicts b
 	if _, ok := c.get("b"); ok {
 		t.Error("b survived eviction")
 	}

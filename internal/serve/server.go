@@ -14,8 +14,6 @@ import (
 	"time"
 
 	"repro/internal/obs"
-
-	litmus "repro"
 )
 
 // Config parameterizes the assessment service. The zero value is usable:
@@ -41,6 +39,11 @@ type Config struct {
 	JobTimeout time.Duration
 	// RetryAfter is the backoff hint returned with 429 (default 1s).
 	RetryAfter time.Duration
+	// MaxJobAttempts bounds how many times one job is executed when its
+	// attempts keep failing transiently (default 3; 1 disables retries).
+	// Deterministic failures — panics, request-build errors, data-caused
+	// degradations, context expiry — are never retried.
+	MaxJobAttempts int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
 	// Registry receives the service and engine metrics (default: a fresh
@@ -66,6 +69,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter == 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.MaxJobAttempts < 1 {
+		c.MaxJobAttempts = 3
 	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
@@ -97,9 +103,13 @@ type Server struct {
 	// Test hooks: when testStarted is non-nil, runJob announces the job
 	// id on it and then blocks on testRelease before executing — tests
 	// use this to hold workers and fill the queue deterministically.
+	// When testExecute is non-nil it replaces the assessment body of
+	// executeJob (panic recovery and retry classification still apply) —
+	// tests use it to inject panics and transient failures.
 	// Set between newServer and start only.
 	testStarted chan string
 	testRelease chan struct{}
+	testExecute func(ctx context.Context, j *job) (result []byte, degraded bool, err error)
 }
 
 // New returns a running server: workers are started immediately; the
@@ -245,6 +255,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 				j.started = time.Time{}
 				j.finished = time.Time{}
 				j.result = nil
+				j.degraded = false
 				if j.finishedElem != nil {
 					s.finished.Remove(j.finishedElem)
 					j.finishedElem = nil
@@ -255,14 +266,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	if result, ok := s.cache.get(id); ok {
+	if hit, ok := s.cache.get(id); ok {
 		// The job record aged out but the result is still cached:
 		// resurrect a done job around the cached bytes.
 		j := newJob(id, compiled, now)
 		j.state = stateDone
 		j.cached = true
+		j.degraded = hit.degraded
 		j.finished = now
-		j.result = result
+		j.result = hit.result
 		close(j.done)
 		s.jobs[id] = j
 		s.recordFinishedLocked(j)
@@ -423,27 +435,32 @@ func (s *Server) runJob(j *job) {
 		<-s.testRelease
 	}
 
-	// Each job gets its own trace root (discarded after the job — the
-	// service keeps no per-job trace history) recording stage latencies
-	// and engine counters into the shared registry.
-	scope := obs.New(obs.SpanServeJob, s.reg)
+	// Attempt loop: panics are recovered per attempt, deterministic
+	// failures terminate immediately, transient failures earn bounded
+	// retries with exponential backoff (see retry.go).
 	var result []byte
-	p, change, err := j.req.buildPipeline(scope)
-	if err == nil {
-		var res *litmus.ChangeAssessment
-		res, err = p.AssessChangeContext(ctx, change, j.req.kpis, j.req.window)
-		if err == nil {
-			result, err = litmus.MarshalAssessment(res)
+	var degraded bool
+	var err error
+	for attempt := 0; ; attempt++ {
+		result, degraded, err = s.executeJob(ctx, j)
+		if err == nil || !retryable(err) || attempt+1 >= s.cfg.MaxJobAttempts {
+			break
+		}
+		s.reg.Counter(obs.MetricJobRetries).Add(1)
+		if !sleepCtx(ctx, retryBackoff(attempt)) {
+			break // deadline or shutdown; report the attempt's error
 		}
 	}
-	scope.End()
 
 	statusLabel := stateDone
-	if err != nil {
+	switch {
+	case err != nil:
 		statusLabel = stateFailed
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			statusLabel = "canceled"
 		}
+	case degraded:
+		statusLabel = "degraded"
 	}
 
 	s.mu.Lock()
@@ -453,8 +470,9 @@ func (s *Server) runJob(j *job) {
 		j.err = err.Error()
 	} else {
 		j.state = stateDone
+		j.degraded = degraded
 		j.result = result
-		s.cache.put(j.id, result)
+		s.cache.put(j.id, cachedResult{result: result, degraded: degraded})
 	}
 	s.recordFinishedLocked(j)
 	latency := j.finished.Sub(j.submitted)

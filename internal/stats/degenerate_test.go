@@ -1,0 +1,154 @@
+package stats
+
+// Degenerate-input contract: every test statistic, fed data from the
+// bottom of the real world — all-tied ranks, zero-variance windows,
+// windows too short for the lag correction — returns either a typed
+// error (ErrSampleTooSmall / ErrDegenerate) or a fully defined verdict.
+// NaN must never escape: downstream the verdict feeds impact decisions
+// and the canonical JSON document, and NaN poisons both silently.
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// checkDefined asserts the typed-error-or-defined-verdict contract.
+func checkDefined(t *testing.T, name string, r TestResult, err error) {
+	t.Helper()
+	if err != nil {
+		if !errors.Is(err, ErrSampleTooSmall) && !errors.Is(err, ErrDegenerate) {
+			t.Errorf("%s: error %v is not a typed stats sentinel", name, err)
+		}
+		return
+	}
+	if math.IsNaN(r.Statistic) || math.IsInf(r.Statistic, 0) {
+		t.Errorf("%s: non-finite statistic %v", name, r.Statistic)
+	}
+	if math.IsNaN(r.P) || r.P < 0 || r.P > 1 {
+		t.Errorf("%s: p-value %v outside [0, 1]", name, r.P)
+	}
+}
+
+func TestDegenerateInputsNeverNaN(t *testing.T) {
+	constant := []float64{5, 5, 5, 5, 5}
+	constant2 := []float64{7, 7, 7, 7}
+	varied := []float64{1, 2, 3, 4, 5}
+	short := []float64{1, 2}
+	tiny := []float64{3}
+	cases := []struct {
+		name string
+		x, y []float64
+	}{
+		{"all-tied identical constants", constant, constant},
+		{"disjoint constants", constant, constant2},
+		{"constant vs varied", constant, varied},
+		{"varied vs constant", varied, constant},
+		{"short x", short, varied},
+		{"short y", varied, short},
+		{"both short", short, short},
+		{"single observation", tiny, varied},
+		{"empty x", nil, varied},
+		{"both empty", nil, nil},
+		{"near-machine-epsilon spread", []float64{1, 1 + 1e-16, 1}, []float64{1, 1, 1 - 1e-16}},
+	}
+	tests := []struct {
+		name string
+		run  func(x, y []float64) (TestResult, error)
+	}{
+		{"FlignerPolicello", FlignerPolicello},
+		{"MannWhitney", MannWhitney},
+		{"WelchT", WelchT},
+		{"OneSampleT", func(x, _ []float64) (TestResult, error) { return OneSampleT(x, 5) }},
+	}
+	for _, tc := range cases {
+		for _, tt := range tests {
+			r, err := tt.run(tc.x, tc.y)
+			checkDefined(t, tt.name+"/"+tc.name, r, err)
+		}
+	}
+}
+
+// TestFlignerPolicelloAllTied pins the defined verdicts of the two
+// zero-placement-variance branches: identical constants report exactly
+// "no evidence", disjoint constants report a large finite separation.
+func TestFlignerPolicelloAllTied(t *testing.T) {
+	same := []float64{2, 2, 2, 2}
+	r, err := FlignerPolicello(same, same)
+	if err != nil {
+		t.Fatalf("identical constants: unexpected error %v", err)
+	}
+	if r.Statistic != 0 || r.P != 1 {
+		t.Errorf("identical constants: got z=%v p=%v, want z=0 p=1", r.Statistic, r.P)
+	}
+
+	r, err = FlignerPolicello([]float64{1, 1, 1}, []float64{9, 9, 9})
+	if err != nil {
+		t.Fatalf("disjoint constants: unexpected error %v", err)
+	}
+	if r.Statistic != 8 {
+		t.Errorf("disjoint constants: got z=%v, want +8 (capped separation)", r.Statistic)
+	}
+	if r.P >= 1e-10 {
+		t.Errorf("disjoint constants: p=%v not decisive", r.P)
+	}
+
+	r, err = FlignerPolicello([]float64{9, 9, 9}, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatalf("reversed disjoint constants: unexpected error %v", err)
+	}
+	if r.Statistic != -8 {
+		t.Errorf("reversed disjoint constants: got z=%v, want -8", r.Statistic)
+	}
+}
+
+// TestZeroVarianceTypedErrors pins which degenerate shapes are errors
+// (no ordering information at all) vs defined verdicts.
+func TestZeroVarianceTypedErrors(t *testing.T) {
+	constant := []float64{4, 4, 4, 4}
+	if _, err := MannWhitney(constant, constant); !errors.Is(err, ErrDegenerate) {
+		t.Errorf("MannWhitney on constant pooled sample: err = %v, want ErrDegenerate", err)
+	}
+	if _, err := MannWhitney([]float64{1}, constant); !errors.Is(err, ErrSampleTooSmall) {
+		t.Errorf("MannWhitney on tiny sample: err = %v, want ErrSampleTooSmall", err)
+	}
+	if _, err := FlignerPolicello([]float64{1, 2}, []float64{3, 4}); !errors.Is(err, ErrSampleTooSmall) {
+		t.Errorf("FlignerPolicello on short samples: err = %v, want ErrSampleTooSmall", err)
+	}
+	if _, err := OneSampleT([]float64{1, 2}, 0); !errors.Is(err, ErrSampleTooSmall) {
+		t.Errorf("OneSampleT on short sample: err = %v, want ErrSampleTooSmall", err)
+	}
+	if r, err := WelchT(constant, constant); err != nil || r.Statistic != 0 || r.P != 1 {
+		t.Errorf("WelchT on equal constants: (%+v, %v), want defined z=0 p=1", r, err)
+	}
+}
+
+// TestLagCorrectionShortWindows: the Bartlett correction's inputs are
+// total on windows shorter than the lag itself and on flat windows —
+// it reports zero autocorrelation rather than NaN, leaving the rank
+// statistic untouched.
+func TestLagCorrectionShortWindows(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+	}{
+		{"empty", nil},
+		{"single", []float64{1}},
+		{"pair (shorter than lag structure)", []float64{1, 2}},
+		{"constant (zero variance)", []float64{3, 3, 3, 3}},
+	}
+	for _, c := range cases {
+		if rho := Lag1Autocorrelation(c.xs); rho != 0 {
+			t.Errorf("Lag1Autocorrelation(%s) = %v, want 0", c.name, rho)
+		}
+	}
+	// A strongly autocorrelated window still yields a usable shrink
+	// factor: rho stays inside (-1, 1] so √((1−ρ)/(1+ρ)) is finite.
+	rho := Lag1Autocorrelation([]float64{1, 2, 3, 4, 5, 6, 7, 8})
+	if rho <= 0 || rho > 1 {
+		t.Fatalf("ramp autocorrelation = %v, want in (0, 1]", rho)
+	}
+	if f := math.Sqrt((1 - rho) / (1 + rho)); math.IsNaN(f) || f < 0 || f > 1 {
+		t.Errorf("Bartlett factor = %v, want in [0, 1]", f)
+	}
+}

@@ -1,0 +1,16 @@
+package stats
+
+import "errors"
+
+// Typed sentinels for data-caused test failures; the two-sample tests
+// wrap them (with %w) into their descriptive messages so callers can
+// classify with errors.Is instead of matching strings.
+var (
+	// ErrSampleTooSmall means a sample had fewer than the minimum
+	// observations a test needs.
+	ErrSampleTooSmall = errors.New("stats: sample too small")
+	// ErrDegenerate means the test statistic is undefined on the input
+	// (constant pooled sample, zero variance) and no defined verdict
+	// exists for the case.
+	ErrDegenerate = errors.New("stats: degenerate input")
+)

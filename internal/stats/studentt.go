@@ -113,7 +113,7 @@ func TwoSidedTP(t, df float64) float64 {
 func OneSampleT(xs []float64, mu float64) (TestResult, error) {
 	n := len(xs)
 	if n < minSampleSize {
-		return TestResult{}, fmt.Errorf("stats: OneSampleT needs >= %d observations, got %d", minSampleSize, n)
+		return TestResult{}, fmt.Errorf("%w: OneSampleT needs >= %d observations, got %d", ErrSampleTooSmall, minSampleSize, n)
 	}
 	mean := Mean(xs)
 	sd := StdDev(xs)

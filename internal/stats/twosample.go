@@ -48,14 +48,14 @@ const minSampleSize = 3
 func MannWhitney(x, y []float64) (TestResult, error) {
 	n1, n2 := len(x), len(y)
 	if n1 < minSampleSize || n2 < minSampleSize {
-		return TestResult{}, fmt.Errorf("stats: MannWhitney needs >= %d observations per sample, got %d and %d", minSampleSize, n1, n2)
+		return TestResult{}, fmt.Errorf("%w: MannWhitney needs >= %d observations per sample, got %d and %d", ErrSampleTooSmall, minSampleSize, n1, n2)
 	}
 	pooled := make([]float64, 0, n1+n2)
 	pooled = append(pooled, x...)
 	pooled = append(pooled, y...)
 	lo, hi := MinMax(pooled)
 	if lo == hi {
-		return TestResult{}, fmt.Errorf("stats: MannWhitney on constant pooled sample")
+		return TestResult{}, fmt.Errorf("%w: MannWhitney on constant pooled sample", ErrDegenerate)
 	}
 	ranks := Ranks(pooled)
 	var r1 float64
@@ -69,7 +69,7 @@ func MannWhitney(x, y []float64) (TestResult, error) {
 	tieTerm := TieCorrection(pooled) / (nTot * (nTot - 1))
 	variance := fn1 * fn2 / 12 * (nTot + 1 - tieTerm)
 	if variance <= 0 {
-		return TestResult{}, fmt.Errorf("stats: MannWhitney degenerate variance")
+		return TestResult{}, fmt.Errorf("%w: MannWhitney degenerate variance", ErrDegenerate)
 	}
 	// u1 large ⇒ X larger; flip sign so positive ⇒ Y larger.
 	z := -(u1 - mean) / math.Sqrt(variance)
@@ -88,7 +88,7 @@ func MannWhitney(x, y []float64) (TestResult, error) {
 func FlignerPolicello(x, y []float64) (TestResult, error) {
 	n1, n2 := len(x), len(y)
 	if n1 < minSampleSize || n2 < minSampleSize {
-		return TestResult{}, fmt.Errorf("stats: FlignerPolicello needs >= %d observations per sample, got %d and %d", minSampleSize, n1, n2)
+		return TestResult{}, fmt.Errorf("%w: FlignerPolicello needs >= %d observations per sample, got %d and %d", ErrSampleTooSmall, minSampleSize, n1, n2)
 	}
 	sortedX := append([]float64(nil), x...)
 	sortedY := append([]float64(nil), y...)
@@ -138,7 +138,7 @@ func MeanShift(x, y []float64) float64 { return Mean(y) - Mean(x) }
 func WelchT(x, y []float64) (TestResult, error) {
 	n1, n2 := len(x), len(y)
 	if n1 < minSampleSize || n2 < minSampleSize {
-		return TestResult{}, fmt.Errorf("stats: WelchT needs >= %d observations per sample, got %d and %d", minSampleSize, n1, n2)
+		return TestResult{}, fmt.Errorf("%w: WelchT needs >= %d observations per sample, got %d and %d", ErrSampleTooSmall, minSampleSize, n1, n2)
 	}
 	v1, v2 := Variance(x), Variance(y)
 	se := math.Sqrt(v1/float64(n1) + v2/float64(n2))

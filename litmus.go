@@ -64,6 +64,36 @@ type (
 	DiDStat = core.DiDStat
 )
 
+// Degradation taxonomy (see internal/core/errors.go): machine-readable
+// reasons for the parts of an assessment that could not be computed.
+type (
+	// Reason is the machine-readable degradation code carried by
+	// failures in partial results.
+	Reason = core.Reason
+	// Failure is one element-scoped degradation inside a GroupResult.
+	Failure = core.Failure
+)
+
+// Typed assessment errors, re-exported for errors.Is matching.
+var (
+	// ErrInsufficientControls: control group below MinControls.
+	ErrInsufficientControls = core.ErrInsufficientControls
+	// ErrShortWindow: too few observations in a before/after window.
+	ErrShortWindow = core.ErrShortWindow
+	// ErrRankDeficient: design rank deficient through every fallback.
+	ErrRankDeficient = core.ErrRankDeficient
+	// ErrNoData: the series provider had no data for an element.
+	ErrNoData = core.ErrNoData
+)
+
+// ReasonOf classifies an assessment error into its degradation Reason
+// (see core.ReasonOf).
+func ReasonOf(err error) Reason { return core.ReasonOf(err) }
+
+// IsDegradation reports whether err is an expected data-caused failure
+// the engine degrades through, as opposed to a bug or cancellation.
+func IsDegradation(err error) bool { return core.IsDegradation(err) }
+
 // Re-exported KPI vocabulary.
 type (
 	// KPI identifies a service-quality metric.

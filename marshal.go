@@ -33,12 +33,27 @@ type AssessmentGroupDoc struct {
 	Elements []AssessmentElementDoc `json:"elements"`
 }
 
+// AssessmentFailureDoc is one isolated degradation in the canonical
+// assessment document: the KPI (empty only for future non-KPI scopes),
+// the element when the failure is element-scoped, and the
+// machine-readable reason (a core.Reason string).
+type AssessmentFailureDoc struct {
+	KPI     string `json:"kpi,omitempty"`
+	Element string `json:"element,omitempty"`
+	Reason  string `json:"reason"`
+	Detail  string `json:"detail,omitempty"`
+}
+
 // AssessmentDoc is the canonical JSON document for one ChangeAssessment.
+// Degraded and Failures are omitted on clean runs, so documents from
+// healthy data are byte-identical to the pre-degradation format.
 type AssessmentDoc struct {
-	ChangeID string               `json:"changeID"`
-	Decision string               `json:"decision"`
-	Controls []string             `json:"controls"`
-	PerKPI   []AssessmentGroupDoc `json:"perKPI"`
+	ChangeID string                 `json:"changeID"`
+	Decision string                 `json:"decision"`
+	Controls []string               `json:"controls"`
+	PerKPI   []AssessmentGroupDoc   `json:"perKPI"`
+	Degraded bool                   `json:"degraded,omitempty"`
+	Failures []AssessmentFailureDoc `json:"failures,omitempty"`
 }
 
 // AssessmentToDoc converts a ChangeAssessment into its canonical
@@ -67,6 +82,13 @@ func AssessmentToDoc(res *ChangeAssessment) AssessmentDoc {
 			})
 		}
 		doc.PerKPI = append(doc.PerKPI, g)
+	}
+	doc.Degraded = res.Degraded
+	for _, f := range res.Failures {
+		doc.Failures = append(doc.Failures, AssessmentFailureDoc{
+			KPI: f.KPI.String(), Element: f.Element,
+			Reason: string(f.Reason), Detail: f.Detail,
+		})
 	}
 	return doc
 }

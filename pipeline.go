@@ -74,10 +74,31 @@ type ChangeAssessment struct {
 	Change *changelog.Change
 	// ControlGroup lists the selected control element IDs.
 	ControlGroup []string
-	// PerKPI holds the voted group result per assessed KPI.
+	// PerKPI holds the voted group result per assessed KPI. KPIs that
+	// could not be assessed at all are absent here and explained in
+	// Failures.
 	PerKPI map[KPI]GroupResult
-	// Decision is the derived go/no-go recommendation.
+	// Decision is the derived go/no-go recommendation, computed over the
+	// KPIs that assessed.
 	Decision Decision
+	// Degraded reports a partial assessment: some element or KPI could
+	// not be assessed and Failures explains why. The decision stands on
+	// the evidence that survived.
+	Degraded bool
+	// Failures lists the isolated degradations in deterministic order
+	// (KPI input order, elements within a KPI in input order).
+	Failures []AssessmentFailure
+}
+
+// AssessmentFailure records one isolated degradation in a change
+// assessment: the KPI it occurred under and, when the failure is
+// element-scoped, the element (empty for a KPI-level failure such as a
+// control group with no usable data).
+type AssessmentFailure struct {
+	KPI     KPI
+	Element string
+	Reason  core.Reason
+	Detail  string
 }
 
 // Pipeline wires the full assessment flow of the paper: change record →
@@ -182,11 +203,17 @@ func (p *Pipeline) AssessChangeContext(ctx context.Context, change *changelog.Ch
 	}
 	assembly := sc.Child(obs.SpanPanelAssembly)
 	panels := make([]kpiPanels, len(kpis))
+	kpiErrs := make([]error, len(kpis))
+	var failures []AssessmentFailure
 	for i, metric := range kpis {
-		studies, controlsPanel, err := p.panels(change, controls, metric, windowDays)
+		studies, controlsPanel, fails, err := p.panels(change, controls, metric, windowDays)
+		failures = append(failures, fails...)
 		if err != nil {
-			assembly.End()
-			return nil, fmt.Errorf("litmus: %v: %w", metric, err)
+			// The whole KPI is unassessable (no usable study or control
+			// data); record it and assess the remaining KPIs.
+			kpiErrs[i] = err
+			failures = append(failures, AssessmentFailure{KPI: metric, Reason: core.ReasonOf(err), Detail: err.Error()})
+			continue
 		}
 		panels[i] = kpiPanels{studies: studies, controls: controlsPanel}
 	}
@@ -200,53 +227,102 @@ func (p *Pipeline) AssessChangeContext(ctx context.Context, change *changelog.Ch
 	results := make([]GroupResult, len(kpis))
 	errs := make([]error, len(kpis))
 	core.ForEachIndex(assessor.Config().Workers, len(kpis), func(i int) {
+		if kpiErrs[i] != nil {
+			return
+		}
 		results[i], errs[i] = assessor.AssessGroupContext(ctx, panels[i].studies, panels[i].controls, change.At, kpis[i])
 	})
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	var firstErr error
 	for i, metric := range kpis {
-		if errs[i] != nil {
-			return nil, fmt.Errorf("litmus: %v: %w", metric, errs[i])
+		err := kpiErrs[i]
+		if err == nil && errs[i] != nil {
+			err = errs[i]
+			failures = append(failures, AssessmentFailure{KPI: metric, Reason: core.ReasonOf(err), Detail: err.Error()})
+		}
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("litmus: %v: %w", metric, err)
+			}
+			continue
+		}
+		// Element-level degradations within a KPI that still voted.
+		for _, f := range results[i].Failures {
+			failures = append(failures, AssessmentFailure{KPI: metric, Element: f.Element, Reason: f.Reason, Detail: f.Detail})
 		}
 		out.PerKPI[metric] = results[i]
 	}
+	if len(out.PerKPI) == 0 {
+		// Nothing assessed: no evidence to stand a decision on — that is
+		// an error, not a degraded result.
+		return nil, firstErr
+	}
+	out.Failures = failures
+	out.Degraded = len(failures) > 0
 	out.Decision = decide(out.PerKPI)
 	sc.Counter(obs.Labeled(obs.MetricDecisions, "decision", out.Decision.String())).Add(1)
 	return out, nil
 }
 
 // panels assembles the study and control panels for one KPI, windowed to
-// ±windowDays around the change.
-func (p *Pipeline) panels(change *changelog.Change, controls []string, metric KPI, windowDays int) (*Panel, *Panel, error) {
+// ±windowDays around the change. Elements the provider has no data for,
+// or whose windowed series disagrees with the panel's time grid (e.g.
+// dropped timepoints in broken telemetry), are skipped and reported in
+// fails — the panel panics of a naive Add are never reachable from data.
+// The returned error is KPI-level: no usable study element, or no usable
+// control.
+func (p *Pipeline) panels(change *changelog.Change, controls []string, metric KPI, windowDays int) (*Panel, *Panel, []AssessmentFailure, error) {
 	window := time.Duration(windowDays) * 24 * time.Hour
 	from := change.At.Add(-window)
 	to := change.At.Add(window)
 
-	var studies, panel *Panel
-	add := func(dst **Panel, id string) error {
+	var fails []AssessmentFailure
+	fail := func(id string, err error) {
+		fails = append(fails, AssessmentFailure{KPI: metric, Element: id, Reason: core.ReasonOf(err), Detail: err.Error()})
+	}
+	fetch := func(id string) (Series, error) {
 		s, ok := p.Provider.Series(id, metric)
 		if !ok {
-			return fmt.Errorf("no %v data for element %s", metric, id)
+			return Series{}, fmt.Errorf("%w: no %v data for element %s", core.ErrNoData, metric, id)
 		}
-		w := s.Window(from, to)
-		if *dst == nil {
-			*dst = NewPanel(w.Index)
-		}
-		(*dst).Add(id, w)
-		return nil
+		return s.Window(from, to), nil
 	}
+	var studies *Panel
 	for _, id := range change.Elements {
-		if err := add(&studies, id); err != nil {
-			return nil, nil, err
+		w, err := fetch(id)
+		if err == nil && studies != nil && !w.Index.Equal(studies.Index()) {
+			err = fmt.Errorf("%w: element %s window disagrees with the study panel's time grid", core.ErrIndexMismatch, id)
 		}
+		if err != nil {
+			fail(id, err)
+			continue
+		}
+		if studies == nil {
+			studies = NewPanel(w.Index)
+		}
+		studies.Add(id, w)
 	}
+	if studies == nil {
+		return nil, nil, fails, fmt.Errorf("%w: no study element has usable %v data", core.ErrNoData, metric)
+	}
+	panel := NewPanel(studies.Index())
 	for _, id := range controls {
-		if err := add(&panel, id); err != nil {
-			return nil, nil, err
+		w, err := fetch(id)
+		if err == nil && !w.Index.Equal(studies.Index()) {
+			err = fmt.Errorf("%w: control %s window disagrees with the study panel's time grid", core.ErrIndexMismatch, id)
 		}
+		if err != nil {
+			fail(id, err)
+			continue
+		}
+		panel.Add(id, w)
 	}
-	return studies, panel, nil
+	if panel.Len() == 0 {
+		return nil, nil, fails, fmt.Errorf("%w: no control element has usable %v data", core.ErrInsufficientControls, metric)
+	}
+	return studies, panel, fails, nil
 }
 
 // decide derives the rollout recommendation: any degradation → NoGo; at
