@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: ci vet lint build test race race-obs chaos fuzz-seed bench bench-workers bench-obs bench-json serve-smoke bench-serve clean
+.PHONY: ci vet lint build test race race-obs chaos fuzz-seed eval-sweep bench bench-workers bench-obs bench-json serve-smoke bench-serve clean
 
 ci: vet build test race chaos fuzz-seed
 
@@ -56,6 +56,16 @@ chaos:
 # `go test -fuzz=FuzzReadSeries ./cmd/litmus` etc. for real fuzzing.
 fuzz-seed:
 	$(GO) test ./cmd/litmus ./internal/stats ./internal/faults -run '^Fuzz'
+
+# Scaled-down fault sweep under the race detector: the Table-4 grid
+# plus the adversarial scenario families at corruption rates
+# 0/0.01/0.05/0.1/0.2, rendered as a table and written to EVAL_6.json
+# (accuracy / FPR / FNR / degraded fraction per scenario × rate) — the
+# robustness-curve artifact CI uploads. `-scale 0.05` keeps it cheap;
+# drop the flag for the full 9110-cases-per-rate sweep.
+eval-sweep:
+	$(GO) run -race ./cmd/litmus-eval -sweep -scale 0.05
+	@echo wrote EVAL_6.json
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .

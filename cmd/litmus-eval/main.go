@@ -2,7 +2,9 @@
 // end: Table 2 (known assessments of 313 real-change cases) and Table 4
 // (8010 synthetic-injection cases), comparing the study-group-only
 // baseline, Difference in Differences, and the Litmus robust spatial
-// regression.
+// regression. A fault sweep mode re-runs the synthetic grid — including
+// the adversarial congestion-coupled and heterogeneous-effect families —
+// across telemetry corruption rates and reports robustness as a curve.
 //
 // Usage:
 //
@@ -10,6 +12,8 @@
 //	litmus-eval -table 4          # Table 4 (full 8010 cases; minutes)
 //	litmus-eval -table 4 -scale 0.1   # Table 4 at 10% volume (seconds)
 //	litmus-eval -table all
+//	litmus-eval -sweep -scale 0.05    # fault sweep, writes EVAL_6.json
+//	litmus-eval -sweep -sweep-rates 0,0.1 -faults gap,dropcol
 //
 // The shared observability flags -trace, -metrics and -pprof (see
 // internal/obscli) instrument the whole evaluation run; the reported
@@ -20,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/eval"
@@ -28,40 +34,159 @@ import (
 	"repro/internal/report"
 )
 
+// options holds the parsed command line. Flag registration is split from
+// main so tests can drive parsing and validation on a private FlagSet.
+type options struct {
+	table      string
+	scale      float64
+	rows       bool
+	ablation   bool
+	workers    int
+	sweep      bool
+	sweepRates string
+	sweepOut   string
+	faultSpec  string
+	faultSeed  int64
+
+	// rates is the parsed form of sweepRates, filled by validate.
+	rates []float64
+}
+
+func registerOptions(fs *flag.FlagSet) *options {
+	o := &options{}
+	fs.StringVar(&o.table, "table", "all", `which table to reproduce: "2", "4" or "all"`)
+	fs.Float64Var(&o.scale, "scale", 1.0, "case-volume scale for the synthetic grid (1.0 = the paper's 8010 cases)")
+	fs.BoolVar(&o.rows, "rows", false, "also print Table 2's per-change rows")
+	fs.BoolVar(&o.ablation, "ablation", false, "run the design-choice ablation grid instead of the tables")
+	fs.IntVar(&o.workers, "workers", 0, "assessment worker pool size (0 = GOMAXPROCS; results are identical for any value)")
+	fs.BoolVar(&o.sweep, "sweep", false, "run the fault sweep: the synthetic grid plus adversarial families across corruption rates")
+	fs.StringVar(&o.sweepRates, "sweep-rates", "0,0.01,0.05,0.1,0.2", "comma-separated fault rates for -sweep, each in [0, 1]")
+	fs.StringVar(&o.sweepOut, "sweep-out", "EVAL_6.json", "path for the machine-readable sweep result (empty = don't write)")
+	fs.StringVar(&o.faultSpec, "faults", "all", "fault injector spec for -sweep (internal/faults syntax)")
+	fs.Int64Var(&o.faultSeed, "fault-seed", 1, "seed for the per-case fault streams")
+	return o
+}
+
+// validate rejects inconsistent flag combinations and parses the sweep
+// rate list.
+func (o *options) validate() error {
+	if o.scale <= 0 {
+		return fmt.Errorf("-scale must be positive, got %v", o.scale)
+	}
+	switch o.table {
+	case "2", "4", "all":
+	default:
+		return fmt.Errorf("unknown table %q (want 2, 4 or all)", o.table)
+	}
+	if o.sweep && o.ablation {
+		return fmt.Errorf("-sweep and -ablation are mutually exclusive")
+	}
+	if o.sweep && o.table == "2" {
+		return fmt.Errorf("-sweep runs the synthetic grid; it cannot reproduce Table 2")
+	}
+	if o.sweep {
+		rates, err := parseRates(o.sweepRates)
+		if err != nil {
+			return err
+		}
+		o.rates = rates
+	}
+	return nil
+}
+
+// parseRates parses a comma-separated fault-rate list.
+func parseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad sweep rate %q: %v", f, err)
+		}
+		if v < 0 || v > 1 {
+			return nil, fmt.Errorf("sweep rate %v outside [0, 1]", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-sweep-rates %q contains no rates", s)
+	}
+	return out, nil
+}
+
 func main() {
-	var (
-		table    = flag.String("table", "all", `which table to reproduce: "2", "4" or "all"`)
-		scale    = flag.Float64("scale", 1.0, "case-volume scale for Table 4 (1.0 = the paper's 8010 cases)")
-		rows     = flag.Bool("rows", false, "also print Table 2's per-change rows")
-		ablation = flag.Bool("ablation", false, "run the design-choice ablation grid instead of the tables")
-		workers  = flag.Int("workers", 0, "assessment worker pool size (0 = GOMAXPROCS; results are identical for any value)")
-	)
+	o := registerOptions(flag.CommandLine)
 	obsFlags := obscli.Register()
 	flag.Parse()
+	if err := o.validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "litmus-eval:", err)
+		os.Exit(2)
+	}
 	scope, err := obsFlags.Scope("litmus-eval")
 	if err != nil {
 		fatal(err)
 	}
 
-	if *ablation {
-		runAblation(*scale, *workers, scope)
-	} else {
-		switch *table {
+	switch {
+	case o.ablation:
+		runAblation(o.scale, o.workers, scope)
+	case o.sweep:
+		runSweep(o, scope)
+	default:
+		switch o.table {
 		case "2":
-			runTable2(*rows, *workers, scope)
+			runTable2(o.rows, o.workers, scope)
 		case "4":
-			runTable4(*scale, *workers, scope)
+			runTable4(o.scale, o.workers, scope)
 		case "all":
-			runTable2(*rows, *workers, scope)
+			runTable2(o.rows, o.workers, scope)
 			fmt.Println()
-			runTable4(*scale, *workers, scope)
-		default:
-			fmt.Fprintf(os.Stderr, "litmus-eval: unknown table %q (want 2, 4 or all)\n", *table)
-			os.Exit(2)
+			runTable4(o.scale, o.workers, scope)
 		}
 	}
 	if err := obsFlags.Report(os.Stdout, scope); err != nil {
 		fatal(err)
+	}
+}
+
+func runSweep(o *options, scope *obs.Scope) {
+	base := eval.DefaultSyntheticConfig().WithAdversarialCases()
+	if o.scale != 1.0 {
+		base = base.ScaleCases(o.scale)
+	}
+	base.Assessor.Workers = o.workers
+	start := time.Now()
+	res, err := eval.RunSweep(eval.SweepConfig{
+		Base:      base,
+		Rates:     o.rates,
+		FaultSpec: o.faultSpec,
+		FaultSeed: o.faultSeed,
+		Obs:       scope,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("Robustness curve — %d rates × %d cases, %v\n",
+		len(res.Rates), res.CasesPerRate, time.Since(start).Round(time.Millisecond))
+	if err := report.WriteSweepTable(os.Stdout, res); err != nil {
+		fatal(err)
+	}
+	if o.sweepOut != "" {
+		f, err := os.Create(o.sweepOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.WriteJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", o.sweepOut)
 	}
 }
 

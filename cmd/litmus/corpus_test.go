@@ -1,0 +1,223 @@
+package main
+
+// Seed-corpus generator for the CSV-loader fuzz targets. The corpus is
+// built from the internal/faults vocabulary — the ways production
+// telemetry actually breaks (reset ramps, half-empty rows, duplicated
+// and truncated panel columns) — rendered through the CSV conventions
+// the loaders speak (RFC3339 timestamps, NaN as empty cell), and
+// committed under testdata/fuzz/ in go-fuzz corpus format so plain
+// `go test` replays every entry. Regenerate after changing the fault
+// vocabulary or the CSV dialect with:
+//
+//	go test ./cmd/litmus -run TestFuzzCorpus -update
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/timeseries"
+)
+
+var updateCorpus = flag.Bool("update", false, "rewrite the committed fuzz seed corpus")
+
+// corpusEpoch matches the repo-wide synthetic epoch.
+var corpusEpoch = time.Date(2012, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func corpusIndex(n int) timeseries.Index {
+	return timeseries.NewIndex(corpusEpoch, 6*time.Hour, n)
+}
+
+func corpusSeries(n int) timeseries.Series {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 0.95 + 0.03*math.Sin(float64(i)/4)
+	}
+	return timeseries.NewSeries(corpusIndex(n), v)
+}
+
+func corpusPanel(n, cols int) *timeseries.Panel {
+	p := timeseries.NewPanel(corpusIndex(n))
+	for c := 0; c < cols; c++ {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = 0.9 + 0.05*math.Cos(float64(i)/3+float64(c))
+		}
+		p.Add(string(rune('a'+c)), timeseries.NewSeries(corpusIndex(n), v))
+	}
+	return p
+}
+
+// faultedSeries applies one fault kind to the base series, scanning
+// element ids until the (seed, kind, id) selection actually corrupts —
+// everything deterministic, exported API only.
+func faultedSeries(t *testing.T, kind faults.Kind, rate float64, seed int64) timeseries.Series {
+	t.Helper()
+	s := faults.New(seed, rate, kind)
+	base := corpusSeries(24)
+	for i := 0; i < 10000; i++ {
+		out := s.Series(fmt.Sprintf("el-%d", i), base)
+		for j := range out.Values {
+			same := out.Values[j] == base.Values[j] ||
+				(math.IsNaN(out.Values[j]) && math.IsNaN(base.Values[j]))
+			if !same {
+				return out
+			}
+		}
+	}
+	t.Fatalf("no element affected by %v at rate %v", kind, rate)
+	return timeseries.Series{}
+}
+
+// faultedPanel applies a fault set to the base panel, scanning seeds for
+// one that corrupts without emptying the panel.
+func faultedPanel(t *testing.T, kind faults.Kind, rate float64) *timeseries.Panel {
+	t.Helper()
+	base := corpusPanel(24, 4)
+	for seed := int64(1); seed < 1000; seed++ {
+		out := faults.New(seed, rate, kind).Panel(base)
+		if out.Len() == 0 || out.Len() > base.Len() {
+			continue
+		}
+		if panelsDiffer(base, out) {
+			return out
+		}
+	}
+	t.Fatalf("no seed makes %v at rate %v corrupt the panel", kind, rate)
+	return nil
+}
+
+func panelsDiffer(a, b *timeseries.Panel) bool {
+	aIDs, bIDs := a.IDs(), b.IDs()
+	if len(aIDs) != len(bIDs) {
+		return true
+	}
+	for i, id := range aIDs {
+		if bIDs[i] != id {
+			return true
+		}
+		av, bv := a.MustSeries(id).Values, b.MustSeries(id).Values
+		for j := range av {
+			if av[j] != bv[j] && !(math.IsNaN(av[j]) && math.IsNaN(bv[j])) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// seriesCSV renders a series in the loader's dialect: RFC3339
+// timestamps, NaN as the empty cell.
+func seriesCSV(s timeseries.Series) []byte {
+	var b strings.Builder
+	b.WriteString("timestamp,value\n")
+	for i, v := range s.Values {
+		b.WriteString(s.Index.TimeAt(i).Format(time.RFC3339))
+		b.WriteByte(',')
+		if !math.IsNaN(v) {
+			fmt.Fprintf(&b, "%g", v)
+		}
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+func panelCSV(p *timeseries.Panel) []byte {
+	var b strings.Builder
+	b.WriteString("timestamp")
+	for _, id := range p.IDs() {
+		b.WriteByte(',')
+		b.WriteString(id)
+	}
+	b.WriteByte('\n')
+	for i := 0; i < p.Index().N; i++ {
+		b.WriteString(p.Index().TimeAt(i).Format(time.RFC3339))
+		for _, id := range p.IDs() {
+			b.WriteByte(',')
+			if v := p.MustSeries(id).Values[i]; !math.IsNaN(v) {
+				fmt.Fprintf(&b, "%g", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// corpusEntries builds the full corpus: entry name → CSV bytes.
+func corpusEntries(t *testing.T) (series, panel map[string][]byte) {
+	t.Helper()
+	series = map[string][]byte{
+		"faults-reset-ramp":   seriesCSV(faultedSeries(t, faults.Reset, 0.4, 3)),
+		"faults-half-missing": seriesCSV(faultedSeries(t, faults.Missing, 0.5, 5)),
+		"faults-gap":          seriesCSV(faultedSeries(t, faults.Gap, 0.3, 7)),
+		"faults-spike":        seriesCSV(faultedSeries(t, faults.Spike, 0.3, 9)),
+		"faults-all-missing":  seriesCSV(faultedSeries(t, faults.Missing, 1, 11)),
+	}
+	panel = map[string][]byte{
+		"faults-dupcol":    panelCSV(faultedPanel(t, faults.DupCol, 1)),
+		"faults-shorthist": panelCSV(faultedPanel(t, faults.ShortHist, 1)),
+		"faults-dropcol":   panelCSV(faultedPanel(t, faults.DropCol, 0.5)),
+		"faults-gap-rows":  panelCSV(faultedPanel(t, faults.Gap, 0.9)),
+	}
+	return series, panel
+}
+
+// encodeCorpusFile renders bytes in the `go test fuzz v1` corpus format.
+func encodeCorpusFile(data []byte) []byte {
+	return []byte("go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n")
+}
+
+// TestFuzzCorpusCommitted checks the committed seed corpus is exactly
+// what the generator produces (run with -update to regenerate), and that
+// every entry round-trips through the loaders without panicking.
+func TestFuzzCorpusCommitted(t *testing.T) {
+	series, panel := corpusEntries(t)
+	check := func(dir string, entries map[string][]byte) {
+		for name, data := range entries {
+			path := filepath.Join("testdata", "fuzz", dir, name)
+			want := encodeCorpusFile(data)
+			if *updateCorpus {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, want, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			got, err := os.ReadFile(path)
+			if err != nil {
+				t.Errorf("%v (regenerate with -update)", err)
+				continue
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s is stale: committed corpus differs from the faults vocabulary (regenerate with -update)", path)
+			}
+		}
+	}
+	check("FuzzReadSeries", series)
+	check("FuzzReadPanel", panel)
+	if t.Failed() || *updateCorpus {
+		return
+	}
+	// The loaders must survive every corpus entry — parse or error,
+	// never panic; a parsed result obeys the loader invariants.
+	for name, data := range series {
+		if s, err := readSeries(bytes.NewReader(data)); err == nil && s.Len() < 2 {
+			t.Errorf("series entry %s parsed to %d rows", name, s.Len())
+		}
+	}
+	for name, data := range panel {
+		if p, err := readPanel(bytes.NewReader(data)); err == nil && p.Len() < 1 {
+			t.Errorf("panel entry %s parsed to empty panel", name)
+		}
+	}
+}

@@ -86,19 +86,27 @@ func almost(a, b, tol float64) bool {
 func TestScenarioExpectations(t *testing.T) {
 	// Table 3 column 3.
 	wantImpact := map[Scenario]bool{
-		InjectNone:          false,
-		InjectStudy:         true,
-		InjectControl:       true,
-		InjectBothSame:      false,
-		InjectBothDifferent: true,
+		InjectNone:              false,
+		InjectStudy:             true,
+		InjectControl:           true,
+		InjectBothSame:          false,
+		InjectBothDifferent:     true,
+		InjectCongestionCoupled: true,
+		InjectHeterogeneous:     true,
 	}
 	for sc, want := range wantImpact {
 		if got := sc.ExpectsImpact(); got != want {
 			t.Errorf("%v.ExpectsImpact() = %v, want %v", sc, got, want)
 		}
 	}
-	if len(Scenarios()) != 5 {
+	if len(Scenarios()) != 7 {
+		t.Error("expected the Table 3 five plus the two adversarial families")
+	}
+	if len(BenignScenarios()) != 5 {
 		t.Error("Table 3 has five scenarios")
+	}
+	if len(AdversarialScenarios()) != 2 {
+		t.Error("expected two adversarial scenario families")
 	}
 }
 
@@ -135,7 +143,7 @@ func TestTable3CaseMatrix(t *testing.T) {
 	}
 	// Litmus: TN on no-impact scenarios, TP on impact scenarios (allow
 	// one slip per scenario out of 8).
-	for _, sc := range Scenarios() {
+	for _, sc := range BenignScenarios() {
 		m := per[sc]
 		if sc.ExpectsImpact() {
 			if m.TP < 7 {

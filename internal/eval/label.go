@@ -112,6 +112,14 @@ func (m Matrix) Recall() float64 { return ratio(m.TP, m.TP+m.FN) }
 // TrueNegativeRate returns TN/(TN+FP).
 func (m Matrix) TrueNegativeRate() float64 { return ratio(m.TN, m.TN+m.FP) }
 
+// FalsePositiveRate returns FP/(FP+TN) — the false-alarm rate on
+// no-impact ground truth.
+func (m Matrix) FalsePositiveRate() float64 { return ratio(m.FP, m.FP+m.TN) }
+
+// FalseNegativeRate returns FN/(FN+TP) — the miss rate on impact ground
+// truth (wrong-direction detections count as misses, per Table 1).
+func (m Matrix) FalseNegativeRate() float64 { return ratio(m.FN, m.FN+m.TP) }
+
 // Accuracy returns (TP+TN)/total.
 func (m Matrix) Accuracy() float64 { return ratio(m.TP+m.TN, m.Total()) }
 

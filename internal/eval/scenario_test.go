@@ -1,0 +1,145 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+// The scenario enum is load-bearing for reproducibility: RunSynthetic
+// consumes one shared RNG stream in Scenarios() order, so reordering or
+// renaming a scenario silently changes every published number. These
+// tests pin the order, the names, and the exhaustiveness of every
+// per-scenario switch.
+
+// TestScenariosOrderStable pins the exact order: the Table 3 five in
+// table order, then the adversarial families, appended — never
+// interleaved — so the five's RNG draws are immutable.
+func TestScenariosOrderStable(t *testing.T) {
+	want := []Scenario{
+		InjectNone,
+		InjectStudy,
+		InjectControl,
+		InjectBothSame,
+		InjectBothDifferent,
+		InjectCongestionCoupled,
+		InjectHeterogeneous,
+	}
+	got := Scenarios()
+	if len(got) != len(want) {
+		t.Fatalf("Scenarios() has %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Scenarios()[%d] = %v, want %v — the shared RNG stream order is pinned", i, got[i], want[i])
+		}
+	}
+	benign, adv := BenignScenarios(), AdversarialScenarios()
+	if len(benign)+len(adv) != len(got) {
+		t.Fatalf("benign (%d) + adversarial (%d) != all (%d)", len(benign), len(adv), len(got))
+	}
+	for i, sc := range append(append([]Scenario{}, benign...), adv...) {
+		if got[i] != sc {
+			t.Errorf("Scenarios()[%d] = %v; benign-then-adversarial partition broken", i, got[i])
+		}
+	}
+}
+
+// TestScenarioStringExhaustive requires every scenario to carry a
+// distinct, stable, lowercase name, and out-of-range values to render as
+// the debug form rather than a neighbor's name.
+func TestScenarioStringExhaustive(t *testing.T) {
+	wantNames := map[Scenario]string{
+		InjectNone:              "none",
+		InjectStudy:             "study",
+		InjectControl:           "control",
+		InjectBothSame:          "study+control-same",
+		InjectBothDifferent:     "study+control-different",
+		InjectCongestionCoupled: "congestion-coupled",
+		InjectHeterogeneous:     "heterogeneous",
+	}
+	if len(wantNames) != len(Scenarios()) {
+		t.Fatalf("name table covers %d scenarios, enum has %d", len(wantNames), len(Scenarios()))
+	}
+	seen := map[string]Scenario{}
+	for _, sc := range Scenarios() {
+		name, ok := wantNames[sc]
+		if !ok {
+			t.Fatalf("scenario %d has no pinned name", int(sc))
+		}
+		if got := sc.String(); got != name {
+			t.Errorf("%d.String() = %q, want %q", int(sc), got, name)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("name %q shared by %v and %v", name, prev, sc)
+		}
+		seen[name] = sc
+		if name != strings.ToLower(name) || strings.ContainsAny(name, " \t") {
+			t.Errorf("name %q not a lowercase token", name)
+		}
+	}
+	if got := Scenario(-1).String(); !strings.Contains(got, "-1") {
+		t.Errorf("Scenario(-1).String() = %q, want debug form", got)
+	}
+	if got := numScenarios.String(); !strings.Contains(got, "Scenario(") {
+		t.Errorf("sentinel String() = %q, want debug form", got)
+	}
+}
+
+// TestExpectsImpactExhaustive walks every valid scenario through
+// ExpectsImpact (whose switch panics on anything unhandled) and checks
+// the ground-truth split: exactly the two null scenarios expect no
+// impact.
+func TestExpectsImpactExhaustive(t *testing.T) {
+	noImpact := 0
+	for _, sc := range Scenarios() {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("ExpectsImpact(%v) panicked: %v — switch not exhaustive", sc, r)
+				}
+			}()
+			if !sc.ExpectsImpact() {
+				noImpact++
+			}
+		}()
+	}
+	if noImpact != 2 {
+		t.Errorf("%d no-impact scenarios, want 2 (none, study+control-same)", noImpact)
+	}
+	for _, sc := range AdversarialScenarios() {
+		if !sc.ExpectsImpact() {
+			t.Errorf("adversarial family %v must expect impact", sc)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ExpectsImpact on the sentinel must panic")
+		}
+	}()
+	numScenarios.ExpectsImpact()
+}
+
+// TestRunSyntheticCaseWiredForAllScenarios runs one case of every
+// scenario through the harness — the runSyntheticCase switch returns an
+// error for any scenario it does not implement, so this catches a new
+// enum value that was named but never wired.
+func TestRunSyntheticCaseWiredForAllScenarios(t *testing.T) {
+	cfg := DefaultSyntheticConfig()
+	cfg.CasesPerScenario = map[Scenario]int{}
+	for _, sc := range Scenarios() {
+		cfg.CasesPerScenario[sc] = 1
+	}
+	res, err := RunSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := map[Scenario]bool{}
+	for _, c := range res.Cases {
+		ran[c.Scenario] = true
+	}
+	for _, sc := range Scenarios() {
+		if !ran[sc] {
+			t.Errorf("scenario %v produced no case", sc)
+		}
+	}
+}

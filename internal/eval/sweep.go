@@ -1,0 +1,225 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/faults"
+	"repro/internal/obs"
+)
+
+// The fault sweep turns robustness from a claim into a measured curve:
+// the synthetic-injection grid is re-run at increasing telemetry
+// corruption rates, the typed degradations the engine reports are
+// consumed instead of dropped, and decision quality (accuracy, FPR, FNR)
+// plus the degraded fraction are tabulated per (scenario family ×
+// corruption level). Everything stays on the splitmix64 derivation
+// contract, so a sweep is bit-identical at any worker count.
+
+// DefaultSweepRates returns the corruption levels of the standard sweep.
+func DefaultSweepRates() []float64 { return []float64{0, 0.01, 0.05, 0.1, 0.2} }
+
+// ScenarioAll is the Scenario label of the per-rate aggregate cell.
+const ScenarioAll = "all"
+
+// SweepConfig parameterizes RunSweep.
+type SweepConfig struct {
+	// Base is the synthetic harness configuration the sweep re-runs per
+	// rate — typically DefaultSyntheticConfig().WithAdversarialCases(),
+	// optionally scaled. Base.Faults must be nil: the sweep owns fault
+	// construction.
+	Base SyntheticConfig
+	// Rates are the corruption levels; rate 0 runs the clean harness
+	// (bit-identical to RunSynthetic without faults). Empty means
+	// DefaultSweepRates.
+	Rates []float64
+	// FaultSpec selects the injectors, in internal/faults spec syntax
+	// (default "all"). Entries carrying an explicit name=rate keep that
+	// fixed rate across the sweep; leave rates off to have them swept.
+	FaultSpec string
+	// FaultSeed seeds the fault streams (default 1). Each case derives
+	// its own stream from (FaultSeed, case ordinal).
+	FaultSeed int64
+	// Obs is the optional observability scope (one child span per rate).
+	Obs *obs.Scope
+}
+
+// CellMetrics is one algorithm's decision quality in one sweep cell.
+// Accuracy/FPR/FNR are computed over the cases the algorithm assessed;
+// DegradedFraction is the share of the cell's cases it could not.
+type CellMetrics struct {
+	TP               int     `json:"tp"`
+	TN               int     `json:"tn"`
+	FP               int     `json:"fp"`
+	FN               int     `json:"fn"`
+	Degraded         int     `json:"degraded"`
+	Accuracy         float64 `json:"accuracy"`
+	FPR              float64 `json:"fpr"`
+	FNR              float64 `json:"fnr"`
+	DegradedFraction float64 `json:"degraded_fraction"`
+}
+
+// SweepCell is one (scenario family × corruption level) cell with all
+// three algorithms' metrics. The struct layout is the EVAL_6.json wire
+// format — fixed field order keeps serialization deterministic.
+type SweepCell struct {
+	Scenario  string      `json:"scenario"`
+	FaultRate float64     `json:"fault_rate"`
+	Cases     int         `json:"cases"`
+	StudyOnly CellMetrics `json:"study_group_only"`
+	DiD       CellMetrics `json:"difference_in_differences"`
+	Litmus    CellMetrics `json:"litmus"`
+}
+
+// SweepResult aggregates a fault sweep. Cells are ordered rate-major in
+// the configured rate order, scenarios in Scenarios() order, with one
+// ScenarioAll aggregate per rate last.
+type SweepResult struct {
+	Seed         int64       `json:"seed"`
+	FaultSpec    string      `json:"fault_spec"`
+	FaultSeed    int64       `json:"fault_seed"`
+	Rates        []float64   `json:"fault_rates"`
+	CasesPerRate int         `json:"cases_per_rate"`
+	Cells        []SweepCell `json:"cells"`
+}
+
+// Cell returns the cell for (scenario, rate), or nil if absent.
+func (r SweepResult) Cell(scenario string, rate float64) *SweepCell {
+	for i := range r.Cells {
+		if r.Cells[i].Scenario == scenario && r.Cells[i].FaultRate == rate {
+			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the machine-readable sweep document (EVAL_6.json).
+func (r SweepResult) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+// RunSweep executes the fault sweep: the base synthetic grid once per
+// corruption rate, with per-case fault streams at rates > 0, reduced to
+// per-(scenario × rate) decision-quality cells.
+func RunSweep(cfg SweepConfig) (SweepResult, error) {
+	if cfg.Base.Faults != nil {
+		return SweepResult{}, fmt.Errorf("eval: sweep base config must not carry its own fault set")
+	}
+	rates := cfg.Rates
+	if len(rates) == 0 {
+		rates = DefaultSweepRates()
+	}
+	spec := cfg.FaultSpec
+	if spec == "" {
+		spec = "all"
+	}
+	faultSeed := cfg.FaultSeed
+	if faultSeed == 0 {
+		faultSeed = 1
+	}
+	out := SweepResult{
+		Seed:      cfg.Base.Seed,
+		FaultSpec: spec,
+		FaultSeed: faultSeed,
+		Rates:     rates,
+	}
+	run := cfg.Obs.Child("fault-sweep")
+	defer run.End()
+	for _, rate := range rates {
+		if rate < 0 || rate > 1 {
+			return SweepResult{}, fmt.Errorf("eval: sweep rate %v outside [0, 1]", rate)
+		}
+		scfg := cfg.Base
+		rateScope := run.Child("sweep-rate")
+		rateScope.SetAttr("rate", rate)
+		scfg.Obs = rateScope
+		if rate > 0 {
+			fset, err := faults.Parse(spec, faultSeed, rate)
+			if err != nil {
+				rateScope.End()
+				return SweepResult{}, err
+			}
+			scfg.Faults = fset
+		}
+		res, err := RunSynthetic(scfg)
+		rateScope.End()
+		if err != nil {
+			return SweepResult{}, fmt.Errorf("eval: sweep at rate %v: %w", rate, err)
+		}
+		out.CasesPerRate = res.TotalCases()
+		out.Cells = append(out.Cells, sweepCells(res, rate)...)
+	}
+	return out, nil
+}
+
+// sweepCells reduces one rate's run into its per-scenario cells plus the
+// aggregate.
+func sweepCells(res SyntheticResult, rate float64) []SweepCell {
+	type acc struct {
+		cases    int
+		matrices map[Algorithm]*Matrix
+		degraded map[Algorithm]int
+	}
+	newAcc := func() *acc {
+		a := &acc{matrices: map[Algorithm]*Matrix{}, degraded: map[Algorithm]int{}}
+		for _, alg := range Algorithms() {
+			a.matrices[alg] = &Matrix{}
+		}
+		return a
+	}
+	perScenario := map[Scenario]*acc{}
+	total := newAcc()
+	add := func(a *acc, c CaseResult) {
+		a.cases++
+		for _, alg := range Algorithms() {
+			if o, ok := c.Outcomes[alg]; ok {
+				a.matrices[alg].Add(o)
+			} else {
+				a.degraded[alg]++
+			}
+		}
+	}
+	for _, c := range res.Cases {
+		if perScenario[c.Scenario] == nil {
+			perScenario[c.Scenario] = newAcc()
+		}
+		add(perScenario[c.Scenario], c)
+		add(total, c)
+	}
+	cellOf := func(label string, a *acc) SweepCell {
+		metrics := func(alg Algorithm) CellMetrics {
+			m := a.matrices[alg]
+			d := a.degraded[alg]
+			return CellMetrics{
+				TP: m.TP, TN: m.TN, FP: m.FP, FN: m.FN,
+				Degraded:         d,
+				Accuracy:         m.Accuracy(),
+				FPR:              m.FalsePositiveRate(),
+				FNR:              m.FalseNegativeRate(),
+				DegradedFraction: ratio(d, a.cases),
+			}
+		}
+		return SweepCell{
+			Scenario:  label,
+			FaultRate: rate,
+			Cases:     a.cases,
+			StudyOnly: metrics(StudyOnlyAnalysis),
+			DiD:       metrics(DifferenceInDifferences),
+			Litmus:    metrics(LitmusRegression),
+		}
+	}
+	var cells []SweepCell
+	for _, sc := range Scenarios() {
+		if a := perScenario[sc]; a != nil {
+			cells = append(cells, cellOf(sc.String(), a))
+		}
+	}
+	cells = append(cells, cellOf(ScenarioAll, total))
+	return cells
+}

@@ -1,0 +1,256 @@
+package eval
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// sweepTestConfig is a small but complete synthetic grid: every scenario
+// family present, fast enough for -race CI.
+func sweepTestConfig() SyntheticConfig {
+	return DefaultSyntheticConfig().WithAdversarialCases().ScaleCases(0.005)
+}
+
+// TestSweepRateZeroMatchesCleanRun pins the acceptance criterion that a
+// rate-0 sweep cell is the pre-fault harness, bit for bit: the original
+// five scenarios' outcome counts equal a five-scenario-only clean run at
+// the same seed, and the aggregate cell equals RunSynthetic on the same
+// config.
+func TestSweepRateZeroMatchesCleanRun(t *testing.T) {
+	cfg := sweepTestConfig()
+	res, err := RunSweep(SweepConfig{Base: cfg, Rates: []float64{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := RunSynthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range Algorithms() {
+		cell := res.Cell(ScenarioAll, 0)
+		if cell == nil {
+			t.Fatal("no aggregate cell at rate 0")
+		}
+		m := clean.Matrices[alg]
+		got := cellMetricsFor(t, *cell, alg)
+		if got.TP != m.TP || got.TN != m.TN || got.FP != m.FP || got.FN != m.FN {
+			t.Errorf("%v rate-0 aggregate = %+v, want clean-run %v", alg, got, m)
+		}
+		if got.Degraded != 0 || got.DegradedFraction != 0 {
+			t.Errorf("%v degraded at rate 0: %+v", alg, got)
+		}
+	}
+	// The benign five are untouched by appending adversarial families:
+	// their per-scenario outcome counts equal a five-only run.
+	fiveCfg := DefaultSyntheticConfig().ScaleCases(0.005)
+	five, err := RunSynthetic(fiveCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perScenario := map[Scenario]map[Algorithm]*Matrix{}
+	for _, c := range five.Cases {
+		if perScenario[c.Scenario] == nil {
+			perScenario[c.Scenario] = map[Algorithm]*Matrix{}
+			for _, alg := range Algorithms() {
+				perScenario[c.Scenario][alg] = &Matrix{}
+			}
+		}
+		for _, alg := range Algorithms() {
+			perScenario[c.Scenario][alg].Add(c.Outcomes[alg])
+		}
+	}
+	for _, sc := range BenignScenarios() {
+		cell := res.Cell(sc.String(), 0)
+		if cell == nil {
+			t.Fatalf("no cell for %v at rate 0", sc)
+		}
+		for _, alg := range Algorithms() {
+			m := perScenario[sc][alg]
+			got := cellMetricsFor(t, *cell, alg)
+			if got.TP != m.TP || got.TN != m.TN || got.FP != m.FP || got.FN != m.FN {
+				t.Errorf("scenario %v %v = %+v, want five-only run %v", sc, alg, got, m)
+			}
+		}
+	}
+}
+
+func cellMetricsFor(t *testing.T, c SweepCell, alg Algorithm) CellMetrics {
+	t.Helper()
+	switch alg {
+	case StudyOnlyAnalysis:
+		return c.StudyOnly
+	case DifferenceInDifferences:
+		return c.DiD
+	case LitmusRegression:
+		return c.Litmus
+	}
+	t.Fatalf("unknown algorithm %v", alg)
+	return CellMetrics{}
+}
+
+// TestSweepBitIdenticalAcrossWorkers serializes the whole sweep at
+// worker counts 1, 2, 4 and 8 and requires byte equality — the
+// splitmix64 derivation contract extended to the fault sweep.
+func TestSweepBitIdenticalAcrossWorkers(t *testing.T) {
+	var want []byte
+	for _, workers := range []int{1, 2, 4, 8} {
+		cfg := sweepTestConfig()
+		cfg.Assessor.Workers = workers
+		res, err := RunSweep(SweepConfig{Base: cfg, Rates: []float64{0, 0.2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Fatalf("sweep at %d workers differs from 1 worker", workers)
+		}
+	}
+}
+
+// TestCouplingMonotonicallyDegradesControlBasedAccuracy asserts the
+// congestion-coupled family does what it is built to do: as the coupling
+// strength rises, the control group absorbs more of the injected change,
+// the measured relative shift attenuates below the material floor, and
+// the accuracy of the control-differencing algorithms decays
+// monotonically. Study-only analysis does not use controls and keeps its
+// accuracy.
+func TestCouplingMonotonicallyDegradesControlBasedAccuracy(t *testing.T) {
+	accuracyAt := func(level float64) (did, litmus, so float64) {
+		cfg := DefaultSyntheticConfig()
+		cfg.CasesPerScenario = map[Scenario]int{InjectCongestionCoupled: 24}
+		cfg.CouplingLo, cfg.CouplingHi = level, level
+		cfg.ContaminationFraction = 0
+		cfg.FactorLo, cfg.FactorHi = 0.01, 0.02
+		cfg.InjectLo, cfg.InjectHi = 2.5, 3.5
+		cfg.InjectSign = -1
+		cfg.EffectFloor = 0.015
+		cfg.Assessor.EffectFloor = 0.015
+		res, err := RunSynthetic(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Matrices[DifferenceInDifferences].Accuracy(),
+			res.Matrices[LitmusRegression].Accuracy(),
+			res.Matrices[StudyOnlyAnalysis].Accuracy()
+	}
+	levels := []float64{0, 0.5, 1}
+	var did, lit, so [3]float64
+	for i, lv := range levels {
+		did[i], lit[i], so[i] = accuracyAt(lv)
+	}
+	for i := 1; i < len(levels); i++ {
+		if did[i] > did[i-1] {
+			t.Errorf("DiD accuracy rose with coupling: %v at levels %v", did, levels)
+		}
+		if lit[i] > lit[i-1] {
+			t.Errorf("Litmus accuracy rose with coupling: %v at levels %v", lit, levels)
+		}
+	}
+	if did[2] >= did[0] {
+		t.Errorf("full coupling did not degrade DiD accuracy: %v -> %v", did[0], did[2])
+	}
+	if lit[2] >= lit[0] {
+		t.Errorf("full coupling did not degrade Litmus accuracy: %v -> %v", lit[0], lit[2])
+	}
+	if so[2] < so[0]-0.05 {
+		t.Errorf("study-only accuracy dropped with coupling (%v -> %v); coupling must not touch the study element", so[0], so[2])
+	}
+}
+
+// TestSweepDegradedAccounting drops every study element via a pinned
+// dropelem fault and requires the taxonomy to surface it: every case
+// degraded, empty confusion matrices, degraded fraction 1.
+func TestSweepDegradedAccounting(t *testing.T) {
+	cfg := DefaultSyntheticConfig().ScaleCases(0.002)
+	res, err := RunSweep(SweepConfig{
+		Base:      cfg,
+		Rates:     []float64{0.5},
+		FaultSpec: "dropelem=1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := res.Cell(ScenarioAll, 0.5)
+	if cell == nil {
+		t.Fatal("no aggregate cell")
+	}
+	if cell.Cases == 0 {
+		t.Fatal("aggregate cell has no cases")
+	}
+	for _, alg := range Algorithms() {
+		m := cellMetricsFor(t, *cell, alg)
+		if m.Degraded != cell.Cases || m.DegradedFraction != 1 {
+			t.Errorf("%v degraded = %d/%d (fraction %v), want all", alg, m.Degraded, cell.Cases, m.DegradedFraction)
+		}
+		if m.TP+m.TN+m.FP+m.FN != 0 {
+			t.Errorf("%v produced verdicts on dropped elements: %+v", alg, m)
+		}
+		if m.Accuracy != 0 {
+			t.Errorf("%v accuracy = %v on fully degraded cell, want 0", alg, m.Accuracy)
+		}
+	}
+}
+
+// TestSweepPartialFaultsKeepVerdictCounts checks the bookkeeping at a
+// sub-unit fault rate: every case lands in exactly one of Outcomes or
+// Failures, so verdicts + degraded = cases in every cell.
+func TestSweepPartialFaultsKeepVerdictCounts(t *testing.T) {
+	cfg := sweepTestConfig()
+	res, err := RunSweep(SweepConfig{Base: cfg, Rates: []float64{0.2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range res.Cells {
+		for _, alg := range Algorithms() {
+			m := cellMetricsFor(t, cell, alg)
+			if m.TP+m.TN+m.FP+m.FN+m.Degraded != cell.Cases {
+				t.Errorf("cell %s/%v %v: verdicts+degraded != %d cases: %+v",
+					cell.Scenario, cell.FaultRate, alg, cell.Cases, m)
+			}
+		}
+	}
+	// At the default spec and a 0.2 rate, some but not all cases must
+	// degrade — otherwise the sweep measures nothing.
+	agg := res.Cell(ScenarioAll, 0.2)
+	if agg.Litmus.Degraded == 0 || agg.Litmus.Degraded == agg.Cases {
+		t.Errorf("Litmus degraded %d/%d cases at rate 0.2; want a strict subset", agg.Litmus.Degraded, agg.Cases)
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	base := DefaultSyntheticConfig().ScaleCases(0.002)
+	if _, err := RunSweep(SweepConfig{Base: base, Rates: []float64{1.5}}); err == nil {
+		t.Error("rate 1.5 accepted")
+	}
+	if _, err := RunSweep(SweepConfig{Base: base, Rates: []float64{-0.1}}); err == nil {
+		t.Error("negative rate accepted")
+	}
+	bad := base
+	bad.Faults = faults.New(1, 0.5, faults.Gap)
+	if _, err := RunSweep(SweepConfig{Base: bad, Rates: []float64{0}}); err == nil {
+		t.Error("base config with its own fault set accepted")
+	}
+	// The spec is only parsed for corrupting rates; rate 0 never needs it.
+	if _, err := RunSweep(SweepConfig{Base: base, Rates: []float64{0.1}, FaultSpec: "bogus"}); err == nil {
+		t.Error("bad fault spec accepted")
+	}
+	res, err := RunSweep(SweepConfig{Base: base, Rates: []float64{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cell("no-such-scenario", 0) != nil {
+		t.Error("Cell returned a match for an unknown scenario")
+	}
+	if got := len(res.Rates); got != 1 {
+		t.Errorf("rates = %d, want 1", got)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/extfactor"
+	"repro/internal/faults"
 	"repro/internal/gen"
 	"repro/internal/kpi"
 	"repro/internal/netsim"
@@ -14,10 +15,16 @@ import (
 	"repro/internal/timeseries"
 )
 
-// Scenario is one of the five injection patterns of Table 3.
+// Scenario is one injection pattern: the five benign patterns of
+// Table 3 plus the two adversarial families that attack the method's
+// core assumptions.
 type Scenario int
 
-// Injection scenarios (Table 3 rows).
+// Injection scenarios: Table 3 rows first (their order and semantics are
+// pinned), then the adversarial families. numScenarios is the sentinel
+// every exhaustiveness check is written against — add new scenarios
+// immediately before it and wire them into scenarioNames, ExpectsImpact
+// and runSyntheticCase, or the scenario invariant tests fail loudly.
 const (
 	// InjectNone injects nothing; expected outcome no impact.
 	InjectNone Scenario = iota
@@ -35,25 +42,76 @@ const (
 	// own absolute change direction, so study-only analysis reports the
 	// wrong direction (a false negative under Table 1).
 	InjectBothDifferent
+	// InjectCongestionCoupled injects at the study element while a
+	// distance-decayed fraction of the effect bleeds into the sibling
+	// controls through shared load (gen.Effect.Coupling) — interference
+	// that violates the independence assumption the control regression
+	// relies on, attenuating the measured relative shift. Ground truth
+	// stays the injected direction: the controls did not change, they
+	// absorbed leakage.
+	InjectCongestionCoupled
+	// InjectHeterogeneous draws the study element's effect from a seeded
+	// mixture of nulls and responders with spread magnitudes instead of
+	// one uniform shift (parameter changes produce heterogeneous
+	// per-element effect sizes, arXiv:2408.15516). Ground truth is the
+	// aggregate direction of the mixture, so null and weak responders
+	// count against recall.
+	InjectHeterogeneous
+
+	numScenarios // sentinel — keep last
 )
 
+// scenarioNames is indexed by Scenario; the array length is tied to
+// numScenarios so adding a scenario without naming it fails to compile.
+var scenarioNames = [numScenarios]string{
+	InjectNone:              "none",
+	InjectStudy:             "study",
+	InjectControl:           "control",
+	InjectBothSame:          "study+control-same",
+	InjectBothDifferent:     "study+control-different",
+	InjectCongestionCoupled: "congestion-coupled",
+	InjectHeterogeneous:     "heterogeneous",
+}
+
 func (s Scenario) String() string {
-	names := [...]string{"none", "study", "control", "study+control-same", "study+control-different"}
-	if int(s) < len(names) {
-		return names[s]
+	if s >= 0 && s < numScenarios {
+		return scenarioNames[s]
 	}
 	return fmt.Sprintf("Scenario(%d)", int(s))
 }
 
-// Scenarios returns all scenarios in Table 3 order.
+// Scenarios returns all scenarios: the Table 3 five in table order,
+// then the adversarial families.
 func Scenarios() []Scenario {
+	out := make([]Scenario, numScenarios)
+	for i := range out {
+		out[i] = Scenario(i)
+	}
+	return out
+}
+
+// BenignScenarios returns the original Table 3 five, in table order.
+func BenignScenarios() []Scenario {
 	return []Scenario{InjectNone, InjectStudy, InjectControl, InjectBothSame, InjectBothDifferent}
 }
 
+// AdversarialScenarios returns the assumption-attacking families.
+func AdversarialScenarios() []Scenario {
+	return []Scenario{InjectCongestionCoupled, InjectHeterogeneous}
+}
+
 // ExpectsImpact reports whether the scenario's ground truth is a relative
-// performance impact at the study group (Table 3, column 3).
+// performance impact at the study group (Table 3, column 3; for the
+// adversarial families, the aggregate injected direction).
 func (s Scenario) ExpectsImpact() bool {
-	return s == InjectStudy || s == InjectControl || s == InjectBothDifferent
+	switch s {
+	case InjectNone, InjectBothSame:
+		return false
+	case InjectStudy, InjectControl, InjectBothDifferent, InjectCongestionCoupled, InjectHeterogeneous:
+		return true
+	default:
+		panic(fmt.Sprintf("eval: ExpectsImpact on invalid scenario %d", int(s)))
+	}
 }
 
 // SyntheticConfig parameterizes the synthetic-injection evaluation
@@ -97,6 +155,32 @@ type SyntheticConfig struct {
 	// KPIs saturate near 100%, so large improvement injections clip;
 	// tests that need exact ground truth pin the sign negative.
 	InjectSign int
+	// CouplingLo/CouplingHi bound the per-case congestion coupling
+	// strength of InjectCongestionCoupled cases: the fraction of the
+	// study injection a zero-distance sibling control would receive
+	// (netsim.CouplingWeights decays it with distance). Higher strength
+	// means the control group absorbs more of the change and the
+	// measured relative shift attenuates toward zero.
+	CouplingLo, CouplingHi float64
+	// HetNullFraction is the probability an InjectHeterogeneous case
+	// draws a null responder: an element the parameter change does not
+	// move at all, even though the aggregate (ground-truth) direction is
+	// an impact.
+	HetNullFraction float64
+	// HetLo/HetHi bound the responder effect magnitude of
+	// InjectHeterogeneous cases. HetLo is deliberately small, so weak
+	// responders sit near the detection floor.
+	HetLo, HetHi float64
+	// Faults optionally corrupts every case's observed data — the study
+	// series and control panel — after generation and before assessment,
+	// the way production telemetry breaks (internal/faults). Each case
+	// derives its own fault stream from (Faults' seed, case ordinal), so
+	// corruption varies across cases while the run stays a pure function
+	// of the configuration. Algorithms that fail on corrupted data with a
+	// typed degradation error are recorded in CaseResult.Failures instead
+	// of aborting the run. Nil (the default) is the clean path,
+	// bit-identical to the pre-fault harness.
+	Faults *faults.Set
 	// Assessor configures the Litmus algorithm.
 	Assessor core.Config
 	// Alpha is the significance level for the two baselines.
@@ -163,7 +247,34 @@ func DefaultSyntheticConfig() SyntheticConfig {
 		FactorHi:              1.8,
 		ContamLo:              5.0,
 		ContamHi:              10.0,
+		CouplingLo:            0.3,
+		CouplingHi:            0.8,
+		HetNullFraction:       0.35,
+		HetLo:                 0.3,
+		HetHi:                 2.8,
 	}
+}
+
+// AdversarialCasesPerScenario is the default case volume of each
+// adversarial family in WithAdversarialCases — sized like the smaller
+// benign rows of Table 4 so the families are measured, not dominant.
+const AdversarialCasesPerScenario = 550
+
+// WithAdversarialCases returns a copy of cfg that additionally runs the
+// two adversarial families at AdversarialCasesPerScenario cases each.
+// The Table-4 five keep their configured counts, and because the
+// adversarial scenarios run after them on the shared case stream, the
+// five's results are bit-identical with or without this call.
+func (cfg SyntheticConfig) WithAdversarialCases() SyntheticConfig {
+	scaled := make(map[Scenario]int, len(cfg.CasesPerScenario)+2)
+	for s, n := range cfg.CasesPerScenario {
+		scaled[s] = n
+	}
+	for _, s := range AdversarialScenarios() {
+		scaled[s] = AdversarialCasesPerScenario
+	}
+	cfg.CasesPerScenario = scaled
+	return cfg
 }
 
 // scaleCases returns a copy of cfg with every scenario's case count
@@ -194,7 +305,15 @@ type CaseResult struct {
 	Expected kpi.Impact
 	Observed map[Algorithm]kpi.Impact
 	Outcomes map[Algorithm]Outcome
+	// Failures records the algorithms that could not produce a verdict
+	// on this case's (fault-corrupted) data, keyed to the same taxonomy
+	// the canonical assessment JSON carries. An algorithm appears in
+	// either Outcomes or Failures, never both. Nil on clean runs.
+	Failures map[Algorithm]core.Failure
 }
+
+// Degraded reports whether any algorithm failed to assess this case.
+func (c CaseResult) Degraded() bool { return len(c.Failures) > 0 }
 
 // SyntheticResult aggregates a synthetic-injection run.
 type SyntheticResult struct {
@@ -239,8 +358,12 @@ func RunSynthetic(cfg SyntheticConfig) (SyntheticResult, error) {
 	run := cfg.Obs.Child("synthetic-eval")
 	defer run.End()
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	ordinal := 0 // case position in the run-wide stream, for fault derivation
 	for _, sc := range Scenarios() {
 		n := cfg.CasesPerScenario[sc]
+		if n == 0 {
+			continue
+		}
 		scenarioScope := run.Child("scenario")
 		scenarioScope.SetAttr("scenario", sc.String())
 		scenarioScope.SetAttr("cases", n)
@@ -248,13 +371,16 @@ func RunSynthetic(cfg SyntheticConfig) (SyntheticResult, error) {
 		for i := 0; i < n; i++ {
 			region := cfg.Regions[i%len(cfg.Regions)]
 			metric := cfg.KPIs[(i/len(cfg.Regions))%len(cfg.KPIs)]
-			c, err := runSyntheticCase(net, caseAssessor, alpha, cfg, rng, sc, region, metric)
+			c, err := runSyntheticCase(net, caseAssessor, alpha, cfg, rng, sc, region, metric, ordinal)
+			ordinal++
 			if err != nil {
 				scenarioScope.End()
 				return SyntheticResult{}, fmt.Errorf("eval: scenario %v case %d: %w", sc, i, err)
 			}
 			for _, a := range Algorithms() {
-				res.Matrices[a].Add(c.Outcomes[a])
+				if o, ok := c.Outcomes[a]; ok {
+					res.Matrices[a].Add(o)
+				}
 			}
 			res.Cases = append(res.Cases, c)
 			scenarioScope.Counter(obs.Labeled(obs.MetricEvalCases, "scenario", sc.String())).Add(1)
@@ -268,7 +394,7 @@ func RunSynthetic(cfg SyntheticConfig) (SyntheticResult, error) {
 // active for Northeastern cases.
 var epoch = time.Date(2012, 6, 1, 0, 0, 0, 0, time.UTC)
 
-func runSyntheticCase(net *netsim.Network, assessor *core.Assessor, alpha float64, cfg SyntheticConfig, rng *rand.Rand, sc Scenario, region netsim.Region, metric kpi.KPI) (CaseResult, error) {
+func runSyntheticCase(net *netsim.Network, assessor *core.Assessor, alpha float64, cfg SyntheticConfig, rng *rand.Rand, sc Scenario, region netsim.Region, metric kpi.KPI, ordinal int) (CaseResult, error) {
 	// Pick a study NodeB in the region and its topological control group
 	// (siblings under the same RNC, §4.2).
 	towers := net.Filter(func(e *netsim.Element) bool {
@@ -319,6 +445,8 @@ func runSyntheticCase(net *netsim.Network, assessor *core.Assessor, alpha float6
 	}
 	mag := (cfg.InjectLo + (cfg.InjectHi-cfg.InjectLo)*rng.Float64()) * dir
 	var studyQ, controlQ float64
+	var coupling map[string]float64
+	aggregateTruth := false // ground truth pinned to dir even when studyQ == 0
 	switch sc {
 	case InjectNone:
 	case InjectStudy:
@@ -329,6 +457,29 @@ func runSyntheticCase(net *netsim.Network, assessor *core.Assessor, alpha float6
 		studyQ, controlQ = mag, mag
 	case InjectBothDifferent:
 		studyQ, controlQ = mag, 2.2*mag
+	case InjectCongestionCoupled:
+		// The study element changes by mag; a distance-decayed share of
+		// that change bleeds into each sibling control through shared
+		// load. The controls did not change — ground truth remains the
+		// study injection — but the regression's forecast absorbs the
+		// leakage and the measured relative shift attenuates.
+		studyQ = mag
+		strength := cfg.CouplingLo + (cfg.CouplingHi-cfg.CouplingLo)*rng.Float64()
+		coupling = net.CouplingWeights(study, strength)
+		aggregateTruth = true
+	case InjectHeterogeneous:
+		// Per-element effect sizes are a mixture of nulls and responders
+		// with spread magnitudes; the ground truth is the mixture's
+		// aggregate direction, so nulls and weak responders are honest
+		// recall losses, not relabeled as no-impact.
+		if rng.Float64() < cfg.HetNullFraction {
+			studyQ = 0
+		} else {
+			studyQ = (cfg.HetLo + (cfg.HetHi-cfg.HetLo)*rng.Float64()) * dir
+		}
+		aggregateTruth = true
+	default:
+		return CaseResult{}, fmt.Errorf("eval: scenario %v not wired into runSyntheticCase", sc)
 	}
 	// Injections are representative of external-factor impact (§4.3), so
 	// they act through the same sensitivity-scaled channel: an element
@@ -338,6 +489,7 @@ func runSyntheticCase(net *netsim.Network, assessor *core.Assessor, alpha float6
 	if studyQ != 0 {
 		ef := gen.EffectOn("inject-study", []string{study}, changeAt, time.Time{}, studyQ)
 		ef.ScaleWithSensitivity = true
+		ef.Coupling = coupling
 		effects = append(effects, ef)
 	}
 	if controlQ != 0 {
@@ -369,37 +521,86 @@ func runSyntheticCase(net *netsim.Network, assessor *core.Assessor, alpha float6
 	studySeries := g.Series(study, metric)
 	controlPanel := g.Panel(metric, controls)
 
-	// Ground truth: the relative quality shift at the study group.
+	// Ground truth: the relative quality shift at the study group; the
+	// adversarial families pin it to the aggregate injected direction
+	// (a null responder is still a case the change "should" have moved).
 	relative := studyQ - controlQ
 	expected := kpi.NoImpact
 	if relative != 0 {
 		expected = kpi.ImpactOfShift(metric, signOf(relative))
 	}
+	if aggregateTruth {
+		expected = kpi.ImpactOfShift(metric, signOf(dir))
+	}
 
+	failures := map[Algorithm]core.Failure{}
+	if cfg.Faults.Active() {
+		// Corrupt the observed data the way production telemetry breaks,
+		// on a per-case stream derived from (fault seed, case ordinal).
+		// Injection happens on the world; faults happen on the
+		// observation of it — ground truth is untouched.
+		cf := cfg.Faults.Derive(uint64(ordinal))
+		if cf.DropsElement(study) {
+			for _, a := range Algorithms() {
+				failures[a] = core.Failure{Element: study, Reason: core.ReasonNoData, Detail: "study element dropped by fault injection"}
+			}
+			return CaseResult{
+				Scenario: sc, Region: region, KPI: metric, Expected: expected,
+				Observed: map[Algorithm]kpi.Impact{}, Outcomes: map[Algorithm]Outcome{},
+				Failures: failures,
+			}, nil
+		}
+		studySeries = cf.Series(study, studySeries)
+		kept := timeseries.NewPanel(controlPanel.Index())
+		for _, id := range controlPanel.IDs() {
+			if !cf.DropsElement(id) {
+				kept.Add(id, controlPanel.MustSeries(id))
+			}
+		}
+		controlPanel = cf.Panel(kept)
+	}
+
+	// record files an algorithm's verdict, or — under fault injection —
+	// its typed degradation. Unexpected errors still abort the run: on
+	// clean data the harness treats any failure as a bug.
 	observed := map[Algorithm]kpi.Impact{}
+	record := func(a Algorithm, imp kpi.Impact, err error) error {
+		if err != nil {
+			if cfg.Faults.Active() && core.IsDegradation(err) {
+				failures[a] = core.Failure{Element: study, Reason: core.ReasonOf(err), Detail: err.Error()}
+				return nil
+			}
+			return err
+		}
+		observed[a] = imp
+		return nil
+	}
 	so, err := core.StudyOnly(studySeries, changeAt, metric, alpha)
-	if err != nil {
+	if err := record(StudyOnlyAnalysis, applyFloor(so, cfg.EffectFloor), err); err != nil {
 		return CaseResult{}, err
 	}
-	observed[StudyOnlyAnalysis] = applyFloor(so, cfg.EffectFloor)
 	did, _, err := core.DiD(studySeries, controlPanel, changeAt, metric, alpha)
-	if err != nil {
+	if err := record(DifferenceInDifferences, applyFloor(did, cfg.EffectFloor), err); err != nil {
 		return CaseResult{}, err
 	}
-	observed[DifferenceInDifferences] = applyFloor(did, cfg.EffectFloor)
 	lit, err := assessor.AssessElement(study, studySeries, controlPanel, changeAt, metric)
-	if err != nil {
+	if err := record(LitmusRegression, lit.Impact, err); err != nil {
 		return CaseResult{}, err
 	}
-	observed[LitmusRegression] = lit.Impact
 
 	outcomes := map[Algorithm]Outcome{}
 	for _, a := range Algorithms() {
-		outcomes[a] = Label(expected, observed[a])
+		if imp, ok := observed[a]; ok {
+			outcomes[a] = Label(expected, imp)
+		}
+	}
+	if len(failures) == 0 {
+		failures = nil
 	}
 	return CaseResult{
 		Scenario: sc, Region: region, KPI: metric,
 		Expected: expected, Observed: observed, Outcomes: outcomes,
+		Failures: failures,
 	}, nil
 }
 

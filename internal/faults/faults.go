@@ -158,6 +158,27 @@ func clampRate(r float64) float64 {
 	return r
 }
 
+// Derive returns a copy of the set whose seed is derived from (seed, n)
+// with the engine's splitmix64 finalizer — the per-case derivation the
+// evaluation harness uses so consecutive cases draw independent fault
+// streams while the whole sweep stays a pure function of the base seed.
+// Deriving from a nil set returns nil.
+func (s *Set) Derive(n uint64) *Set {
+	if s == nil {
+		return nil
+	}
+	z := splitmix64(splitmix64(uint64(s.seed)) ^ splitmix64(n))
+	return &Set{seed: int64(z &^ (1 << 63)), rates: s.rates}
+}
+
+// Rate returns the configured intensity of kind (0 when disabled or nil).
+func (s *Set) Rate(k Kind) float64 {
+	if s == nil {
+		return 0
+	}
+	return s.rates[k]
+}
+
 // Active reports whether the set injects anything; false for nil.
 func (s *Set) Active() bool { return s != nil && len(s.rates) > 0 }
 

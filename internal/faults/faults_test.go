@@ -363,6 +363,48 @@ func TestDropsElementRate(t *testing.T) {
 	}
 }
 
+func TestDerive(t *testing.T) {
+	s := New(42, 0.3, Missing, Gap)
+	a := s.Derive(7)
+	b := s.Derive(7)
+	if a.seed != b.seed {
+		t.Errorf("Derive(7) not deterministic: %d vs %d", a.seed, b.seed)
+	}
+	if !reflect.DeepEqual(a.rates, s.rates) {
+		t.Errorf("Derive changed rates: %v vs %v", a.rates, s.rates)
+	}
+	if a.seed < 0 {
+		t.Errorf("derived seed %d negative", a.seed)
+	}
+	// Distinct ordinals must decorrelate the streams: the same element
+	// sees different corruption positions across derived sets.
+	base := testSeries(200).Values
+	id := affectedID(t, a, Missing)
+	ma := corruptionMask(base, a.Series(id, testSeries(200)).Values)
+	distinct := false
+	for n := uint64(8); n < 200 && !distinct; n++ {
+		d := s.Derive(n)
+		if !d.affected(Missing, id) {
+			continue
+		}
+		m := corruptionMask(base, d.Series(id, testSeries(200)).Values)
+		distinct = !reflect.DeepEqual(ma, m)
+	}
+	if !distinct {
+		t.Error("derived streams identical across ordinals")
+	}
+	var nilSet *Set
+	if nilSet.Derive(3) != nil {
+		t.Error("nil Set must derive to nil")
+	}
+	if got := s.Rate(Missing); got != 0.3 {
+		t.Errorf("Rate(Missing) = %v, want 0.3", got)
+	}
+	if got := nilSet.Rate(Missing); got != 0 {
+		t.Errorf("nil Rate = %v, want 0", got)
+	}
+}
+
 func FuzzParseSpec(f *testing.F) {
 	f.Add("gap", int64(1), 0.1)
 	f.Add("all", int64(0), 0.0)

@@ -57,6 +57,25 @@ type Effect struct {
 	// channel as external factors (an element that reacts strongly to
 	// weather also reacts strongly to an interference-reducing feature).
 	ScaleWithSensitivity bool
+	// Coupling bleeds a fraction of the effect into elements it does NOT
+	// apply to: each entry maps an element ID to the share of Quality
+	// (and of any load multiplier) that element receives through shared
+	// load — congestion interference between a changed element and its
+	// topological neighbors. Elements the effect applies to directly
+	// always receive the full effect; Coupling entries for them are
+	// ignored. netsim.CouplingWeights builds distance-decayed weights for
+	// an element's siblings.
+	Coupling map[string]float64
+}
+
+// shareFor returns the fraction of the effect element e receives: 1 when
+// the effect applies directly, the coupling weight when e is a coupled
+// neighbor, 0 otherwise.
+func (ef Effect) shareFor(e *netsim.Element) float64 {
+	if ef.AppliesTo(e) {
+		return 1
+	}
+	return ef.Coupling[e.ID]
 }
 
 // AppliesTo reports whether the effect covers element e.

@@ -242,7 +242,8 @@ func (g *Generator) Counters(id string) []kpi.Counters {
 		loadMult := g.cfg.Factors.LoadMultiplier(e, t)
 		quality := 0.0
 		for _, ef := range g.cfg.Effects {
-			if !ef.AppliesTo(e) {
+			share := ef.shareFor(e)
+			if share == 0 {
 				continue
 			}
 			w := ef.weightAt(t, g.cfg.Index.End())
@@ -253,9 +254,19 @@ func (g *Generator) Counters(id string) []kpi.Counters {
 			if ef.ScaleWithSensitivity {
 				q *= sens
 			}
+			if share != 1 {
+				// Coupled neighbor: the effect arrives attenuated. The
+				// share == 1 direct path keeps the exact pre-coupling
+				// arithmetic, so worlds without Coupling are bit-identical.
+				q *= share
+			}
 			quality += q * w
 			if ef.LoadMult > 0 {
-				loadMult *= 1 + (ef.LoadMult-1)*w
+				lw := w
+				if share != 1 {
+					lw = w * share
+				}
+				loadMult *= 1 + (ef.LoadMult-1)*lw
 			}
 		}
 		loadMult *= 1 + 0.04*rng.NormFloat64()

@@ -356,6 +356,85 @@ func TestEffectAppliesToAndWeight(t *testing.T) {
 	}
 }
 
+func TestEffectCouplingBleedsIntoNeighbors(t *testing.T) {
+	net := testNetwork()
+	id := net.OfKind(netsim.NodeB)[6]
+	sibs := net.Siblings(id)
+	coupled, uncoupled := sibs[0], sibs[1]
+	ix := dailyIndex(28)
+	changeAt := epoch.Add(14 * 24 * time.Hour)
+
+	base := New(net, DefaultConfig(ix))
+	cfg := DefaultConfig(ix)
+	ef := EffectOn("congestion", []string{id}, changeAt, time.Time{}, -2)
+	ef.Coupling = map[string]float64{coupled: 0.5}
+	cfg.Effects = []Effect{ef}
+	g := New(net, cfg)
+
+	drop := func(g *Generator, el string) float64 {
+		s := g.Series(el, kpi.VoiceRetainability)
+		b, a := s.SplitAt(changeAt)
+		return stats.Mean(b.Values) - stats.Mean(a.Values)
+	}
+	studyDrop := drop(g, id) - drop(base, id)
+	coupledDrop := drop(g, coupled) - drop(base, coupled)
+	if coupledDrop < 0.003 {
+		t.Errorf("coupled sibling drop = %v, want visible bleed", coupledDrop)
+	}
+	if coupledDrop >= studyDrop {
+		t.Errorf("coupled sibling drop %v not below study drop %v", coupledDrop, studyDrop)
+	}
+	// Elements outside the coupling map are untouched, bit for bit.
+	s1 := base.Series(uncoupled, kpi.VoiceRetainability)
+	s2 := g.Series(uncoupled, kpi.VoiceRetainability)
+	for i := range s1.Values {
+		if s1.Values[i] != s2.Values[i] {
+			t.Fatalf("uncoupled sibling series differ at %d", i)
+		}
+	}
+	// Directly covered elements take the full effect regardless of the
+	// coupling map — same arithmetic as an uncoupled effect.
+	cfgPlain := DefaultConfig(ix)
+	cfgPlain.Effects = []Effect{EffectOn("congestion", []string{id}, changeAt, time.Time{}, -2)}
+	plain := New(net, cfgPlain)
+	p1 := plain.Series(id, kpi.VoiceRetainability)
+	p2 := g.Series(id, kpi.VoiceRetainability)
+	for i := range p1.Values {
+		if p1.Values[i] != p2.Values[i] {
+			t.Fatalf("study series changed by adding a coupling map at %d", i)
+		}
+	}
+}
+
+func TestEffectCouplingScalesLoad(t *testing.T) {
+	net := testNetwork()
+	id := net.OfKind(netsim.NodeB)[7]
+	sib := net.Siblings(id)[0]
+	ix := dailyIndex(20)
+	evStart := epoch.Add(10 * 24 * time.Hour)
+	cfg := DefaultConfig(ix)
+	cfg.Effects = []Effect{{
+		Label: "event", Elements: map[string]bool{id: true},
+		Start: evStart, LoadMult: 3,
+		Coupling: map[string]float64{sib: 0.5},
+	}}
+	g := New(net, cfg)
+	base := New(net, DefaultConfig(ix))
+	gain := func(g *Generator, el string) float64 {
+		s := g.Series(el, kpi.VoiceCallVolume)
+		b, a := s.SplitAt(evStart)
+		return stats.Mean(a.Values) / stats.Mean(b.Values)
+	}
+	sibGain := gain(g, sib) / gain(base, sib)
+	idGain := gain(g, id) / gain(base, id)
+	if sibGain < 1.2 {
+		t.Errorf("coupled sibling load gain = %v, want partial spillover", sibGain)
+	}
+	if sibGain >= idGain {
+		t.Errorf("coupled load gain %v not below direct gain %v", sibGain, idGain)
+	}
+}
+
 func TestGeneratorAccessors(t *testing.T) {
 	net := testNetwork()
 	ix := dailyIndex(5)

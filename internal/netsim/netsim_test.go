@@ -212,6 +212,64 @@ func TestSiblingsAndSameZip(t *testing.T) {
 	}
 }
 
+func TestCouplingWeights(t *testing.T) {
+	net := Build(DefaultTopologyConfig())
+	nbs := net.OfKind(NodeB)
+	study := nbs[0]
+	w := net.CouplingWeights(study, 0.6)
+	sibs := net.Siblings(study)
+	if len(w) != len(sibs) {
+		t.Fatalf("coupling covers %d elements, want all %d siblings", len(w), len(sibs))
+	}
+	center := net.MustElement(study).Location
+	for _, s := range sibs {
+		ws, ok := w[s]
+		if !ok {
+			t.Fatalf("sibling %q missing from coupling map", s)
+		}
+		if ws <= 0 || ws > 0.6 {
+			t.Errorf("weight for %q = %v, want in (0, strength]", s, ws)
+		}
+	}
+	// Weights decay with distance: the nearest sibling couples at least as
+	// strongly as the farthest.
+	near, far := sibs[0], sibs[0]
+	for _, s := range sibs[1:] {
+		d := DistanceKm(center, net.MustElement(s).Location)
+		if d < DistanceKm(center, net.MustElement(near).Location) {
+			near = s
+		}
+		if d > DistanceKm(center, net.MustElement(far).Location) {
+			far = s
+		}
+	}
+	if w[near] < w[far] {
+		t.Errorf("near sibling weight %v below far sibling weight %v", w[near], w[far])
+	}
+	// Strength scales linearly and clamps to [0, 1].
+	w2 := net.CouplingWeights(study, 0.3)
+	if math.Abs(w2[near]-w[near]/2) > 1e-12 {
+		t.Errorf("strength 0.3 weight %v not half of strength 0.6 weight %v", w2[near], w[near])
+	}
+	if over := net.CouplingWeights(study, 5); over[near] > 1 {
+		t.Errorf("weight %v exceeds 1 despite clamping", over[near])
+	}
+	if net.CouplingWeights(study, 0) != nil {
+		t.Error("strength 0 must yield no coupling")
+	}
+	// Core elements have no siblings, hence no coupling.
+	if net.CouplingWeights(net.OfKind(MSC)[0], 0.5) != nil {
+		t.Error("element without siblings must yield no coupling")
+	}
+	// Determinism: identical calls yield identical maps.
+	w3 := net.CouplingWeights(study, 0.6)
+	for k, v := range w {
+		if w3[k] != v {
+			t.Errorf("coupling weight for %q differs across calls: %v vs %v", k, v, w3[k])
+		}
+	}
+}
+
 func TestWithinKmSorted(t *testing.T) {
 	net := Build(DefaultTopologyConfig())
 	nbs := net.OfKind(NodeB)

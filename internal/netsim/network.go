@@ -185,6 +185,54 @@ func (n *Network) Siblings(id string) []string {
 	return out
 }
 
+// CouplingWeights models shared-load interference around a change at id:
+// for every sibling (the topological control-group predicate), the
+// fraction of the change's latent quality effect that bleeds into that
+// sibling through shared congestion — users and traffic displaced by the
+// change redistribute onto nearby co-parented towers, so a study-group
+// injection leaks into exactly the elements the control regression
+// treats as independent ("Unbiased Experiments in Congested Networks":
+// interference makes the control group absorb part of the treatment).
+//
+// strength is the fraction received by a hypothetical zero-distance
+// sibling; the fraction decays gently with geographic distance on the
+// scale of twice the mean sibling distance, w = strength · d0/(d0+d)
+// with d0 = 2·mean — towers sharing an RNC also share backhaul and
+// overlapping coverage, so even the far siblings keep most of the
+// coupling. Weights are clamped to [0, 1] and the result is
+// deterministic in the topology. Siblings at unknown coordinates
+// (mean distance 0) all receive the full clamped strength.
+func (n *Network) CouplingWeights(id string, strength float64) map[string]float64 {
+	sibs := n.Siblings(id)
+	if len(sibs) == 0 || strength == 0 {
+		return nil
+	}
+	if strength < 0 {
+		strength = 0
+	}
+	if strength > 1 {
+		strength = 1
+	}
+	center := n.MustElement(id)
+	dists := make([]float64, len(sibs))
+	var mean float64
+	for i, sid := range sibs {
+		dists[i] = DistanceKm(center.Location, n.elements[sid].Location)
+		mean += dists[i]
+	}
+	mean /= float64(len(sibs))
+	out := make(map[string]float64, len(sibs))
+	for i, sid := range sibs {
+		w := strength
+		if mean > 0 {
+			d0 := 2 * mean
+			w = strength * d0 / (d0 + dists[i])
+		}
+		out[sid] = w
+	}
+	return out
+}
+
 // SameZip returns the IDs of same-kind elements sharing id's zip code
 // (excluding id) — the paper's geographic predicate for LTE (§4.2).
 func (n *Network) SameZip(id string) []string {

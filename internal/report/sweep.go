@@ -1,0 +1,62 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/eval"
+)
+
+// WriteSweepTable renders a fault sweep as one block per corruption
+// rate: a row per scenario family (plus the aggregate), with each
+// algorithm's accuracy, false-positive rate, false-negative rate and
+// degraded fraction.
+func WriteSweepTable(w io.Writer, res eval.SweepResult) error {
+	if _, err := fmt.Fprintf(w, "Fault sweep — spec %q, fault seed %d, %d cases per rate\n",
+		res.FaultSpec, res.FaultSeed, res.CasesPerRate); err != nil {
+		return err
+	}
+	groups := []struct {
+		name string
+		get  func(eval.SweepCell) eval.CellMetrics
+	}{
+		{"Study Group Only", func(c eval.SweepCell) eval.CellMetrics { return c.StudyOnly }},
+		{"Diff in Differences", func(c eval.SweepCell) eval.CellMetrics { return c.DiD }},
+		{"Litmus", func(c eval.SweepCell) eval.CellMetrics { return c.Litmus }},
+	}
+	for _, rate := range res.Rates {
+		var cells []eval.SweepCell
+		for _, c := range res.Cells {
+			if c.FaultRate == rate {
+				cells = append(cells, c)
+			}
+		}
+		if len(cells) == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "\nFault rate %g\n", rate); err != nil {
+			return err
+		}
+		top := fmt.Sprintf("%-22s %6s", "", "")
+		head := fmt.Sprintf("%-22s %6s", "scenario", "cases")
+		for _, g := range groups {
+			top += fmt.Sprintf(" | %-31s", g.name)
+			head += fmt.Sprintf(" | %7s %7s %7s %7s", "acc", "fpr", "fnr", "deg")
+		}
+		lines := []string{top, head, strings.Repeat("-", len(head))}
+		for _, c := range cells {
+			line := fmt.Sprintf("%-22s %6d", c.Scenario, c.Cases)
+			for _, g := range groups {
+				m := g.get(c)
+				line += fmt.Sprintf(" | %6.2f%% %6.2f%% %6.2f%% %6.2f%%",
+					100*m.Accuracy, 100*m.FPR, 100*m.FNR, 100*m.DegradedFraction)
+			}
+			lines = append(lines, line)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(lines, "\n")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
