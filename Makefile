@@ -93,8 +93,11 @@ bench-json:
 # scenario through the typed client and asserts the decision (and exact
 # bytes) match testdata/golden_assessment.json, then SIGTERMs and
 # requires a clean drain.
+# The smoke run records flight segments into flight-smoke/ (decoded and
+# asserted by the test itself, uploaded as a CI artifact) — inspect a
+# local run with `go run ./cmd/litmus-rec -dir flight-smoke`.
 serve-smoke:
-	LITMUS_SERVE_SMOKE=1 $(GO) test -run TestServeSmoke -count=1 -v ./cmd/litmus-serve
+	LITMUS_SERVE_SMOKE=1 LITMUS_SERVE_SMOKE_FLIGHT_DIR=$(CURDIR)/flight-smoke $(GO) test -run TestServeSmoke -count=1 -v ./cmd/litmus-serve
 
 # Serving-layer latency/throughput snapshot (p50/p90/p99, jobs/sec,
 # cache hit counters) — the BENCH_4.json artifact CI uploads.

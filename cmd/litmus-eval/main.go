@@ -23,6 +23,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
@@ -33,6 +34,11 @@ import (
 	"repro/internal/obscli"
 	"repro/internal/report"
 )
+
+// logger carries the command's structured diagnostics (stderr); the
+// evaluation tables stay on stdout. Initialized from
+// -log-format/-log-level.
+var logger *slog.Logger
 
 // options holds the parsed command line. Flag registration is split from
 // main so tests can drive parsing and validation on a private FlagSet.
@@ -120,7 +126,14 @@ func parseRates(s string) ([]float64, error) {
 func main() {
 	o := registerOptions(flag.CommandLine)
 	obsFlags := obscli.Register()
+	logFlags := obscli.RegisterLog("text")
 	flag.Parse()
+	var err error
+	logger, err = logFlags.Logger("litmus-eval")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "litmus-eval:", err)
+		os.Exit(2)
+	}
 	if err := o.validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "litmus-eval:", err)
 		os.Exit(2)
@@ -129,6 +142,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	logger.Debug("starting", "table", o.table, "scale", o.scale, "sweep", o.sweep)
 
 	switch {
 	case o.ablation:
@@ -254,6 +268,6 @@ func runTable4(scale float64, workers int, scope *obs.Scope) {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "litmus-eval:", err)
+	logger.Error(err.Error())
 	os.Exit(1)
 }

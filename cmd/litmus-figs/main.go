@@ -12,12 +12,19 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 
 	"repro/internal/figures"
+	"repro/internal/obscli"
 	"repro/internal/report"
 )
+
+// logger carries the command's structured diagnostics (stderr); figure
+// summaries and CSVs stay on stdout and disk. Initialized from
+// -log-format/-log-level.
+var logger *slog.Logger
 
 func main() {
 	var (
@@ -25,7 +32,14 @@ func main() {
 		csvDir = flag.String("csv", "", "write CSV files to this directory instead of printing summaries")
 		seed   = flag.Int64("seed", 0, "world seed (0 = default)")
 	)
+	logFlags := obscli.RegisterLog("text")
 	flag.Parse()
+	var err error
+	logger, err = logFlags.Logger("litmus-figs")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "litmus-figs:", err)
+		os.Exit(2)
+	}
 
 	cfg := figures.DefaultConfig()
 	if *seed != 0 {
@@ -79,6 +93,6 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "litmus-figs:", err)
+	logger.Error(err.Error())
 	os.Exit(1)
 }

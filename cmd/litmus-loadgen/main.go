@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
@@ -29,9 +30,14 @@ import (
 
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/obscli"
 	"repro/internal/serve"
 	"repro/internal/serve/client"
 )
+
+// logger carries the command's structured diagnostics (stderr); the
+// report JSON stays on stdout. Initialized from -log-format/-log-level.
+var logger *slog.Logger
 
 func main() {
 	var (
@@ -43,7 +49,14 @@ func main() {
 		sWorkers = flag.Int("server-workers", 4, "in-process server: assessment workers")
 		sQueue   = flag.Int("server-queue", 64, "in-process server: queue depth")
 	)
+	logFlags := obscli.RegisterLog("text")
 	flag.Parse()
+	var err error
+	logger, err = logFlags.Logger("litmus-loadgen")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "litmus-loadgen:", err)
+		os.Exit(2)
+	}
 	if *n <= 0 || *c <= 0 || *dup < 0 || *dup >= 1 {
 		fatalf("need -n > 0, -c > 0 and -dup in [0, 1)")
 	}
@@ -66,8 +79,7 @@ func main() {
 			_ = s.Shutdown(ctx)
 		}()
 		baseURL = "http://" + ln.Addr().String()
-		fmt.Fprintf(os.Stderr, "litmus-loadgen: in-process server on %s (%d workers, queue %d)\n",
-			baseURL, *sWorkers, *sQueue)
+		logger.Info("in-process server started", "url", baseURL, "workers", *sWorkers, "queue", *sQueue)
 	}
 
 	cl := client.New(baseURL, nil)
@@ -103,7 +115,7 @@ func main() {
 				req := goldenStyleRequest(seeds[i])
 				t0 := time.Now()
 				if _, err := cl.Assess(ctx, req); err != nil {
-					fmt.Fprintf(os.Stderr, "litmus-loadgen: request %d: %v\n", i, err)
+					logger.Warn("request failed", "request", i, "error", err.Error())
 					failures.Add(1)
 					continue
 				}
@@ -169,7 +181,7 @@ func main() {
 		fatalf("writing %s: %v", *out, err)
 	}
 	fmt.Printf("%s", payload)
-	fmt.Fprintf(os.Stderr, "litmus-loadgen: wrote %s\n", *out)
+	logger.Info("report written", "path", *out, "failures", failures.Load())
 	if failures.Load() > 0 {
 		os.Exit(1)
 	}
@@ -219,6 +231,6 @@ func quantile(sorted []float64, q float64) float64 {
 func round3(v float64) float64 { return math.Round(v*1000) / 1000 }
 
 func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "litmus-loadgen: "+format+"\n", args...)
+	logger.Error(fmt.Sprintf(format, args...))
 	os.Exit(1)
 }

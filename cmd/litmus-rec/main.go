@@ -1,0 +1,103 @@
+// Command litmus-rec decodes flight-recorder segments (the rotating
+// binary files litmus-serve writes under -flight-dir) and renders them
+// for humans: an overview of the recording, per-metric sparkline
+// timelines, and a long-form CSV dump for plotting. See
+// internal/obs/flightrec for the segment format.
+//
+// Usage:
+//
+//	litmus-rec -dir flight                     # summary + timelines
+//	litmus-rec -dir flight -metric litmus_jobs_completed_total
+//	litmus-rec -dir flight -csv > flight.csv   # timestamp,metric,kind,value
+//	litmus-rec flight/flight-00000001.frec     # specific segment files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"strings"
+
+	"repro/internal/obs/flightrec"
+	"repro/internal/obscli"
+	"repro/internal/report"
+)
+
+// logger carries the command's structured diagnostics (stderr); decoded
+// output stays on stdout. Initialized from -log-format/-log-level.
+var logger *slog.Logger
+
+func main() {
+	var (
+		dir     = flag.String("dir", "", `segment directory (default "flight" when no files are given)`)
+		metrics = flag.String("metric", "", "comma-separated metric names to render (empty = all)")
+		csvOut  = flag.Bool("csv", false, "dump the recording as CSV on stdout instead of tables")
+		width   = flag.Int("width", 72, "sparkline width in characters")
+	)
+	logFlags := obscli.RegisterLog("text")
+	flag.Parse()
+	var err error
+	logger, err = logFlags.Logger("litmus-rec")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "litmus-rec:", err)
+		os.Exit(2)
+	}
+
+	segs, err := loadSegments(*dir, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+
+	var names []string
+	if *metrics != "" {
+		for _, n := range strings.Split(*metrics, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+
+	if *csvOut {
+		if err := report.WriteFlightCSV(os.Stdout, segs, names); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := report.WriteFlightSummary(os.Stdout, segs); err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	if err := report.WriteFlightTimeline(os.Stdout, segs, names, *width); err != nil {
+		fatal(err)
+	}
+}
+
+// loadSegments decodes either the explicitly named segment files (in the
+// given order) or every segment in dir, oldest first. Passing both is a
+// usage error; passing neither reads the litmus-serve default "flight".
+func loadSegments(dir string, files []string) ([]*flightrec.Segment, error) {
+	if dir != "" && len(files) > 0 {
+		return nil, fmt.Errorf("pass -dir or segment files, not both")
+	}
+	if len(files) == 0 {
+		if dir == "" {
+			dir = "flight"
+		}
+		return flightrec.DecodeDir(dir)
+	}
+	segs := make([]*flightrec.Segment, 0, len(files))
+	for _, f := range files {
+		seg, err := flightrec.DecodeFile(f)
+		if err != nil {
+			return nil, err
+		}
+		segs = append(segs, seg)
+	}
+	return segs, nil
+}
+
+func fatal(err error) {
+	logger.Error(err.Error())
+	os.Exit(1)
+}

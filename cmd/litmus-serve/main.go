@@ -9,7 +9,12 @@
 //
 // Flags tune the queue depth, worker count, result-cache size, per-job
 // timeout and 429 Retry-After hint; -pprof mounts /debug/pprof on the
-// same listener. The effective listen address is printed on stdout as
+// same listener. -flight-record turns on the flight recorder: the full
+// metrics registry is snapshotted every -flight-interval into rotating
+// binary segments under -flight-dir (decode them with litmus-rec).
+// Diagnostics are structured log/slog records on stderr — JSON by
+// default, -log-format text for human reading. The effective listen
+// address is printed on stdout as
 //
 //	litmus-serve: listening on http://127.0.0.1:8080
 //
@@ -21,6 +26,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -28,21 +34,33 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs/flightrec"
+	"repro/internal/obscli"
 	"repro/internal/serve"
 )
 
 func main() {
 	var (
-		addr         = flag.String("addr", ":8080", "listen address (use 127.0.0.1:0 for an ephemeral port)")
-		queueDepth   = flag.Int("queue", 0, "submission queue depth (0 = default 64)")
-		workers      = flag.Int("workers", 0, "concurrent assessment jobs (0 = default 2)")
-		cacheSize    = flag.Int("cache", 0, "result cache size in entries (0 = default 256)")
-		jobTimeout   = flag.Duration("job-timeout", 0, "per-job execution deadline (0 = default 5m)")
-		retryAfter   = flag.Duration("retry-after", 0, "backoff hint sent with 429 responses (0 = default 1s)")
-		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
-		enablePprof  = flag.Bool("pprof", false, "mount /debug/pprof on the service listener")
+		addr           = flag.String("addr", ":8080", "listen address (use 127.0.0.1:0 for an ephemeral port)")
+		queueDepth     = flag.Int("queue", 0, "submission queue depth (0 = default 64)")
+		workers        = flag.Int("workers", 0, "concurrent assessment jobs (0 = default 2)")
+		cacheSize      = flag.Int("cache", 0, "result cache size in entries (0 = default 256)")
+		jobTimeout     = flag.Duration("job-timeout", 0, "per-job execution deadline (0 = default 5m)")
+		retryAfter     = flag.Duration("retry-after", 0, "backoff hint sent with 429 responses (0 = default 1s)")
+		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
+		enablePprof    = flag.Bool("pprof", false, "mount /debug/pprof on the service listener")
+		flightRecord   = flag.Bool("flight-record", false, "snapshot the metrics registry into rotating binary segments")
+		flightDir      = flag.String("flight-dir", "flight", "flight-recorder segment directory")
+		flightInterval = flag.Duration("flight-interval", 0, "flight-recorder snapshot interval (0 = default 1s)")
 	)
+	logFlags := obscli.RegisterLog("json")
 	flag.Parse()
+
+	log, err := logFlags.Logger("litmus-serve")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "litmus-serve:", err)
+		os.Exit(2)
+	}
 
 	s := serve.New(serve.Config{
 		QueueDepth:  *queueDepth,
@@ -51,14 +69,28 @@ func main() {
 		JobTimeout:  *jobTimeout,
 		RetryAfter:  *retryAfter,
 		EnablePprof: *enablePprof,
+		Logger:      log,
 	})
+
+	var rec *flightrec.Recorder
+	if *flightRecord {
+		rec, err = flightrec.New(s.Registry(), flightrec.Options{Dir: *flightDir, Interval: *flightInterval})
+		if err != nil {
+			fatal(log, "starting flight recorder", err)
+		}
+		rec.Start()
+		log.Info("flight recorder started", "dir", rec.Dir(), "interval", rec.Interval().String())
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fatalf("listen: %v", err)
+		fatal(log, "listen", err)
 	}
 	httpServer := &http.Server{Handler: s.Handler()}
+	// The listen address is program output (smoke tests and scripts parse
+	// it), not a diagnostic: it stays on stdout in a fixed format.
 	fmt.Printf("litmus-serve: listening on http://%s\n", ln.Addr())
+	log.Info("serving", "addr", ln.Addr().String(), "flightRecord", *flightRecord)
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpServer.Serve(ln) }()
@@ -67,9 +99,9 @@ func main() {
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		fmt.Fprintf(os.Stderr, "litmus-serve: %s — draining (timeout %s)\n", sig, *drainTimeout)
+		log.Info("draining", "signal", sig.String(), "timeout", drainTimeout.String())
 	case err := <-errc:
-		fatalf("serving: %v", err)
+		fatal(log, "serving", err)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
@@ -78,16 +110,25 @@ func main() {
 	// and in-flight assessments finish unless the drain timeout expires,
 	// at which point their contexts are canceled.
 	if err := httpServer.Shutdown(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "litmus-serve: http shutdown: %v\n", err)
+		log.Error("http shutdown", "error", err.Error())
 	}
-	if err := s.Shutdown(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "litmus-serve: drain incomplete: %v\n", err)
-		os.Exit(1)
+	drainErr := s.Shutdown(ctx)
+	if rec != nil {
+		// Closed after the drain so the final sample records the drained
+		// state; Close itself appends that last snapshot.
+		if err := rec.Close(); err != nil {
+			log.Error("closing flight recorder", "error", err.Error())
+		} else {
+			log.Info("flight recorder closed", "samples", rec.Samples(), "dir", rec.Dir())
+		}
 	}
-	fmt.Fprintln(os.Stderr, "litmus-serve: drained cleanly")
+	if drainErr != nil {
+		fatal(log, "drain incomplete", drainErr)
+	}
+	log.Info("drained cleanly")
 }
 
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "litmus-serve: "+format+"\n", args...)
+func fatal(log *slog.Logger, msg string, err error) {
+	log.Error(msg, "error", err.Error())
 	os.Exit(1)
 }

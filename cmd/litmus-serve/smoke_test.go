@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/obs/flightrec"
 	"repro/internal/serve"
 	"repro/internal/serve/client"
 )
@@ -39,7 +40,18 @@ func TestServeSmoke(t *testing.T) {
 		t.Fatalf("building litmus-serve: %v\n%s", err, out)
 	}
 
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "2")
+	// The recording survives in LITMUS_SERVE_SMOKE_FLIGHT_DIR when set
+	// (CI uploads it as an artifact); otherwise it lives and dies with
+	// the test.
+	flightDir := os.Getenv("LITMUS_SERVE_SMOKE_FLIGHT_DIR")
+	if flightDir == "" {
+		flightDir = filepath.Join(t.TempDir(), "flight")
+	} else if err := os.RemoveAll(flightDir); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "2",
+		"-flight-record", "-flight-dir", flightDir, "-flight-interval", "100ms")
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -107,7 +119,51 @@ func TestServeSmoke(t *testing.T) {
 			t.Errorf("litmus-serve exited uncleanly after SIGTERM: %v", err)
 		}
 	case <-time.After(30 * time.Second):
-		t.Error("litmus-serve did not exit within 30s of SIGTERM")
+		t.Fatal("litmus-serve did not exit within 30s of SIGTERM")
+	}
+
+	// The drained process left a decodable flight recording behind, with
+	// at least one sample for every metric the workload must have moved.
+	segs, err := flightrec.DecodeDir(flightDir)
+	if err != nil {
+		t.Fatalf("decoding flight recording: %v", err)
+	}
+	samplesPerBase := map[string]int{}
+	for _, s := range flightrec.Samples(segs) {
+		for _, p := range s.Points {
+			base := p.Name
+			if i := strings.IndexByte(base, '{'); i >= 0 {
+				base = base[:i]
+			}
+			samplesPerBase[base]++
+		}
+	}
+	for _, base := range []string{
+		"litmus_http_requests_total",
+		"litmus_cache_misses_total",
+		"litmus_jobs_total",
+		"litmus_job_seconds",
+		"litmus_job_queue_seconds",
+		"litmus_job_run_seconds",
+	} {
+		if samplesPerBase[base] < 1 {
+			t.Errorf("flight recording has no samples of %s; recorded bases: %v", base, samplesPerBase)
+		}
+	}
+
+	// litmus-rec, the operator's decoder, renders the same recording.
+	recBin := filepath.Join(t.TempDir(), "litmus-rec")
+	if out, err := exec.Command("go", "build", "-o", recBin, "../litmus-rec").CombinedOutput(); err != nil {
+		t.Fatalf("building litmus-rec: %v\n%s", err, out)
+	}
+	out, err := exec.Command(recBin, "-dir", flightDir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("litmus-rec: %v\n%s", err, out)
+	}
+	for _, want := range []string{"Flight recording —", "litmus_jobs_total", "litmus_job_run_seconds"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("litmus-rec output lacks %q:\n%s", want, out)
+		}
 	}
 }
 

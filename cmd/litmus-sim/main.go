@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"math"
 	"os"
 	"path/filepath"
@@ -30,6 +31,10 @@ import (
 	"repro/internal/obscli"
 	"repro/internal/timeseries"
 )
+
+// logger carries the command's structured diagnostics (stderr); the
+// dataset summary stays on stdout. Initialized from -log-format/-log-level.
+var logger *slog.Logger
 
 func main() {
 	var (
@@ -47,7 +52,14 @@ func main() {
 		faultRate = flag.Float64("fault-rate", 0, "default rate for -faults entries without an explicit rate (0 = "+fmt.Sprint(faults.DefaultRate)+")")
 	)
 	obsFlags := obscli.Register()
+	logFlags := obscli.RegisterLog("text")
 	flag.Parse()
+	var err error
+	logger, err = logFlags.Logger("litmus-sim")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "litmus-sim:", err)
+		os.Exit(2)
+	}
 	scope, err := obsFlags.Scope("litmus-sim")
 	if err != nil {
 		fatalf("%v", err)
@@ -211,6 +223,6 @@ func writeSeriesCSV(path string, ix timeseries.Index, cols map[string][]float64,
 }
 
 func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "litmus-sim: "+format+"\n", args...)
+	logger.Error(fmt.Sprintf(format, args...))
 	os.Exit(1)
 }

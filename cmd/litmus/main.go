@@ -24,6 +24,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
@@ -34,6 +35,10 @@ import (
 
 	litmus "repro"
 )
+
+// logger carries the command's structured diagnostics (stderr); program
+// output stays on stdout. Initialized from -log-format/-log-level.
+var logger *slog.Logger
 
 func main() {
 	var (
@@ -52,7 +57,14 @@ func main() {
 		faultRate    = flag.Float64("fault-rate", 0, "default rate for -faults entries without an explicit rate (0 = "+fmt.Sprint(faults.DefaultRate)+")")
 	)
 	obsFlags := obscli.Register()
+	logFlags := obscli.RegisterLog("text")
 	flag.Parse()
+	var err error
+	logger, err = logFlags.Logger("litmus")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "litmus:", err)
+		os.Exit(2)
+	}
 	if *studyPath == "" || *controlsPath == "" || *changeStr == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -159,6 +171,6 @@ func main() {
 }
 
 func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "litmus: "+format+"\n", args...)
+	logger.Error(fmt.Sprintf(format, args...))
 	os.Exit(1)
 }

@@ -23,6 +23,8 @@ import (
 	"repro/internal/gen"
 	"repro/internal/kpi"
 	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/obs/flightrec"
 	"repro/internal/timeseries"
 )
 
@@ -163,6 +165,66 @@ func TestAssessChangeInstrumentedEquivalence(t *testing.T) {
 			if len(snap) == 0 {
 				t.Errorf("workers=%d: instrumented run recorded no metrics", workers)
 			}
+		}
+	}
+}
+
+// TestAssessChangeFlightRecordedEquivalence extends the instrumented
+// gate to the flight recorder: an assessment whose registry is being
+// concurrently snapshotted to disk must still serialize to the committed
+// golden fixture at every worker count — the recorder only *reads*
+// (atomic loads via Export), so recording can stay always-on in the
+// serve tier without perturbing results. The recorded segments must
+// also decode and carry the run's metrics.
+func TestAssessChangeFlightRecordedEquivalence(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_assessment.json"))
+	if err != nil {
+		t.Fatalf("%v (run TestAssessChangeGolden with -update to create the fixture)", err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		scope := NewScope("golden", NewMetricsRegistry())
+		rec, err := flightrec.New(scope.Registry(), flightrec.Options{
+			Dir:      t.TempDir(),
+			Interval: time.Millisecond, // aggressive tick: maximize read/write overlap
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec.Start()
+		res, runErr := goldenPipelineObserved(workers, scope)
+		scope.End()
+		if err := rec.Close(); err != nil {
+			t.Fatalf("workers=%d: closing recorder: %v", workers, err)
+		}
+		if runErr != nil {
+			t.Fatalf("workers=%d: %v", workers, runErr)
+		}
+		ser, err := serializeAssessment(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := append(ser, '\n'); !bytes.Equal(got, want) {
+			t.Errorf("workers=%d: recorded assessment deviates from the golden fixture", workers)
+		}
+		if rec.Samples() < 1 {
+			t.Fatalf("workers=%d: recorder wrote no samples", workers)
+		}
+		segs, err := flightrec.DecodeDir(rec.Dir())
+		if err != nil {
+			t.Fatalf("workers=%d: decoding recording: %v", workers, err)
+		}
+		last := segs[len(segs)-1].Samples
+		if len(last) == 0 {
+			t.Fatalf("workers=%d: empty final segment", workers)
+		}
+		var sawIterations bool
+		for _, p := range last[len(last)-1].Points {
+			if p.Name == obs.MetricIterations && p.Counter > 0 {
+				sawIterations = true
+			}
+		}
+		if !sawIterations {
+			t.Errorf("workers=%d: recording's final sample lacks a positive %s", workers, obs.MetricIterations)
 		}
 	}
 }

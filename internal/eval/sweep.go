@@ -47,7 +47,11 @@ type SweepConfig struct {
 
 // CellMetrics is one algorithm's decision quality in one sweep cell.
 // Accuracy/FPR/FNR are computed over the cases the algorithm assessed;
-// DegradedFraction is the share of the cell's cases it could not.
+// AccuracyAll charges every degraded (unassessable) case as incorrect,
+// so the pair separates "wrong when it answers" from "often refuses to
+// answer" — an algorithm that degrades honestly on corrupt data keeps a
+// high Accuracy while AccuracyAll falls. DegradedFraction is the share
+// of the cell's cases it could not assess.
 type CellMetrics struct {
 	TP               int     `json:"tp"`
 	TN               int     `json:"tn"`
@@ -55,6 +59,7 @@ type CellMetrics struct {
 	FN               int     `json:"fn"`
 	Degraded         int     `json:"degraded"`
 	Accuracy         float64 `json:"accuracy"`
+	AccuracyAll      float64 `json:"accuracy_all"`
 	FPR              float64 `json:"fpr"`
 	FNR              float64 `json:"fnr"`
 	DegradedFraction float64 `json:"degraded_fraction"`
@@ -200,6 +205,7 @@ func sweepCells(res SyntheticResult, rate float64) []SweepCell {
 				TP: m.TP, TN: m.TN, FP: m.FP, FN: m.FN,
 				Degraded:         d,
 				Accuracy:         m.Accuracy(),
+				AccuracyAll:      ratio(m.TP+m.TN, a.cases),
 				FPR:              m.FalsePositiveRate(),
 				FNR:              m.FalseNegativeRate(),
 				DegradedFraction: ratio(d, a.cases),

@@ -41,6 +41,10 @@ func TestSweepRateZeroMatchesCleanRun(t *testing.T) {
 		if got.Degraded != 0 || got.DegradedFraction != 0 {
 			t.Errorf("%v degraded at rate 0: %+v", alg, got)
 		}
+		// With nothing degraded the two accuracy views coincide.
+		if got.AccuracyAll != got.Accuracy {
+			t.Errorf("%v accuracy_all = %v != accuracy %v with zero degraded", alg, got.AccuracyAll, got.Accuracy)
+		}
 	}
 	// The benign five are untouched by appending adversarial families:
 	// their per-scenario outcome counts equal a five-only run.
@@ -197,6 +201,9 @@ func TestSweepDegradedAccounting(t *testing.T) {
 		if m.Accuracy != 0 {
 			t.Errorf("%v accuracy = %v on fully degraded cell, want 0", alg, m.Accuracy)
 		}
+		if m.AccuracyAll != 0 {
+			t.Errorf("%v accuracy_all = %v on fully degraded cell, want 0", alg, m.AccuracyAll)
+		}
 	}
 }
 
@@ -215,6 +222,16 @@ func TestSweepPartialFaultsKeepVerdictCounts(t *testing.T) {
 			if m.TP+m.TN+m.FP+m.FN+m.Degraded != cell.Cases {
 				t.Errorf("cell %s/%v %v: verdicts+degraded != %d cases: %+v",
 					cell.Scenario, cell.FaultRate, alg, cell.Cases, m)
+			}
+			// AccuracyAll charges degraded cases as wrong: correct
+			// verdicts over *all* cases, never above on-assessed accuracy.
+			if want := ratio(m.TP+m.TN, cell.Cases); m.AccuracyAll != want {
+				t.Errorf("cell %s/%v %v: accuracy_all = %v, want %v",
+					cell.Scenario, cell.FaultRate, alg, m.AccuracyAll, want)
+			}
+			if m.AccuracyAll > m.Accuracy {
+				t.Errorf("cell %s/%v %v: accuracy_all %v exceeds accuracy %v",
+					cell.Scenario, cell.FaultRate, alg, m.AccuracyAll, m.Accuracy)
 			}
 		}
 	}

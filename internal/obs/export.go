@@ -1,0 +1,90 @@
+package obs
+
+// Typed registry export — the read side the flight recorder snapshots.
+// Unlike Snapshot (a loose map for expvar), Export preserves metric
+// kinds, histogram bucket layouts and a deterministic order, so two
+// exports of the same registry state are structurally identical and a
+// sequence of exports delta-encodes compactly.
+
+// MetricKind discriminates the three metric types of a Registry.
+type MetricKind uint8
+
+const (
+	// KindCounter is a monotonically increasing integer metric.
+	KindCounter MetricKind = iota
+	// KindGauge is a settable float metric.
+	KindGauge
+	// KindHistogram is a fixed-bucket distribution metric.
+	KindHistogram
+)
+
+// String returns the Prometheus-style kind name.
+func (k MetricKind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// MetricPoint is one metric's instantaneous value in an Export: the
+// series name (labels included), its kind, and the kind's value fields —
+// Counter for counters, Gauge for gauges, Count/Sum/Bounds/Buckets for
+// histograms (Buckets are per-bucket counts, not cumulative, with the
+// implicit +Inf overflow bucket last). Bounds aliases the histogram's
+// internal slice and must be treated as read-only.
+type MetricPoint struct {
+	Name    string
+	Kind    MetricKind
+	Counter int64
+	Gauge   float64
+	Count   int64
+	Sum     float64
+	Bounds  []float64
+	Buckets []int64
+}
+
+// Export returns a typed snapshot of every metric, deterministically
+// ordered: counters, gauges, then histograms, each sorted by series
+// name. Values are read without a registry-wide lock, so a concurrent
+// writer may land between two metrics' reads — each individual value is
+// still an atomic read, and counters never run backwards. Nil-safe: a
+// nil registry exports nothing.
+func (r *Registry) Export() []MetricPoint {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	counters := sortedKeys(r.counters)
+	gauges := sortedKeys(r.gauges)
+	histograms := sortedKeys(r.histograms)
+	r.mu.RUnlock()
+
+	out := make([]MetricPoint, 0, len(counters)+len(gauges)+len(histograms))
+	for _, name := range counters {
+		out = append(out, MetricPoint{Name: name, Kind: KindCounter, Counter: r.Counter(name).Value()})
+	}
+	for _, name := range gauges {
+		out = append(out, MetricPoint{Name: name, Kind: KindGauge, Gauge: r.Gauge(name).Value()})
+	}
+	for _, name := range histograms {
+		h := r.Histogram(name, nil)
+		p := MetricPoint{
+			Name:    name,
+			Kind:    KindHistogram,
+			Count:   h.Count(),
+			Sum:     h.Sum(),
+			Bounds:  h.bounds,
+			Buckets: make([]int64, len(h.buckets)),
+		}
+		for i := range h.buckets {
+			p.Buckets[i] = h.buckets[i].Load()
+		}
+		out = append(out, p)
+	}
+	return out
+}

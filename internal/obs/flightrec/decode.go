@@ -1,0 +1,266 @@
+package flightrec
+
+// Segment decoding: replays the binary format back into typed samples.
+// Decoding is lossless — counters, gauge bit patterns, histogram bucket
+// vectors and timestamps come back exactly as snapshotted — and
+// re-encoding a decoded segment reproduces its bytes, which the
+// round-trip tests pin.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// maxNameLen bounds a schema entry's name, rejecting corrupt headers
+// before they turn into huge allocations.
+const maxNameLen = 1 << 16
+
+// maxSchemaMetrics bounds the per-segment metric count the decoder will
+// accept, for the same reason.
+const maxSchemaMetrics = 1 << 20
+
+// Sample is one decoded snapshot: the sample time plus every metric's
+// value, in segment schema order. Points carry the full typed values
+// (not deltas) — exactly what obs.Registry.Export returned when the
+// sample was taken.
+type Sample struct {
+	At     time.Time
+	Points []obs.MetricPoint
+}
+
+// Segment is one decoded segment file.
+type Segment struct {
+	// BaseTime is the segment's time origin (the rotation instant).
+	BaseTime time.Time
+	// Interval is the recorder's nominal tick at write time.
+	Interval time.Duration
+	// Defs is the metric schema.
+	Defs []Def
+	// Samples are the decoded snapshots, in write order.
+	Samples []Sample
+	// Truncated is set when the segment ended mid-record (a crash during
+	// the final write); the decoded samples are still complete.
+	Truncated bool
+}
+
+// DecodeSegment decodes one segment stream.
+func DecodeSegment(r io.Reader) (*Segment, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("flightrec: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("flightrec: bad magic %q (not a flight-recorder segment)", m[:])
+	}
+	var t [8]byte
+	if _, err := io.ReadFull(br, t[:]); err != nil {
+		return nil, fmt.Errorf("flightrec: reading base time: %w", err)
+	}
+	seg := &Segment{BaseTime: time.Unix(0, int64(binary.LittleEndian.Uint64(t[:]))).UTC()}
+	interval, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("flightrec: reading interval: %w", err)
+	}
+	seg.Interval = time.Duration(interval)
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("flightrec: reading metric count: %w", err)
+	}
+	if count > maxSchemaMetrics {
+		return nil, fmt.Errorf("flightrec: schema declares %d metrics (corrupt header?)", count)
+	}
+	seg.Defs = make([]Def, count)
+	for i := range seg.Defs {
+		if err := readDef(br, &seg.Defs[i]); err != nil {
+			return nil, fmt.Errorf("flightrec: schema entry %d: %w", i, err)
+		}
+	}
+
+	prev := make([]state, len(seg.Defs))
+	for i, d := range seg.Defs {
+		if d.Kind == obs.KindHistogram {
+			prev[i].buckets = make([]int64, len(d.Bounds)+1)
+		}
+	}
+	prevTime := seg.BaseTime.UnixNano()
+	for {
+		marker, err := br.ReadByte()
+		if err == io.EOF {
+			return seg, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if marker != sampleMarker {
+			return nil, fmt.Errorf("flightrec: bad sample marker 0x%02x at sample %d", marker, len(seg.Samples))
+		}
+		sample, newTime, err := readSample(br, seg.Defs, prev, prevTime)
+		if err != nil {
+			if truncated(err) {
+				seg.Truncated = true
+				return seg, nil
+			}
+			return nil, fmt.Errorf("flightrec: sample %d: %w", len(seg.Samples), err)
+		}
+		prevTime = newTime
+		seg.Samples = append(seg.Samples, sample)
+	}
+}
+
+// readDef decodes one schema entry.
+func readDef(br *bufio.Reader, d *Def) error {
+	kind, err := br.ReadByte()
+	if err != nil {
+		return err
+	}
+	if kind > byte(obs.KindHistogram) {
+		return fmt.Errorf("unknown metric kind %d", kind)
+	}
+	d.Kind = obs.MetricKind(kind)
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return err
+	}
+	if nameLen > maxNameLen {
+		return fmt.Errorf("metric name of %d bytes (corrupt header?)", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return err
+	}
+	d.Name = string(name)
+	if d.Kind == obs.KindHistogram {
+		boundCount, err := binary.ReadUvarint(br)
+		if err != nil {
+			return err
+		}
+		if boundCount > maxSchemaMetrics {
+			return fmt.Errorf("histogram with %d bounds (corrupt header?)", boundCount)
+		}
+		d.Bounds = make([]float64, boundCount)
+		var b [8]byte
+		for i := range d.Bounds {
+			if _, err := io.ReadFull(br, b[:]); err != nil {
+				return err
+			}
+			d.Bounds[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[:]))
+		}
+	}
+	return nil
+}
+
+// readSample decodes one sample record body (the marker is already
+// consumed), updating prev in place.
+func readSample(br *bufio.Reader, defs []Def, prev []state, prevTime int64) (Sample, int64, error) {
+	dt, err := binary.ReadVarint(br)
+	if err != nil {
+		return Sample{}, 0, err
+	}
+	now := prevTime + dt
+	sample := Sample{At: time.Unix(0, now).UTC(), Points: make([]obs.MetricPoint, len(defs))}
+	for i, d := range defs {
+		st := &prev[i]
+		p := obs.MetricPoint{Name: d.Name, Kind: d.Kind}
+		switch d.Kind {
+		case obs.KindCounter:
+			delta, err := binary.ReadVarint(br)
+			if err != nil {
+				return Sample{}, 0, err
+			}
+			st.counter += delta
+			p.Counter = st.counter
+		case obs.KindGauge:
+			x, err := binary.ReadUvarint(br)
+			if err != nil {
+				return Sample{}, 0, err
+			}
+			st.gauge ^= x
+			p.Gauge = math.Float64frombits(st.gauge)
+		case obs.KindHistogram:
+			delta, err := binary.ReadVarint(br)
+			if err != nil {
+				return Sample{}, 0, err
+			}
+			st.count += delta
+			x, err := binary.ReadUvarint(br)
+			if err != nil {
+				return Sample{}, 0, err
+			}
+			st.sum ^= x
+			p.Bounds = d.Bounds
+			p.Count = st.count
+			p.Sum = math.Float64frombits(st.sum)
+			p.Buckets = make([]int64, len(st.buckets))
+			for j := range st.buckets {
+				bd, err := binary.ReadVarint(br)
+				if err != nil {
+					return Sample{}, 0, err
+				}
+				st.buckets[j] += bd
+				p.Buckets[j] = st.buckets[j]
+			}
+		}
+		sample.Points[i] = p
+	}
+	return sample, now, nil
+}
+
+// truncated classifies an error as a clean mid-record cut (crash during
+// the final write) rather than corruption.
+func truncated(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// DecodeFile decodes one segment file.
+func DecodeFile(path string) (*Segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	seg, err := DecodeSegment(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return seg, nil
+}
+
+// DecodeDir decodes every segment in a recorder directory, oldest
+// first.
+func DecodeDir(dir string) ([]*Segment, error) {
+	names, err := segmentFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("flightrec: no %s segments in %s", segmentGlob, dir)
+	}
+	segs := make([]*Segment, 0, len(names))
+	for _, name := range names {
+		seg, err := DecodeFile(name)
+		if err != nil {
+			return nil, err
+		}
+		segs = append(segs, seg)
+	}
+	return segs, nil
+}
+
+// Samples flattens decoded segments into one chronological sample
+// stream.
+func Samples(segs []*Segment) []Sample {
+	var out []Sample
+	for _, seg := range segs {
+		out = append(out, seg.Samples...)
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package flightrec
+
+// Segment encoding: the write side of the format documented in the
+// package comment. Encoding is fully deterministic — the bytes are a
+// pure function of (baseTime, interval, schema, samples) — which is what
+// lets the round-trip tests pin decode∘encode as the identity on bytes.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// magic identifies a version-1 flight-recorder segment.
+var magic = [4]byte{'L', 'F', 'R', '1'}
+
+// sampleMarker opens every sample record.
+const sampleMarker = 'S'
+
+// Def is one metric's schema entry in a segment header: the series name,
+// its kind, and — for histograms — the bucket bounds.
+type Def struct {
+	Name   string
+	Kind   obs.MetricKind
+	Bounds []float64
+}
+
+// DefsOf derives the schema of an exported point set.
+func DefsOf(points []obs.MetricPoint) []Def {
+	defs := make([]Def, len(points))
+	for i, p := range points {
+		defs[i] = Def{Name: p.Name, Kind: p.Kind, Bounds: p.Bounds}
+	}
+	return defs
+}
+
+// defsEqual reports whether two schemas are identical (names, kinds and
+// histogram bounds).
+func defsEqual(a, b []Def) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Kind != b[i].Kind || len(a[i].Bounds) != len(b[i].Bounds) {
+			return false
+		}
+		for j := range a[i].Bounds {
+			if math.Float64bits(a[i].Bounds[j]) != math.Float64bits(b[i].Bounds[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// state carries one metric's previous encoded values, the delta baseline
+// of the next sample. The zero value is the documented start state.
+type state struct {
+	counter int64
+	gauge   uint64 // float bits
+	count   int64
+	sum     uint64 // float bits
+	buckets []int64
+}
+
+// SegmentWriter encodes one segment: header on creation, then Append per
+// sample. The schema is fixed for the writer's lifetime; Append rejects
+// point sets that disagree with it.
+type SegmentWriter struct {
+	w        *bufio.Writer
+	defs     []Def
+	base     int64 // unix nanos
+	interval time.Duration
+	prevTime int64 // unix nanos of the previous sample (base before any)
+	prev     []state
+	scratch  []byte
+}
+
+// NewSegmentWriter writes the segment header for the given schema and
+// returns a writer accepting samples.
+func NewSegmentWriter(w io.Writer, base time.Time, interval time.Duration, defs []Def) (*SegmentWriter, error) {
+	sw := &SegmentWriter{
+		w:        bufio.NewWriter(w),
+		defs:     defs,
+		base:     base.UnixNano(),
+		interval: interval,
+		scratch:  make([]byte, binary.MaxVarintLen64),
+	}
+	sw.prevTime = sw.base
+	sw.prev = make([]state, len(defs))
+	for i, d := range defs {
+		if d.Kind == obs.KindHistogram {
+			sw.prev[i].buckets = make([]int64, len(d.Bounds)+1)
+		}
+	}
+	if err := sw.writeHeader(); err != nil {
+		return nil, err
+	}
+	return sw, nil
+}
+
+// Defs returns the writer's schema.
+func (sw *SegmentWriter) Defs() []Def { return sw.defs }
+
+func (sw *SegmentWriter) writeHeader() error {
+	if _, err := sw.w.Write(magic[:]); err != nil {
+		return err
+	}
+	var t [8]byte
+	binary.LittleEndian.PutUint64(t[:], uint64(sw.base))
+	if _, err := sw.w.Write(t[:]); err != nil {
+		return err
+	}
+	sw.putUvarint(uint64(sw.interval))
+	sw.putUvarint(uint64(len(sw.defs)))
+	for _, d := range sw.defs {
+		if err := sw.w.WriteByte(byte(d.Kind)); err != nil {
+			return err
+		}
+		sw.putUvarint(uint64(len(d.Name)))
+		if _, err := sw.w.WriteString(d.Name); err != nil {
+			return err
+		}
+		if d.Kind == obs.KindHistogram {
+			sw.putUvarint(uint64(len(d.Bounds)))
+			var b [8]byte
+			for _, bound := range d.Bounds {
+				binary.LittleEndian.PutUint64(b[:], math.Float64bits(bound))
+				if _, err := sw.w.Write(b[:]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Append encodes one sample. points must carry the writer's schema in
+// the writer's order (the deterministic obs Export order guarantees
+// this for points from the same registry shape).
+func (sw *SegmentWriter) Append(at time.Time, points []obs.MetricPoint) error {
+	if len(points) != len(sw.defs) {
+		return fmt.Errorf("flightrec: sample has %d metrics, segment schema has %d", len(points), len(sw.defs))
+	}
+	if err := sw.w.WriteByte(sampleMarker); err != nil {
+		return err
+	}
+	now := at.UnixNano()
+	sw.putVarint(now - sw.prevTime)
+	sw.prevTime = now
+	for i, p := range points {
+		d := sw.defs[i]
+		if p.Name != d.Name || p.Kind != d.Kind {
+			return fmt.Errorf("flightrec: sample metric %d is %s/%v, segment schema has %s/%v",
+				i, p.Name, p.Kind, d.Name, d.Kind)
+		}
+		st := &sw.prev[i]
+		switch d.Kind {
+		case obs.KindCounter:
+			sw.putVarint(p.Counter - st.counter)
+			st.counter = p.Counter
+		case obs.KindGauge:
+			bits := math.Float64bits(p.Gauge)
+			sw.putUvarint(bits ^ st.gauge)
+			st.gauge = bits
+		case obs.KindHistogram:
+			if len(p.Buckets) != len(st.buckets) {
+				return fmt.Errorf("flightrec: histogram %s has %d buckets, schema has %d",
+					p.Name, len(p.Buckets), len(st.buckets))
+			}
+			sw.putVarint(p.Count - st.count)
+			st.count = p.Count
+			bits := math.Float64bits(p.Sum)
+			sw.putUvarint(bits ^ st.sum)
+			st.sum = bits
+			for j, b := range p.Buckets {
+				sw.putVarint(b - st.buckets[j])
+				st.buckets[j] = b
+			}
+		}
+	}
+	return nil
+}
+
+// Flush pushes buffered bytes to the underlying writer; the recorder
+// flushes after every sample so a crash loses at most one record.
+func (sw *SegmentWriter) Flush() error { return sw.w.Flush() }
+
+func (sw *SegmentWriter) putUvarint(v uint64) {
+	n := binary.PutUvarint(sw.scratch, v)
+	sw.w.Write(sw.scratch[:n]) //nolint:errcheck // surfaced by the next Flush
+}
+
+func (sw *SegmentWriter) putVarint(v int64) {
+	n := binary.PutVarint(sw.scratch, v)
+	sw.w.Write(sw.scratch[:n]) //nolint:errcheck // surfaced by the next Flush
+}

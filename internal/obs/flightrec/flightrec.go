@@ -1,0 +1,326 @@
+// Package flightrec is the Litmus flight recorder: an always-on,
+// low-overhead time-series capture of a full obs.Registry. On a fixed
+// tick it snapshots every counter, gauge and histogram into compact
+// binary segments — delta-encoded, varint-compressed, with rotation and
+// bounded retention — and a decoder replays segments back into typed
+// samples, losslessly. The point is durable *history*: after an
+// incident, queue depth, cache hit rate and job latency over the last
+// hour are on disk next to the process, not lost with the scrape.
+//
+// # Segment format (version 1)
+//
+// A segment is a header followed by zero or more sample records. All
+// multi-byte integers are unsigned varints (binary.PutUvarint) unless
+// noted; signed values use zigzag varints (binary.PutVarint); float64
+// values in the header are 8-byte little-endian IEEE 754 bit patterns.
+//
+//	header:
+//	  magic       4 bytes   "LFR1"
+//	  baseTime    8 bytes   int64 little-endian, Unix nanoseconds
+//	  interval    uvarint   nominal tick interval, nanoseconds
+//	  metricCount uvarint
+//	  per metric, in obs.Registry Export order (counters, gauges,
+//	  histograms; name-sorted within each kind):
+//	    kind      1 byte    0 counter, 1 gauge, 2 histogram
+//	    nameLen   uvarint   followed by the series name bytes
+//	    histograms only:
+//	      boundCount uvarint
+//	      bounds     boundCount × 8-byte LE float64 bits
+//	sample record:
+//	  marker      1 byte    'S' (0x53)
+//	  timeDelta   varint    nanoseconds since the previous sample
+//	                        (first sample: since baseTime)
+//	  per metric, in schema order:
+//	    counter:  varint    value delta vs the previous sample (0 start)
+//	    gauge:    uvarint   Float64bits(value) XOR previous bits (0 start)
+//	    histogram:
+//	      count   varint    delta
+//	      sum     uvarint   Float64bits(sum) XOR previous bits
+//	      buckets boundCount+1 × varint deltas (overflow bucket last)
+//
+// Unchanged values therefore cost one byte per sample (delta 0 / XOR 0),
+// which is the common case between ticks on an idle service. The schema
+// is fixed per segment: when the live registry grows a new series the
+// recorder rotates to a fresh segment instead of patching the old one,
+// so every segment is self-describing and decodable in isolation.
+//
+// # Rotation and retention
+//
+// The Recorder rotates when a segment reaches Options.SegmentSamples
+// samples or the registry's metric set changes, and deletes the oldest
+// segments beyond Options.MaxSegments. Segment files are named
+// flight-<seq>.frec with a monotonically increasing sequence number;
+// a restarted recorder continues after the highest existing sequence.
+//
+// # Crash tolerance
+//
+// The writer flushes after every sample, so a crash loses at most the
+// sample being written. The decoder treats a truncated trailing record
+// as a clean end of segment (Segment.Truncated is set); any other
+// malformed byte is a hard error.
+package flightrec
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// DefaultInterval is the recorder tick when Options.Interval is zero.
+const DefaultInterval = time.Second
+
+// Default rotation and retention bounds.
+const (
+	DefaultSegmentSamples = 512
+	DefaultMaxSegments    = 16
+)
+
+// segmentPattern matches recorder segment files.
+const segmentGlob = "flight-*.frec"
+
+// segmentName renders the file name of segment seq.
+func segmentName(seq uint64) string { return fmt.Sprintf("flight-%08d.frec", seq) }
+
+// Options parameterizes a Recorder. The zero value records into the
+// current directory at the defaults.
+type Options struct {
+	// Dir is the segment directory (created if missing; default ".").
+	Dir string
+	// Interval is the snapshot tick (default DefaultInterval).
+	Interval time.Duration
+	// SegmentSamples rotates a segment after this many samples (default
+	// DefaultSegmentSamples).
+	SegmentSamples int
+	// MaxSegments bounds retention: when a rotation would leave more
+	// than this many segment files, the oldest are deleted (default
+	// DefaultMaxSegments; the active segment counts).
+	MaxSegments int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Dir == "" {
+		o.Dir = "."
+	}
+	if o.Interval <= 0 {
+		o.Interval = DefaultInterval
+	}
+	if o.SegmentSamples <= 0 {
+		o.SegmentSamples = DefaultSegmentSamples
+	}
+	if o.MaxSegments <= 0 {
+		o.MaxSegments = DefaultMaxSegments
+	}
+	return o
+}
+
+// Recorder snapshots a registry into rotating segment files. Create
+// with New, begin ticking with Start, stop with Close (which takes one
+// final sample so even a short-lived process leaves history behind).
+// Sample may also be driven manually — tests and single-shot tools call
+// it with explicit times.
+type Recorder struct {
+	reg  *obs.Registry
+	opts Options
+
+	mu      sync.Mutex
+	file    *os.File
+	w       *SegmentWriter
+	seq     uint64 // sequence of the open segment
+	samples int    // samples written to the open segment
+	total   int64  // samples written over the recorder's lifetime
+	closed  bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New returns a recorder over reg, creating the segment directory. No
+// file is opened until the first sample. A nil registry is allowed —
+// the recorder then writes metricless samples (timestamps only).
+func New(reg *obs.Registry, opts Options) (*Recorder, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("flightrec: creating segment dir: %w", err)
+	}
+	r := &Recorder{reg: reg, opts: opts}
+	// Continue the sequence after any segments a previous process left.
+	names, err := segmentFiles(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) > 0 {
+		var seq uint64
+		if _, err := fmt.Sscanf(filepath.Base(names[len(names)-1]), "flight-%d.frec", &seq); err == nil {
+			r.seq = seq
+		}
+	}
+	return r, nil
+}
+
+// Start begins the snapshot tick in a background goroutine. Call Close
+// to stop it.
+func (r *Recorder) Start() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stop != nil || r.closed {
+		return
+	}
+	r.stop = make(chan struct{})
+	r.done = make(chan struct{})
+	go r.loop(r.stop, r.done)
+}
+
+func (r *Recorder) loop(stop, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(r.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-t.C:
+			_ = r.Sample(now)
+		}
+	}
+}
+
+// Sample takes one snapshot of the registry at time now, rotating and
+// enforcing retention as needed. Safe for concurrent use; a no-op after
+// Close.
+func (r *Recorder) Sample(now time.Time) error {
+	points := r.reg.Export()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	return r.sampleLocked(now, points)
+}
+
+// sampleLocked appends one sample, rotating first when the open segment
+// is full, absent, or its schema no longer matches the live registry.
+// Callers hold the mutex and have checked closed (Close itself calls
+// this for the final sample, after setting closed).
+func (r *Recorder) sampleLocked(now time.Time, points []obs.MetricPoint) error {
+	defs := DefsOf(points)
+	if r.w == nil || r.samples >= r.opts.SegmentSamples || !defsEqual(r.w.Defs(), defs) {
+		if err := r.rotateLocked(now, defs); err != nil {
+			return err
+		}
+	}
+	if err := r.w.Append(now, points); err != nil {
+		return err
+	}
+	if err := r.w.Flush(); err != nil {
+		return err
+	}
+	r.samples++
+	r.total++
+	return nil
+}
+
+// rotateLocked closes the open segment (if any) and opens the next one
+// with the given schema, then prunes segments beyond retention.
+func (r *Recorder) rotateLocked(base time.Time, defs []Def) error {
+	if r.file != nil {
+		if err := r.w.Flush(); err != nil {
+			return err
+		}
+		if err := r.file.Close(); err != nil {
+			return err
+		}
+		r.file, r.w = nil, nil
+	}
+	r.seq++
+	f, err := os.Create(filepath.Join(r.opts.Dir, segmentName(r.seq)))
+	if err != nil {
+		return fmt.Errorf("flightrec: opening segment: %w", err)
+	}
+	w, err := NewSegmentWriter(f, base, r.opts.Interval, defs)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	r.file, r.w, r.samples = f, w, 0
+	return r.pruneLocked()
+}
+
+// pruneLocked deletes the oldest segment files beyond MaxSegments.
+func (r *Recorder) pruneLocked() error {
+	names, err := segmentFiles(r.opts.Dir)
+	if err != nil {
+		return err
+	}
+	for len(names) > r.opts.MaxSegments {
+		if err := os.Remove(names[0]); err != nil {
+			return fmt.Errorf("flightrec: pruning segment: %w", err)
+		}
+		names = names[1:]
+	}
+	return nil
+}
+
+// Close stops the tick goroutine, takes one final sample, and closes
+// the open segment. Safe to call more than once.
+func (r *Recorder) Close() error {
+	r.mu.Lock()
+	stop, done := r.stop, r.done
+	r.stop, r.done = nil, nil
+	r.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+
+	points := r.reg.Export()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	var err error
+	if serr := r.sampleLocked(time.Now(), points); serr != nil {
+		err = serr
+	}
+	if r.file != nil {
+		if ferr := r.w.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+		if cerr := r.file.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		r.file, r.w = nil, nil
+	}
+	return err
+}
+
+// Samples returns how many samples the recorder has written in total.
+func (r *Recorder) Samples() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Dir returns the segment directory.
+func (r *Recorder) Dir() string { return r.opts.Dir }
+
+// Interval returns the effective snapshot tick.
+func (r *Recorder) Interval() time.Duration { return r.opts.Interval }
+
+// segmentFiles lists the directory's segment files, oldest first
+// (sequence numbers are zero-padded, so lexicographic order is
+// chronological).
+func segmentFiles(dir string) ([]string, error) {
+	names, err := filepath.Glob(filepath.Join(dir, segmentGlob))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	return names, nil
+}

@@ -228,7 +228,8 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 // format (version 0.0.4), deterministically ordered: counters, gauges,
 // then histograms, each sorted by series name. Labeled series render
 // with their labels; histogram series expand into cumulative _bucket
-// lines plus _sum and _count.
+// lines plus _sum and _count. Base names with canonical documentation
+// (see Help) get a # HELP line ahead of their # TYPE line.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
@@ -245,6 +246,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			return nil
 		}
 		typed[base] = true
+		if help := Help(base); help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", base, help); err != nil {
+				return err
+			}
+		}
 		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
 		return err
 	}

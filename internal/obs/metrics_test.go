@@ -98,6 +98,59 @@ func TestWritePrometheusFormat(t *testing.T) {
 	}
 }
 
+func TestWritePrometheusHelp(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(MetricIterations).Add(3)
+	reg.Counter(Labeled(MetricDecisions, "decision", "go")).Add(1)
+	reg.Counter("adhoc_series_total").Add(1)
+	reg.Histogram(Labeled(MetricStageSeconds, "stage", "rank-test"), StageBuckets).Observe(0.5)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	// Canonical names carry their HELP line, immediately before TYPE.
+	for name, kind := range map[string]string{
+		MetricIterations:   "counter",
+		MetricDecisions:    "counter",
+		MetricStageSeconds: "histogram",
+	} {
+		want := "# HELP " + name + " " + Help(name) + "\n# TYPE " + name + " " + kind + "\n"
+		if !strings.Contains(got, want) {
+			t.Errorf("dump missing HELP/TYPE pair for %s; got:\n%s", name, got)
+		}
+		if n := strings.Count(got, "# HELP "+name+" "); n != 1 {
+			t.Errorf("HELP line count for %s = %d, want 1", name, n)
+		}
+	}
+	// Ad-hoc series scrape fine but carry no HELP.
+	if strings.Contains(got, "# HELP adhoc_series_total") {
+		t.Errorf("unexpected HELP line for ad-hoc series:\n%s", got)
+	}
+	if !strings.Contains(got, "# TYPE adhoc_series_total counter\n") {
+		t.Errorf("ad-hoc series lost its TYPE line:\n%s", got)
+	}
+	// Every canonical metric name has documented help text.
+	for _, name := range []string{
+		MetricStageSeconds, MetricIterations, MetricIterationsFailed,
+		MetricControlsSampled, MetricIterationsResampled,
+		MetricBeforeFactorizations, MetricLeverageSkipped,
+		MetricGroupSharedElements, MetricElementsAssessed,
+		MetricElementsSkipped, MetricPValue, MetricControlCandidates,
+		MetricControlsSelected, MetricControlsFlagged,
+		MetricControlsDiagnosed, MetricDecisions, MetricEvalCases,
+		MetricHTTPRequests, MetricQueueDepth, MetricQueueRejected,
+		MetricCacheHits, MetricCacheMisses, MetricJobSeconds,
+		MetricJobQueueSeconds, MetricJobRunSeconds, MetricJobs,
+		MetricJobRetries, MetricJobPanics,
+	} {
+		if Help(name) == "" {
+			t.Errorf("metric %s has no help text", name)
+		}
+	}
+}
+
 func TestHistogramBucketEdges(t *testing.T) {
 	h := newHistogram([]float64{1, 2})
 	h.Observe(1) // inclusive upper bound → first bucket

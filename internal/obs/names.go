@@ -108,6 +108,13 @@ const (
 	// MetricJobSeconds is the queue-to-completion latency histogram of
 	// assessment jobs.
 	MetricJobSeconds = "litmus_job_seconds"
+	// MetricJobQueueSeconds is the queue-wait histogram of assessment
+	// jobs: submission to the moment a worker dequeues the job.
+	MetricJobQueueSeconds = "litmus_job_queue_seconds"
+	// MetricJobRunSeconds is the execution-latency histogram of
+	// assessment jobs: dequeue to terminal state, retries and backoff
+	// sleeps included.
+	MetricJobRunSeconds = "litmus_job_run_seconds"
 	// MetricJobs counts finished assessment jobs, labeled
 	// status="done|failed|canceled|degraded" (degraded = completed with a
 	// partial, Degraded-flagged assessment).
@@ -126,6 +133,48 @@ const (
 	// completion (the pipeline stages nest beneath it).
 	SpanServeJob = "serve-job"
 )
+
+// helpText is the canonical one-line # HELP string for each metric's
+// base name, keyed by the constants above. WritePrometheus emits these
+// ahead of the # TYPE lines; keeping them here, next to the names,
+// means a new metric and its scrape-visible documentation land in the
+// same diff.
+var helpText = map[string]string{
+	MetricStageSeconds:         "Per-stage latency of the assessment pipeline, labeled by stage name.",
+	MetricIterations:           "Sampling iterations run.",
+	MetricIterationsFailed:     "Sampling iterations whose regression failed to fit.",
+	MetricControlsSampled:      "Control columns drawn across sampling iterations.",
+	MetricIterationsResampled:  "Sampling iterations redrawn after an unusable control design.",
+	MetricBeforeFactorizations: "QR factorizations of before-window design matrices.",
+	MetricLeverageSkipped:      "Sampling iterations whose leverage adjustment was skipped (rank-deficient factorization).",
+	MetricGroupSharedElements:  "Study elements assessed through the shared-factorization fast path.",
+	MetricElementsAssessed:     "Study elements assessed successfully.",
+	MetricElementsSkipped:      "Study elements skipped because individual assessment failed.",
+	MetricPValue:               "Distribution of assessment p-values.",
+	MetricControlCandidates:    "Control candidates matching the selection predicate, before the size cap.",
+	MetricControlsSelected:     "Control elements selected.",
+	MetricControlsFlagged:      "Controls flagged as bad predictors by the diagnostics.",
+	MetricControlsDiagnosed:    "Controls evaluated by the diagnostics.",
+	MetricDecisions:            "Pipeline go/no-go decisions, labeled by decision.",
+	MetricEvalCases:            "Evaluation-harness cases, labeled by scenario or row.",
+
+	MetricHTTPRequests:    "Assessment-service HTTP requests, labeled by route pattern and status code.",
+	MetricQueueDepth:      "Jobs currently waiting in the bounded submission queue.",
+	MetricQueueRejected:   "Submissions rejected with 429 because the queue was full.",
+	MetricCacheHits:       "Submissions answered from the result cache or deduplicated onto an in-flight job.",
+	MetricCacheMisses:     "Submissions that enqueued a fresh assessment job.",
+	MetricJobSeconds:      "Submission-to-completion latency of assessment jobs.",
+	MetricJobQueueSeconds: "Queue wait of assessment jobs: submission until a worker dequeues.",
+	MetricJobRunSeconds:   "Execution latency of assessment jobs: dequeue to terminal state, retries included.",
+	MetricJobs:            "Finished assessment jobs, labeled by terminal status.",
+	MetricJobRetries:      "Worker-side retries of transiently failed assessment jobs.",
+	MetricJobPanics:       "Per-job panics recovered by a worker.",
+}
+
+// Help returns the canonical # HELP text for a metric's base name, or
+// "" when the name has none (ad-hoc series still scrape fine — they
+// just carry no HELP line).
+func Help(base string) string { return helpText[base] }
 
 // Default bucket bounds.
 var (

@@ -12,12 +12,19 @@
 // The flags compose: one run can write the metrics file, print the
 // timing tables and serve the same registry on /debug/vars — the
 // registry is shared, not re-registered, so the views never disagree.
+//
+// The package also standardizes structured logging: RegisterLog installs
+// the -log-format/-log-level flag pair and LogFlags.Logger builds the
+// log/slog logger every command routes its diagnostics through —
+// interactive tools default to human-readable text, services to JSON.
+// Logs go to stderr; program output stays on stdout.
 package obscli
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 
 	"repro/internal/obs"
@@ -48,6 +55,56 @@ func Register() *Flags {
 	flag.StringVar(&f.MetricsPath, "metrics-file", "", "write Prometheus-text metrics to this file on exit")
 	flag.StringVar(&f.PprofAddr, "pprof", "", `serve net/http/pprof and /debug/vars on this address (e.g. "localhost:6060")`)
 	return f
+}
+
+// LogFlags holds the parsed structured-logging flag values.
+type LogFlags struct {
+	// Format is -log-format: "text" or "json".
+	Format string
+	// Level is -log-level: "debug", "info", "warn" or "error".
+	Level string
+}
+
+// RegisterLog installs -log-format and -log-level on the default flag
+// set. defaultFormat picks the format when the flag is absent —
+// interactive commands pass "text", services pass "json". Call before
+// flag.Parse.
+func RegisterLog(defaultFormat string) *LogFlags {
+	f := &LogFlags{}
+	flag.StringVar(&f.Format, "log-format", defaultFormat, `structured log format: "text" or "json"`)
+	flag.StringVar(&f.Level, "log-level", "info", `minimum log level: "debug", "info", "warn" or "error"`)
+	return f
+}
+
+// Logger builds the log/slog logger the flags describe: leveled, writing
+// to stderr, every record tagged with the component (command) name. An
+// unknown format or level is a usage error, returned before any work
+// runs.
+func (f *LogFlags) Logger(component string) (*slog.Logger, error) {
+	var level slog.Level
+	switch f.Level {
+	case "debug":
+		level = slog.LevelDebug
+	case "info":
+		level = slog.LevelInfo
+	case "warn":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	default:
+		return nil, fmt.Errorf(`-log-level %q: want "debug", "info", "warn" or "error"`, f.Level)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	switch f.Format {
+	case "text":
+		h = slog.NewTextHandler(os.Stderr, opts)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	default:
+		return nil, fmt.Errorf(`-log-format %q: want "text" or "json"`, f.Format)
+	}
+	return slog.New(h).With("component", component), nil
 }
 
 // Enabled reports whether any instrumentation was requested; when false,

@@ -1,0 +1,217 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/flightrec"
+)
+
+// FlightPoint is one metric observation extracted from a flight-recorder
+// sample stream.
+type FlightPoint struct {
+	At    time.Time
+	Value float64
+}
+
+// FlightMetricNames returns the sorted union of metric names across the
+// segments' schemas (schemas may differ segment to segment — the
+// recorder rotates when the live registry grows a series).
+func FlightMetricNames(segs []*flightrec.Segment) []string {
+	seen := map[string]bool{}
+	for _, seg := range segs {
+		for _, d := range seg.Defs {
+			seen[d.Name] = true
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// flightSeries extracts one metric's observations across segments, in
+// sample order. Counters and histogram counts come back as their
+// cumulative values; gauges as-is. Segments whose schema lacks the
+// metric are skipped (it did not exist yet).
+func flightSeries(segs []*flightrec.Segment, name string) (obs.MetricKind, []FlightPoint) {
+	kind := obs.KindCounter
+	var pts []FlightPoint
+	for _, seg := range segs {
+		idx := -1
+		for i, d := range seg.Defs {
+			if d.Name == name {
+				idx, kind = i, d.Kind
+				break
+			}
+		}
+		if idx < 0 {
+			continue
+		}
+		for _, s := range seg.Samples {
+			p := s.Points[idx]
+			var v float64
+			switch p.Kind {
+			case obs.KindCounter:
+				v = float64(p.Counter)
+			case obs.KindGauge:
+				v = p.Gauge
+			case obs.KindHistogram:
+				v = float64(p.Count)
+			}
+			pts = append(pts, FlightPoint{At: s.At, Value: v})
+		}
+	}
+	return kind, pts
+}
+
+// increments converts a cumulative series into per-sample deltas (the
+// first point keeps its absolute value — each segment's first sample is
+// absolute anyway). Used to render counters as activity, not slope.
+func increments(pts []FlightPoint) []float64 {
+	out := make([]float64, len(pts))
+	for i, p := range pts {
+		if i == 0 {
+			out[i] = p.Value
+			continue
+		}
+		d := p.Value - pts[i-1].Value
+		if d < 0 {
+			// A new segment re-baselines from absolute values; a drop
+			// means the process restarted — show the fresh absolute.
+			d = p.Value
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// WriteFlightSummary renders a decoded flight recording as an overview:
+// the time span covered, per-segment shape, and a per-metric table with
+// first/last/min/max values (cumulative for counters and histogram
+// counts, instantaneous for gauges).
+func WriteFlightSummary(w io.Writer, segs []*flightrec.Segment) error {
+	if len(segs) == 0 {
+		return fmt.Errorf("report: no flight segments")
+	}
+	all := flightrec.Samples(segs)
+	if len(all) == 0 {
+		return fmt.Errorf("report: flight segments hold no samples")
+	}
+	first, last := all[0].At, all[len(all)-1].At
+	if _, err := fmt.Fprintf(w, "Flight recording — %d segments, %d samples, %s → %s (%s)\n",
+		len(segs), len(all),
+		first.UTC().Format(time.RFC3339), last.UTC().Format(time.RFC3339),
+		last.Sub(first).Round(time.Millisecond)); err != nil {
+		return err
+	}
+	for i, seg := range segs {
+		trunc := ""
+		if seg.Truncated {
+			trunc = "  (truncated tail)"
+		}
+		if _, err := fmt.Fprintf(w, "  segment %d: %d metrics, %d samples, base %s, interval %s%s\n",
+			i+1, len(seg.Defs), len(seg.Samples),
+			seg.BaseTime.UTC().Format(time.RFC3339), seg.Interval, trunc); err != nil {
+			return err
+		}
+	}
+	header := fmt.Sprintf("%-40s %-9s %7s %12s %12s %12s %12s",
+		"metric", "kind", "samples", "first", "last", "min", "max")
+	lines := []string{"", header, strings.Repeat("-", len(header))}
+	for _, name := range FlightMetricNames(segs) {
+		kind, pts := flightSeries(segs, name)
+		if len(pts) == 0 {
+			continue
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, p := range pts {
+			lo = math.Min(lo, p.Value)
+			hi = math.Max(hi, p.Value)
+		}
+		lines = append(lines, fmt.Sprintf("%-40s %-9s %7d %12.6g %12.6g %12.6g %12.6g",
+			name, kind, len(pts), pts[0].Value, pts[len(pts)-1].Value, lo, hi))
+	}
+	_, err := fmt.Fprintln(w, strings.Join(lines, "\n"))
+	return err
+}
+
+// WriteFlightTimeline renders one sparkline per metric over the whole
+// recording. Counters and histogram counts are shown as per-sample
+// increments (activity per tick); gauges as their instantaneous values.
+// names filters the metrics ("" or empty = all); width caps the chart.
+func WriteFlightTimeline(w io.Writer, segs []*flightrec.Segment, names []string, width int) error {
+	if len(names) == 0 {
+		names = FlightMetricNames(segs)
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("report: no flight metrics to render")
+	}
+	for _, name := range names {
+		kind, pts := flightSeries(segs, name)
+		if len(pts) == 0 {
+			return fmt.Errorf("report: metric %q not in the recording", name)
+		}
+		vals := make([]float64, len(pts))
+		label := kind.String()
+		switch kind {
+		case obs.KindGauge:
+			for i, p := range pts {
+				vals[i] = p.Value
+			}
+		default:
+			vals = increments(pts)
+			label += "/tick"
+		}
+		if _, err := fmt.Fprintf(w, "%-40s %-14s %s\n", name, label, Sparkline(vals, width)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFlightCSV dumps the recording in long form — one row per
+// (sample, metric) — for spreadsheet or plotting use. Values are
+// cumulative for counters and histogram counts, instantaneous for
+// gauges. names filters the metrics (empty = all).
+func WriteFlightCSV(w io.Writer, segs []*flightrec.Segment, names []string) error {
+	if len(names) == 0 {
+		names = FlightMetricNames(segs)
+	}
+	if _, err := fmt.Fprintln(w, "timestamp,metric,kind,value"); err != nil {
+		return err
+	}
+	type row struct {
+		at   time.Time
+		name string
+		kind obs.MetricKind
+		v    float64
+	}
+	var rows []row
+	for _, name := range names {
+		kind, pts := flightSeries(segs, name)
+		if len(pts) == 0 {
+			return fmt.Errorf("report: metric %q not in the recording", name)
+		}
+		for _, p := range pts {
+			rows = append(rows, row{p.At, name, kind, p.Value})
+		}
+	}
+	// Rows ordered by time, then metric name (names arrive sorted, and
+	// the sort is stable, so equal timestamps keep name order).
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].at.Before(rows[j].at) })
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%.6g\n",
+			r.at.UTC().Format(time.RFC3339Nano), csvEscape(r.name), r.kind, r.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

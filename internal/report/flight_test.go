@@ -1,0 +1,163 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/flightrec"
+)
+
+// recordFlight produces a real two-segment recording: a counter, a gauge
+// and a histogram sampled on a fixed clock, with the gauge appearing only
+// from the fourth sample so the schema change forces a rotation.
+func recordFlight(t *testing.T) []*flightrec.Segment {
+	t.Helper()
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	rec, err := flightrec.New(reg, flightrec.Options{Dir: dir, Interval: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 6; i++ {
+		reg.Counter("litmus_jobs_total").Add(2)
+		if i >= 3 {
+			reg.Gauge("litmus_queue_depth").Set(float64(10 - i))
+		}
+		reg.Histogram("litmus_job_seconds", obs.StageBuckets).Observe(float64(i))
+		if err := rec.Sample(at.Add(time.Duration(i) * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := flightrec.DecodeDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("want >= 2 segments from the schema change, got %d", len(segs))
+	}
+	return segs
+}
+
+// lineWith returns the first output line containing substr.
+func lineWith(out, substr string) string {
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, substr) {
+			return l
+		}
+	}
+	return ""
+}
+
+func TestFlightMetricNames(t *testing.T) {
+	segs := recordFlight(t)
+	got := FlightMetricNames(segs)
+	want := []string{"litmus_job_seconds", "litmus_jobs_total", "litmus_queue_depth"}
+	if len(got) != len(want) {
+		t.Fatalf("names = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("names = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWriteFlightSummary(t *testing.T) {
+	segs := recordFlight(t)
+	var sb strings.Builder
+	if err := WriteFlightSummary(&sb, segs); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// 6 manual samples + the final Close sample.
+	if !strings.Contains(out, "7 samples") {
+		t.Errorf("summary lacks the total sample count:\n%s", out)
+	}
+	for _, want := range []string{
+		"litmus_jobs_total", "litmus_queue_depth", "litmus_job_seconds",
+		"counter", "gauge", "histogram",
+		"2026-08-01T12:00:00Z",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary lacks %q:\n%s", want, out)
+		}
+	}
+	// The counter's last cumulative value: 6 samples × 2 (Close re-samples
+	// the unchanged registry).
+	line := lineWith(out, "litmus_jobs_total")
+	if !strings.Contains(line, "12") {
+		t.Errorf("counter row lacks final value 12: %q", line)
+	}
+	// The gauge only exists in the second segment: 3 recorded samples + 1
+	// from Close.
+	line = lineWith(out, "litmus_queue_depth")
+	if !strings.Contains(line, " 4 ") {
+		t.Errorf("gauge row lacks its sample count 4: %q", line)
+	}
+}
+
+func TestWriteFlightTimeline(t *testing.T) {
+	segs := recordFlight(t)
+	var sb strings.Builder
+	if err := WriteFlightTimeline(&sb, segs, nil, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if n := len(strings.Split(strings.TrimRight(out, "\n"), "\n")); n != 3 {
+		t.Fatalf("timeline has %d lines, want 3:\n%s", n, out)
+	}
+	if !strings.Contains(out, "counter/tick") || !strings.Contains(out, "histogram/tick") {
+		t.Errorf("cumulative kinds not rendered as per-tick increments:\n%s", out)
+	}
+	if !strings.Contains(lineWith(out, "litmus_queue_depth"), "gauge") {
+		t.Errorf("gauge not labeled as instantaneous:\n%s", out)
+	}
+
+	// Filtering to one metric renders exactly that metric.
+	sb.Reset()
+	if err := WriteFlightTimeline(&sb, segs, []string{"litmus_jobs_total"}, 40); err != nil {
+		t.Fatal(err)
+	}
+	if out := sb.String(); strings.Contains(out, "queue_depth") || !strings.Contains(out, "litmus_jobs_total") {
+		t.Errorf("filter not honored:\n%s", out)
+	}
+
+	// An unknown metric is an error, not silence.
+	if err := WriteFlightTimeline(&sb, segs, []string{"no_such_metric"}, 40); err == nil {
+		t.Error("unknown metric: want error")
+	}
+}
+
+func TestWriteFlightCSV(t *testing.T) {
+	segs := recordFlight(t)
+	var sb strings.Builder
+	if err := WriteFlightCSV(&sb, segs, nil); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if lines[0] != "timestamp,metric,kind,value" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// 7 samples × 2 always-present metrics + 4 gauge samples.
+	if want := 1 + 7*2 + 4; len(lines) != want {
+		t.Fatalf("%d CSV lines, want %d:\n%s", len(lines), want, sb.String())
+	}
+	// Rows are time-ordered.
+	prev := ""
+	for _, l := range lines[1:] {
+		ts := l[:strings.Index(l, ",")]
+		if prev != "" && ts < prev {
+			t.Fatalf("CSV rows not time-ordered: %q after %q", ts, prev)
+		}
+		prev = ts
+	}
+	if !strings.Contains(sb.String(), "2026-08-01T12:00:05Z,litmus_jobs_total,counter,12") {
+		t.Errorf("missing expected cumulative counter row:\n%s", sb.String())
+	}
+}

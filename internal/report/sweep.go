@@ -10,8 +10,9 @@ import (
 
 // WriteSweepTable renders a fault sweep as one block per corruption
 // rate: a row per scenario family (plus the aggregate), with each
-// algorithm's accuracy, false-positive rate, false-negative rate and
-// degraded fraction.
+// algorithm's accuracy over the cases it assessed, accuracy over all
+// cases (degraded cases charged as wrong), false-positive rate,
+// false-negative rate and degraded fraction.
 func WriteSweepTable(w io.Writer, res eval.SweepResult) error {
 	if _, err := fmt.Fprintf(w, "Fault sweep — spec %q, fault seed %d, %d cases per rate\n",
 		res.FaultSpec, res.FaultSeed, res.CasesPerRate); err != nil {
@@ -41,16 +42,16 @@ func WriteSweepTable(w io.Writer, res eval.SweepResult) error {
 		top := fmt.Sprintf("%-22s %6s", "", "")
 		head := fmt.Sprintf("%-22s %6s", "scenario", "cases")
 		for _, g := range groups {
-			top += fmt.Sprintf(" | %-31s", g.name)
-			head += fmt.Sprintf(" | %7s %7s %7s %7s", "acc", "fpr", "fnr", "deg")
+			top += fmt.Sprintf(" | %-39s", g.name)
+			head += fmt.Sprintf(" | %7s %7s %7s %7s %7s", "acc", "accAll", "fpr", "fnr", "deg")
 		}
 		lines := []string{top, head, strings.Repeat("-", len(head))}
 		for _, c := range cells {
 			line := fmt.Sprintf("%-22s %6d", c.Scenario, c.Cases)
 			for _, g := range groups {
 				m := g.get(c)
-				line += fmt.Sprintf(" | %6.2f%% %6.2f%% %6.2f%% %6.2f%%",
-					100*m.Accuracy, 100*m.FPR, 100*m.FNR, 100*m.DegradedFraction)
+				line += fmt.Sprintf(" | %6.2f%% %6.2f%% %6.2f%% %6.2f%% %6.2f%%",
+					100*m.Accuracy, 100*m.AccuracyAll, 100*m.FPR, 100*m.FNR, 100*m.DegradedFraction)
 			}
 			lines = append(lines, line)
 		}

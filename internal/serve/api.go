@@ -13,6 +13,10 @@
 //	GET  /v1/jobs/{id}           job status
 //	GET  /v1/jobs/{id}/result    canonical assessment document (200 when
 //	                             done, 409 while pending, 500 when failed)
+//	GET  /v1/jobs/{id}/trace     execution trace: queue-wait vs run
+//	                             timings, attempts and retries, the
+//	                             degradations of a partial result, and
+//	                             the per-attempt span trees
 //	GET  /healthz                liveness
 //	GET  /readyz                 readiness (503 while draining)
 //	GET  /metrics                Prometheus text exposition
@@ -21,6 +25,11 @@
 // Determinism contract: the same canonical request always produces the
 // same result bytes (the engine's (Seed, iteration) RNG derivation), so
 // the result cache never changes an answer — it only skips recompute.
+//
+// Every job carries a W3C trace identity: POST /v1/assess accepts a
+// traceparent request header (minting an identity when absent), and
+// responses that name a job echo a traceparent header back — see
+// trace.go for the propagation contract.
 package serve
 
 import (
@@ -381,7 +390,10 @@ type JobStatus struct {
 	// Degraded reports that the assessment finished but parts of it could
 	// not be computed; the result document's failures list the
 	// machine-readable reasons.
-	Degraded    bool       `json:"degraded,omitempty"`
+	Degraded bool `json:"degraded,omitempty"`
+	// TraceID is the job's W3C trace identity (32 hex digits) — the key
+	// into GET /v1/jobs/{id}/trace and the caller's own trace backend.
+	TraceID     string     `json:"traceId,omitempty"`
 	SubmittedAt time.Time  `json:"submittedAt"`
 	StartedAt   *time.Time `json:"startedAt,omitempty"`
 	FinishedAt  *time.Time `json:"finishedAt,omitempty"`

@@ -21,11 +21,15 @@ import (
 )
 
 // newHookedServer builds a server whose assessment body is replaced by
-// exec; panic recovery and retry classification still apply.
+// exec; panic recovery and retry classification still apply. Hooks that
+// also inject degradation failures set s.testExecute directly.
 func newHookedServer(t *testing.T, cfg Config, exec func(ctx context.Context, j *job) ([]byte, bool, error)) (*Server, *httptest.Server) {
 	t.Helper()
 	s := newServer(cfg)
-	s.testExecute = exec
+	s.testExecute = func(ctx context.Context, j *job) ([]byte, bool, []litmus.AssessmentFailureDoc, error) {
+		b, degraded, err := exec(ctx, j)
+		return b, degraded, nil, err
+	}
 	s.start()
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {

@@ -7,6 +7,10 @@ package serve
 import (
 	"container/list"
 	"time"
+
+	"repro/internal/obs"
+
+	litmus "repro"
 )
 
 // Job states.
@@ -32,6 +36,19 @@ type job struct {
 	result    []byte // canonical assessment document, immutable once set
 	err       string
 
+	// traceID is the job's W3C trace identity: adopted from the
+	// submitter's traceparent header or generated at submit time, echoed
+	// on every response that names the job.
+	traceID string
+	// attempts/retries count the last run's executions and backoff
+	// retries; spans holds each attempt's trace root (newest last) and
+	// failures the isolated degradations of the attempt that concluded
+	// the job — the substance of GET /v1/jobs/{id}/trace.
+	attempts int
+	retries  int
+	spans    []*obs.Span
+	failures []litmus.AssessmentFailureDoc
+
 	// finishedElem is this job's node in the server's finished order,
 	// nil while the job has never finished or is back in flight after a
 	// retry. Tracking the element keeps the order duplicate-free, so
@@ -50,7 +67,7 @@ func newJob(id string, req *compiledRequest, now time.Time) *job {
 
 // status renders the job's API view. Callers hold the server mutex.
 func (j *job) status() JobStatus {
-	st := JobStatus{ID: j.id, Status: j.state, Cached: j.cached, Degraded: j.degraded, SubmittedAt: j.submitted, Error: j.err}
+	st := JobStatus{ID: j.id, Status: j.state, Cached: j.cached, Degraded: j.degraded, TraceID: j.traceID, SubmittedAt: j.submitted, Error: j.err}
 	if !j.started.IsZero() {
 		t := j.started
 		st.StartedAt = &t

@@ -50,40 +50,65 @@ type permanentError struct{ err error }
 func (e *permanentError) Error() string { return e.err.Error() }
 func (e *permanentError) Unwrap() error { return e.err }
 
+// attemptResult is one execution attempt's outcome: the canonical
+// result bytes, the degraded flag, the isolated degradations of a
+// partial assessment, and the attempt's trace root — the job record
+// retains the spans and failures so GET /v1/jobs/{id}/trace can replay
+// the execution after the fact.
+type attemptResult struct {
+	result   []byte
+	degraded bool
+	failures []litmus.AssessmentFailureDoc
+	span     *obs.Span
+}
+
 // executeJob runs one attempt of j's assessment under ctx. A panic
 // anywhere in the attempt — scenario build, assessment, serialization —
-// is recovered into a *panicError so the worker survives.
-func (s *Server) executeJob(ctx context.Context, j *job) (result []byte, degraded bool, err error) {
+// is recovered into a *panicError so the worker survives; the attempt's
+// span (partial on panic) survives in the returned result either way.
+func (s *Server) executeJob(ctx context.Context, j *job) (ar attemptResult, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.reg.Counter(obs.MetricJobPanics).Add(1)
-			result, degraded = nil, false
+			ar.result, ar.degraded, ar.failures = nil, false, nil
 			err = &panicError{val: r, stack: debug.Stack()}
 		}
 	}()
 
-	if s.testExecute != nil {
-		return s.testExecute(ctx, j)
-	}
-
-	// Each attempt gets its own trace root (discarded after the job —
-	// the service keeps no per-job trace history) recording stage
-	// latencies and engine counters into the shared registry.
+	// Each attempt gets its own trace root recording stage latencies and
+	// engine counters into the shared registry. The span tree is kept on
+	// the job (for the trace endpoint) until retention forgets it. Test
+	// hooks execute under the same root, so hook attempts trace too.
 	scope := obs.New(obs.SpanServeJob, s.reg)
 	defer scope.End()
+	scope.SetAttr("job", j.id)
+	scope.SetAttr("traceId", j.traceID)
+	ar.span = scope.Span()
+
+	if s.testExecute != nil {
+		ar.result, ar.degraded, ar.failures, err = s.testExecute(ctx, j)
+		return ar, err
+	}
 
 	p, change, err := j.req.buildPipeline(scope)
 	if err != nil {
 		// World generation is seeded and deterministic: rebuilding the
 		// same request cannot succeed where this attempt failed.
-		return nil, false, &permanentError{err: err}
+		return ar, &permanentError{err: err}
 	}
 	res, err := p.AssessChangeContext(ctx, change, j.req.kpis, j.req.window)
 	if err != nil {
-		return nil, false, err
+		return ar, err
 	}
-	result, err = litmus.MarshalAssessment(res)
-	return result, res.Degraded, err
+	ar.result, err = litmus.MarshalAssessment(res)
+	ar.degraded = res.Degraded
+	for _, f := range res.Failures {
+		ar.failures = append(ar.failures, litmus.AssessmentFailureDoc{
+			KPI: f.KPI.String(), Element: f.Element,
+			Reason: string(f.Reason), Detail: f.Detail,
+		})
+	}
+	return ar, err
 }
 
 // retryable reports whether a failed attempt is worth repeating.

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"net/http/pprof"
@@ -14,6 +15,8 @@ import (
 	"time"
 
 	"repro/internal/obs"
+
+	litmus "repro"
 )
 
 // Config parameterizes the assessment service. The zero value is usable:
@@ -49,6 +52,10 @@ type Config struct {
 	// Registry receives the service and engine metrics (default: a fresh
 	// registry, exposed on /metrics either way).
 	Registry *obs.Registry
+	// Logger receives structured request and job-lifecycle logs
+	// (log/slog). Nil disables logging — the default; the service never
+	// writes to stderr on its own.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -109,7 +116,7 @@ type Server struct {
 	// Set between newServer and start only.
 	testStarted chan string
 	testRelease chan struct{}
-	testExecute func(ctx context.Context, j *job) (result []byte, degraded bool, err error)
+	testExecute func(ctx context.Context, j *job) (result []byte, degraded bool, failures []litmus.AssessmentFailureDoc, err error)
 }
 
 // New returns a running server: workers are started immediately; the
@@ -156,6 +163,7 @@ func (s *Server) routes() {
 	s.route("POST /v1/assess", s.handleSubmit)
 	s.route("GET /v1/jobs/{id}", s.handleJob)
 	s.route("GET /v1/jobs/{id}/result", s.handleResult)
+	s.route("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.route("GET /healthz", s.handleHealthz)
 	s.route("GET /readyz", s.handleReadyz)
 	s.route("GET /metrics", s.handleMetrics)
@@ -168,10 +176,13 @@ func (s *Server) routes() {
 	}
 }
 
-// statusWriter captures the response code for the request counter.
+// statusWriter captures the response code for the request counter, plus
+// the job and trace identities a handler annotates for the access log.
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code    int
+	jobID   string
+	traceID string
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -179,14 +190,40 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// route mounts a handler with per-route request counting, labeled by
-// route pattern and status code.
+// annotate attaches the job and trace identity of the request to the
+// access-log record. Handlers call it once the job is known; outside the
+// route middleware (direct handler tests) it is a no-op.
+func annotate(w http.ResponseWriter, jobID, traceID string) {
+	if sw, ok := w.(*statusWriter); ok {
+		sw.jobID, sw.traceID = jobID, traceID
+	}
+}
+
+// route mounts a handler with per-route request counting (labeled by
+// route pattern and status code) and structured access logging.
 func (s *Server) route(pattern string, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		h(sw, r)
 		s.reg.Counter(obs.Labeled(obs.MetricHTTPRequests,
 			"path", pattern, "code", strconv.Itoa(sw.code))).Add(1)
+		if s.cfg.Logger != nil {
+			attrs := []any{
+				"method", r.Method,
+				"path", r.URL.Path,
+				"route", pattern,
+				"code", sw.code,
+				"durationMs", float64(time.Since(start)) / float64(time.Millisecond),
+			}
+			if sw.jobID != "" {
+				attrs = append(attrs, "job", sw.jobID)
+			}
+			if sw.traceID != "" {
+				attrs = append(attrs, "traceId", sw.traceID)
+			}
+			s.cfg.Logger.Info("http request", attrs...)
+		}
 	})
 }
 
@@ -220,6 +257,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	id := compiled.hash()
 	now := time.Now()
+	// Trace identity: adopt the caller's traceparent, or mint one. Jobs
+	// that already exist keep the trace of the submission that caused
+	// the work — the response header tells this caller which trace the
+	// job belongs to.
+	traceID, ok := parseTraceparent(r.Header.Get(traceparentHeader))
+	if !ok {
+		traceID = newTraceID()
+	}
 
 	s.mu.Lock()
 	if j, ok := s.jobs[id]; ok {
@@ -230,16 +275,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			// contract.
 			s.cache.get(id) // refresh recency
 			resp := SubmitResponse{ID: id, Status: stateDone, Cached: true}
+			jobTrace := j.traceID
 			s.mu.Unlock()
 			s.reg.Counter(obs.MetricCacheHits).Add(1)
+			annotate(w, id, jobTrace)
+			setTraceparent(w, jobTrace)
 			writeJSON(w, http.StatusOK, resp)
 			return
 		case stateQueued, stateRunning:
 			// Identical request already in flight: deduplicate onto it
 			// instead of queueing duplicate work.
 			resp := SubmitResponse{ID: id, Status: j.state, Cached: true}
+			jobTrace := j.traceID
 			s.mu.Unlock()
 			s.reg.Counter(obs.MetricCacheHits).Add(1)
+			annotate(w, id, jobTrace)
+			setTraceparent(w, jobTrace)
 			writeJSON(w, http.StatusAccepted, resp)
 			return
 		case stateFailed:
@@ -256,11 +307,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 				j.finished = time.Time{}
 				j.result = nil
 				j.degraded = false
+				// The retry is new work: it belongs to the resubmitter's
+				// trace, and the previous run's trace state is stale.
+				j.traceID = traceID
+				j.attempts, j.retries = 0, 0
+				j.spans, j.failures = nil, nil
 				if j.finishedElem != nil {
 					s.finished.Remove(j.finishedElem)
 					j.finishedElem = nil
 				}
 				s.mu.Unlock()
+				annotate(w, id, traceID)
+				setTraceparent(w, traceID)
 				writeJSON(w, http.StatusAccepted, resp)
 			}
 			return
@@ -275,19 +333,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		j.degraded = hit.degraded
 		j.finished = now
 		j.result = hit.result
+		j.traceID = traceID
 		close(j.done)
 		s.jobs[id] = j
 		s.recordFinishedLocked(j)
 		s.mu.Unlock()
 		s.reg.Counter(obs.MetricCacheHits).Add(1)
+		annotate(w, id, traceID)
+		setTraceparent(w, traceID)
 		writeJSON(w, http.StatusOK, SubmitResponse{ID: id, Status: stateDone, Cached: true})
 		return
 	}
 	j := newJob(id, compiled, now)
+	j.traceID = traceID
 	if ok, resp := s.enqueueLocked(w, j, now); ok {
 		s.jobs[id] = j
 		s.mu.Unlock()
 		s.reg.Counter(obs.MetricCacheMisses).Add(1)
+		annotate(w, id, traceID)
+		setTraceparent(w, traceID)
 		writeJSON(w, http.StatusAccepted, resp)
 	}
 }
@@ -357,6 +421,8 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}
+	annotate(w, id, st.TraceID)
+	setTraceparent(w, st.TraceID)
 	writeJSON(w, http.StatusOK, st)
 }
 
@@ -428,6 +494,8 @@ func (s *Server) runJob(j *job) {
 	s.mu.Lock()
 	j.state = stateRunning
 	j.started = time.Now()
+	queueWait := j.started.Sub(j.submitted)
+	traceID := j.traceID
 	s.mu.Unlock()
 
 	if s.testStarted != nil {
@@ -437,15 +505,22 @@ func (s *Server) runJob(j *job) {
 
 	// Attempt loop: panics are recovered per attempt, deterministic
 	// failures terminate immediately, transient failures earn bounded
-	// retries with exponential backoff (see retry.go).
-	var result []byte
-	var degraded bool
+	// retries with exponential backoff (see retry.go). Every attempt's
+	// span tree is retained on the job for the trace endpoint.
+	var ar attemptResult
 	var err error
+	var attempts, retries int
+	var spans []*obs.Span
 	for attempt := 0; ; attempt++ {
-		result, degraded, err = s.executeJob(ctx, j)
+		ar, err = s.executeJob(ctx, j)
+		attempts++
+		if ar.span != nil {
+			spans = append(spans, ar.span)
+		}
 		if err == nil || !retryable(err) || attempt+1 >= s.cfg.MaxJobAttempts {
 			break
 		}
+		retries++
 		s.reg.Counter(obs.MetricJobRetries).Add(1)
 		if !sleepCtx(ctx, retryBackoff(attempt)) {
 			break // deadline or shutdown; report the attempt's error
@@ -459,23 +534,28 @@ func (s *Server) runJob(j *job) {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			statusLabel = "canceled"
 		}
-	case degraded:
+	case ar.degraded:
 		statusLabel = "degraded"
 	}
 
 	s.mu.Lock()
 	j.finished = time.Now()
+	j.attempts = attempts
+	j.retries = retries
+	j.spans = spans
+	j.failures = ar.failures
 	if err != nil {
 		j.state = stateFailed
 		j.err = err.Error()
 	} else {
 		j.state = stateDone
-		j.degraded = degraded
-		j.result = result
-		s.cache.put(j.id, cachedResult{result: result, degraded: degraded})
+		j.degraded = ar.degraded
+		j.result = ar.result
+		s.cache.put(j.id, cachedResult{result: ar.result, degraded: ar.degraded})
 	}
 	s.recordFinishedLocked(j)
 	latency := j.finished.Sub(j.submitted)
+	run := j.finished.Sub(j.started)
 	// Close under the mutex so the close pairs with the done channel
 	// this run owned — a concurrent retry resubmit swaps in a fresh
 	// channel only between terminal states, never mid-run.
@@ -484,6 +564,26 @@ func (s *Server) runJob(j *job) {
 
 	s.reg.Counter(obs.Labeled(obs.MetricJobs, "status", statusLabel)).Add(1)
 	s.reg.Histogram(obs.MetricJobSeconds, obs.StageBuckets).Observe(latency.Seconds())
+	s.reg.Histogram(obs.MetricJobQueueSeconds, obs.StageBuckets).Observe(queueWait.Seconds())
+	s.reg.Histogram(obs.MetricJobRunSeconds, obs.StageBuckets).Observe(run.Seconds())
+
+	if s.cfg.Logger != nil {
+		attrs := []any{
+			"job", j.id,
+			"traceId", traceID,
+			"status", statusLabel,
+			"attempts", attempts,
+			"retries", retries,
+			"queueSeconds", queueWait.Seconds(),
+			"runSeconds", run.Seconds(),
+		}
+		if err != nil {
+			attrs = append(attrs, "error", err.Error())
+			s.cfg.Logger.Error("job finished", attrs...)
+		} else {
+			s.cfg.Logger.Info("job finished", attrs...)
+		}
+	}
 }
 
 // Shutdown gracefully drains the service: submissions are rejected with

@@ -1,0 +1,405 @@
+package serve
+
+// Tests of request-scoped tracing: traceparent propagation in and out,
+// the trace endpoint's timings and attempt history, degradation surfacing
+// and span-tree capture.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+
+	litmus "repro"
+)
+
+// submitTraced posts req with a traceparent header and returns the
+// submit response plus the raw HTTP response (body drained).
+func submitTraced(t *testing.T, ts *httptest.Server, req *AssessRequest, traceparent string) (*SubmitResponse, *http.Response) {
+	t.Helper()
+	payload, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/assess", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if traceparent != "" {
+		hreq.Header.Set(traceparentHeader, traceparent)
+	}
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: unexpected status %d: %s", resp.StatusCode, body)
+	}
+	var sub SubmitResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	return &sub, resp
+}
+
+// getTrace fetches GET /v1/jobs/{id}/trace.
+func getTrace(t *testing.T, ts *httptest.Server, id string) (JobTrace, *http.Response) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace: status %d: %s", resp.StatusCode, body)
+	}
+	var tr JobTrace
+	if err := json.Unmarshal(body, &tr); err != nil {
+		t.Fatalf("decoding trace: %v\n%s", err, body)
+	}
+	return tr, resp
+}
+
+// traceNode mirrors the obs span-JSON schema for assertions.
+type traceNode struct {
+	Name       string         `json:"name"`
+	DurationMs float64        `json:"durationMs"`
+	Attrs      map[string]any `json:"attrs"`
+	Children   []traceNode    `json:"children"`
+}
+
+func collectSpanNames(n traceNode, set map[string]bool) {
+	set[n.Name] = true
+	for _, c := range n.Children {
+		collectSpanNames(c, set)
+	}
+}
+
+var hexID32 = regexp.MustCompile(`^[0-9a-f]{32}$`)
+
+// TestTraceparentPropagation: a submitted traceparent becomes the job's
+// trace identity, echoed on every response naming the job; the trace
+// endpoint exposes queue/run timings and the full pipeline span tree.
+func TestTraceparentPropagation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	const wantTrace = "0af7651916cd43dd8448eb211c80319c"
+	const parent = "00-" + wantTrace + "-00f067aa0ba902b7-01"
+
+	sub, resp := submitTraced(t, ts, goldenRequest(t), parent)
+	if got := resp.Header.Get(traceparentHeader); len(got) != 55 || got[3:35] != wantTrace {
+		t.Errorf("submit response traceparent %q does not carry trace id %s", got, wantTrace)
+	}
+	st := waitDone(t, ts, sub.ID)
+	if st.Status != stateDone {
+		t.Fatalf("job finished %s: %s", st.Status, st.Error)
+	}
+	if st.TraceID != wantTrace {
+		t.Errorf("job status traceId = %q, want %q", st.TraceID, wantTrace)
+	}
+
+	tr, tresp := getTrace(t, ts, sub.ID)
+	if got := tresp.Header.Get(traceparentHeader); len(got) != 55 || got[3:35] != wantTrace {
+		t.Errorf("trace response traceparent %q does not carry trace id %s", got, wantTrace)
+	}
+	if tr.TraceID != wantTrace || tr.Status != stateDone {
+		t.Errorf("trace identity/status = %q/%q, want %q/done", tr.TraceID, tr.Status, wantTrace)
+	}
+	if tr.Attempts != 1 || tr.Retries != 0 {
+		t.Errorf("attempts/retries = %d/%d, want 1/0", tr.Attempts, tr.Retries)
+	}
+	if tr.QueueSeconds == nil || *tr.QueueSeconds < 0 {
+		t.Error("trace missing queueSeconds")
+	}
+	if tr.RunSeconds == nil || *tr.RunSeconds <= 0 {
+		t.Error("trace missing runSeconds")
+	}
+	if len(tr.Spans) != 1 {
+		t.Fatalf("trace has %d attempt span trees, want 1", len(tr.Spans))
+	}
+	var root traceNode
+	if err := json.Unmarshal(tr.Spans[0].Span, &root); err != nil {
+		t.Fatalf("decoding span tree: %v", err)
+	}
+	if root.Name != obs.SpanServeJob {
+		t.Errorf("span root = %q, want %q", root.Name, obs.SpanServeJob)
+	}
+	if got := root.Attrs["job"]; got != sub.ID {
+		t.Errorf("root span job attr = %v, want %s", got, sub.ID)
+	}
+	names := map[string]bool{}
+	collectSpanNames(root, names)
+	for _, want := range []string{obs.SpanAssessChange, obs.SpanControlSelect, obs.SpanAssessGroup, obs.SpanRankTest} {
+		if !names[want] {
+			t.Errorf("span tree is missing pipeline stage %q", want)
+		}
+	}
+
+	// A later identical submission joins the existing job's trace: the
+	// resubmitter's own traceparent does not rename the job.
+	const otherParent = "00-ffffffffffffffffffffffffffffff00-00f067aa0ba902b7-01"
+	_, resp2 := submitTraced(t, ts, goldenRequest(t), otherParent)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("resubmit: status %d, want 200 cache hit", resp2.StatusCode)
+	}
+	if got := resp2.Header.Get(traceparentHeader); got[3:35] != wantTrace {
+		t.Errorf("cache-hit traceparent %q does not keep the job's trace id %s", got, wantTrace)
+	}
+}
+
+// TestTraceFreshIDWithoutHeader: absent or malformed traceparent gets a
+// generated identity, valid per the W3C grammar.
+func TestTraceFreshIDWithoutHeader(t *testing.T) {
+	s := newServer(Config{})
+	s.testExecute = func(context.Context, *job) ([]byte, bool, []litmus.AssessmentFailureDoc, error) {
+		return []byte(`{}`), false, nil, nil
+	}
+	s.start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+
+	for _, header := range []string{"", "not-a-traceparent", "00-TRACEIDUPPERCASE-0000000000000001-01",
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01"} {
+		sub, resp := submitTraced(t, ts, requestWithSeed(t, 9100+int64(len(header))), header)
+		st := waitDone(t, ts, sub.ID)
+		if !hexID32.MatchString(st.TraceID) {
+			t.Errorf("header %q: job traceId %q is not 32 lowercase hex digits", header, st.TraceID)
+		}
+		if got := resp.Header.Get(traceparentHeader); len(got) != 55 || got[3:35] != st.TraceID {
+			t.Errorf("header %q: response traceparent %q does not match job trace %s", header, got, st.TraceID)
+		}
+	}
+}
+
+// TestTraceDegradedJob: the trace of a degraded job carries its
+// machine-readable degradation reasons alongside timings and spans.
+func TestTraceDegradedJob(t *testing.T) {
+	failures := []litmus.AssessmentFailureDoc{
+		{KPI: "voice-retainability", Element: "nb1-ne-1", Reason: "insufficient-controls", Detail: "2 controls after exclusion, need 3"},
+		{KPI: "data-accessibility", Reason: "no-data", Detail: "control group has no usable data"},
+	}
+	s := newServer(Config{})
+	s.testExecute = func(context.Context, *job) ([]byte, bool, []litmus.AssessmentFailureDoc, error) {
+		return []byte(`{"degraded": true}`), true, failures, nil
+	}
+	s.start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+
+	sub, _ := submitTraced(t, ts, requestWithSeed(t, 9201), "")
+	st := waitDone(t, ts, sub.ID)
+	if st.Status != stateDone || !st.Degraded {
+		t.Fatalf("job status/degraded = %s/%v, want done/true", st.Status, st.Degraded)
+	}
+	tr, _ := getTrace(t, ts, sub.ID)
+	if !tr.Degraded {
+		t.Error("trace does not surface Degraded")
+	}
+	if len(tr.Degradations) != len(failures) {
+		t.Fatalf("trace has %d degradations, want %d", len(tr.Degradations), len(failures))
+	}
+	for i, want := range failures {
+		if tr.Degradations[i] != want {
+			t.Errorf("degradation %d = %+v, want %+v", i, tr.Degradations[i], want)
+		}
+	}
+	if tr.Attempts != 1 || tr.Retries != 0 {
+		t.Errorf("attempts/retries = %d/%d, want 1/0", tr.Attempts, tr.Retries)
+	}
+	if tr.QueueSeconds == nil || tr.RunSeconds == nil {
+		t.Error("degraded trace missing queue/run timings")
+	}
+	if len(tr.Spans) != 1 {
+		t.Fatalf("trace has %d span trees, want 1 (hook attempts trace too)", len(tr.Spans))
+	}
+	var root traceNode
+	if err := json.Unmarshal(tr.Spans[0].Span, &root); err != nil {
+		t.Fatal(err)
+	}
+	if root.Name != obs.SpanServeJob {
+		t.Errorf("span root = %q, want %q", root.Name, obs.SpanServeJob)
+	}
+}
+
+// TestTraceRetryHistory: every retried attempt leaves its own span tree
+// and the attempt/retry counters add up.
+func TestTraceRetryHistory(t *testing.T) {
+	var calls atomic.Int64
+	s := newServer(Config{})
+	s.testExecute = func(context.Context, *job) ([]byte, bool, []litmus.AssessmentFailureDoc, error) {
+		if calls.Add(1) < 3 {
+			return nil, false, nil, errors.New("transient weather")
+		}
+		return []byte(`{}`), false, nil, nil
+	}
+	s.start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+
+	sub, _ := submitTraced(t, ts, requestWithSeed(t, 9301), "")
+	if st := waitDone(t, ts, sub.ID); st.Status != stateDone {
+		t.Fatalf("job finished %s, want done after retries", st.Status)
+	}
+	tr, _ := getTrace(t, ts, sub.ID)
+	if tr.Attempts != 3 || tr.Retries != 2 {
+		t.Errorf("attempts/retries = %d/%d, want 3/2", tr.Attempts, tr.Retries)
+	}
+	if len(tr.Spans) != 3 {
+		t.Fatalf("trace has %d span trees, want one per attempt = 3", len(tr.Spans))
+	}
+	for i, at := range tr.Spans {
+		if at.Attempt != i+1 {
+			t.Errorf("span %d labeled attempt %d, want %d", i, at.Attempt, i+1)
+		}
+	}
+}
+
+// TestStructuredLogging: a configured slog.Logger receives JSON access
+// and job-lifecycle records carrying the job and trace identities.
+func TestStructuredLogging(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	lockedWriter := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	logger := slog.New(slog.NewJSONHandler(lockedWriter, nil))
+
+	s := newServer(Config{Logger: logger})
+	s.testExecute = func(context.Context, *job) ([]byte, bool, []litmus.AssessmentFailureDoc, error) {
+		return []byte(`{}`), false, nil, nil
+	}
+	s.start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+
+	sub, _ := submitTraced(t, ts, requestWithSeed(t, 9401), "")
+	st := waitDone(t, ts, sub.ID)
+	if st.Status != stateDone {
+		t.Fatalf("job finished %s", st.Status)
+	}
+
+	mu.Lock()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	mu.Unlock()
+	var sawSubmit, sawJob bool
+	for _, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("log line is not JSON: %v\n%s", err, line)
+		}
+		switch rec["msg"] {
+		case "http request":
+			if rec["route"] == "POST /v1/assess" {
+				sawSubmit = true
+				if rec["job"] != sub.ID || rec["traceId"] != st.TraceID {
+					t.Errorf("submit access log job/trace = %v/%v, want %s/%s", rec["job"], rec["traceId"], sub.ID, st.TraceID)
+				}
+			}
+		case "job finished":
+			sawJob = true
+			if rec["job"] != sub.ID || rec["traceId"] != st.TraceID || rec["status"] != stateDone {
+				t.Errorf("job log = %v, want job %s trace %s status done", rec, sub.ID, st.TraceID)
+			}
+			if _, ok := rec["queueSeconds"].(float64); !ok {
+				t.Error("job log missing queueSeconds")
+			}
+			if _, ok := rec["runSeconds"].(float64); !ok {
+				t.Error("job log missing runSeconds")
+			}
+		}
+	}
+	if !sawSubmit || !sawJob {
+		t.Errorf("log stream missing records: submit=%v job=%v\n%s", sawSubmit, sawJob, buf.String())
+	}
+}
+
+// writerFunc adapts a function to io.Writer for the log tests.
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+// TestTraceUnknownJob: the trace endpoint 404s like the status endpoint.
+func TestTraceUnknownJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/jobs/jdeadbeef/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job trace: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestParseTraceparent pins the header grammar.
+func TestParseTraceparent(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{"00-0af7651916cd43dd8448eb211c80319c-00f067aa0ba902b7-01", "0af7651916cd43dd8448eb211c80319c", true},
+		{"00-0af7651916cd43dd8448eb211c80319c-00f067aa0ba902b7-00", "0af7651916cd43dd8448eb211c80319c", true},
+		{"", "", false},
+		{"00-short-00f067aa0ba902b7-01", "", false},
+		{"00-0AF7651916CD43DD8448EB211C80319C-00f067aa0ba902b7-01", "", false}, // uppercase
+		{"ff-0af7651916cd43dd8448eb211c80319c-00f067aa0ba902b7-01", "", false}, // forbidden version
+		{"00-00000000000000000000000000000000-00f067aa0ba902b7-01", "", false}, // zero trace id
+		{"00_0af7651916cd43dd8448eb211c80319c-00f067aa0ba902b7-01", "", false}, // bad separator
+	}
+	for _, c := range cases {
+		got, ok := parseTraceparent(c.in)
+		if got != c.want || ok != c.ok {
+			t.Errorf("parseTraceparent(%q) = %q/%v, want %q/%v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+	if tid := newTraceID(); !hexID32.MatchString(tid) {
+		t.Errorf("newTraceID() = %q, want 32 lowercase hex digits", tid)
+	}
+	if sid := newSpanID(); len(sid) != 16 {
+		t.Errorf("newSpanID() = %q, want 16 hex digits", sid)
+	}
+}

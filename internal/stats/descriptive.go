@@ -64,7 +64,7 @@ func MedianInPlace(xs []float64) float64 {
 	// Even length: quickselect left xs[:n/2] holding the n/2 smallest
 	// values, so the (n/2−1)-th order statistic is their maximum.
 	lo := xs[0]
-	for _, v := range xs[1:n/2] {
+	for _, v := range xs[1 : n/2] {
 		if v > lo {
 			lo = v
 		}
