@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: ci vet lint build test race race-obs chaos fuzz-seed eval-sweep bench bench-workers bench-obs bench-json serve-smoke bench-serve clean
+.PHONY: ci vet lint build test race race-obs chaos fuzz-seed eval-sweep bench bench-workers bench-obs bench-json serve-smoke bench-serve bench-batch clean
 
 ci: vet build test race chaos fuzz-seed
 
@@ -104,6 +104,18 @@ serve-smoke:
 bench-serve:
 	$(GO) run ./cmd/litmus-loadgen -n 200 -c 8 -o BENCH_4.json
 	@echo wrote BENCH_4.json
+
+# Batch-vs-singles amortization proof. First the engine-level benchmark
+# pair (AssessChangelog vs per-change AssessChangeContext) through
+# cmd/benchjson for trend-spotting, then the full service-path run: a
+# 1000-entry changelog as one POST /v1/assess/batch vs 1000 sequential
+# singles, written to BENCH_8.json — the target (wall ≤ 0.35×,
+# allocations ≤ 0.25×) is enforced by the run's exit code.
+bench-batch:
+	$(GO) test -bench 'BatchChangelog|SequentialSingles' -benchmem -benchtime 1x -run '^$$' . \
+		| $(GO) run ./cmd/benchjson -o BENCH_8_engine.json
+	$(GO) run ./cmd/litmus-loadgen -batch -o BENCH_8.json
+	@echo wrote BENCH_8.json and BENCH_8_engine.json
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,497 @@
+package litmus
+
+// Batch assessment with cross-change amortization. A changelog assessed
+// one change at a time pays N× for work that is largely shared across
+// changes on the same world: control selection depends only on the
+// change's elements and propagation flag, panel assembly only on the
+// control set, KPI and window, and the before-window QR factorizations
+// only on the control panel's values and the change time. AssessBatch
+// groups entries by those signatures, performs each distinct piece of
+// work once, and shares the products read-only — with a per-change
+// fallback so every entry's result stays bit-identical to an
+// independent AssessChangeContext call (pinned by the equivalence test
+// in batch_test.go at workers 1/2/4/8, including under fault
+// injection).
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/changelog"
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// BatchEntry is one changelog entry of a batch assessment: the change
+// plus, optionally, the series provider supplying its world (nil uses
+// the pipeline's provider). Per-entry providers let a caller feed each
+// change its own counter stream — the serve tier overlays each entry's
+// effect on a shared base world this way — while the batch still shares
+// factorizations across entries whose control panels carry identical
+// values.
+type BatchEntry struct {
+	Change   *changelog.Change
+	Provider SeriesProvider
+}
+
+// BatchAssessment is the outcome of one batch: per-entry assessments
+// and errors, positionally 1:1 with the submitted entries, plus the
+// sharing the batch achieved.
+type BatchAssessment struct {
+	// Results[i] is entry i's assessment; nil when Errors[i] != nil.
+	Results []*ChangeAssessment
+	// Errors[i] is entry i's failure (validation, control selection, or
+	// every KPI unassessable); nil when the entry assessed. A failed
+	// entry never fails the batch.
+	Errors []error
+	// PanelsShared counts per-KPI panel assemblies answered from an
+	// earlier entry's identical assembly instead of re-fetched from the
+	// provider.
+	PanelsShared int64
+	// FactorizationsReused counts before-window QR factorizations
+	// adopted from a shared panel preparation instead of recomputed —
+	// the cross-change analogue of the group-shared fast path.
+	FactorizationsReused int64
+}
+
+// AssessChangelog assesses every change of a changelog against the
+// pipeline's provider in one batch, amortizing control selection, panel
+// assembly and before-window factorizations across entries with
+// overlapping signatures. Results are bit-identical to calling
+// AssessChangeContext once per change.
+func (p *Pipeline) AssessChangelog(ctx context.Context, changes []*changelog.Change, kpis []KPI, windowDays int) (*BatchAssessment, error) {
+	entries := make([]BatchEntry, len(changes))
+	for i, c := range changes {
+		entries[i] = BatchEntry{Change: c}
+	}
+	return p.AssessBatch(ctx, entries, kpis, windowDays)
+}
+
+// batchEntryState carries one entry through the batch phases.
+type batchEntryState struct {
+	change   *changelog.Change
+	provider SeriesProvider
+	esc      *obs.Scope
+	assessor *Assessor
+	err      error // terminal per-entry error (validation, selection)
+	out      *ChangeAssessment
+	failures []AssessmentFailure
+	kpiErrs  []error
+	panels   []entryPanels
+	shared   []*core.PanelFactors
+	results  []GroupResult
+	errs     []error
+}
+
+type entryPanels struct {
+	studies, controls *Panel
+}
+
+// panelEntry is one memoized per-KPI panel assembly: the panels plus the
+// element-level failures and KPI-level error the assembly produced, so a
+// cache hit replays them into the reusing entry exactly as a fresh
+// assembly would.
+type panelEntry struct {
+	studies, controls *Panel
+	fails             []AssessmentFailure
+	err               error
+}
+
+type panelCacheKey struct {
+	sel string // selection signature (elements + propagation)
+	kpi int    // index into the batch's KPI list
+	at  int64  // change time (UnixNano) — the window anchor
+}
+
+type selEntry struct {
+	controls []string
+	err      error
+}
+
+// factorGroup is one set of (entry × KPI) assessments whose control
+// panels are value-identical at the same change time — the unit that
+// shares one PanelFactors preparation.
+type factorGroup struct {
+	rep     *Panel // representative control panel
+	at      time.Time
+	members []groupRef
+	factors *core.PanelFactors
+}
+
+type groupRef struct {
+	entry, kpi int
+}
+
+// AssessBatch assesses every entry of a batch, sharing control
+// selections, panel assemblies and before-window factorizations across
+// entries whose signatures coincide. Batch-level preconditions (no
+// network, no KPIs, short window, canceled context) fail the whole call;
+// everything else — an invalid change, a failed selection, unassessable
+// KPIs — is reported per entry in BatchAssessment.Errors without
+// affecting sibling entries.
+//
+// Determinism contract: entry i's Result and Error are bit-identical to
+// AssessChangeContext(ctx, entries[i].Change, kpis, windowDays) on a
+// pipeline whose Provider is entry i's provider, for every worker count.
+// The shared products are precisely the values the per-change path would
+// compute, and adoption falls back to fresh computation on any mismatch,
+// so sharing can change cost but never bytes.
+func (p *Pipeline) AssessBatch(ctx context.Context, entries []BatchEntry, kpis []KPI, windowDays int) (*BatchAssessment, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sc := p.Obs.Child(obs.SpanAssessBatch)
+	defer sc.End()
+	sc.SetAttr("entries", len(entries))
+	sc.SetAttr("kpis", len(kpis))
+	if p.Network == nil {
+		return nil, fmt.Errorf("litmus: pipeline needs a network and a series provider")
+	}
+	if len(kpis) == 0 {
+		return nil, fmt.Errorf("litmus: no KPIs to assess")
+	}
+	if windowDays < 2 {
+		return nil, fmt.Errorf("litmus: window of %d days too short", windowDays)
+	}
+	assessor := p.Assessor
+	if assessor == nil {
+		var err error
+		assessor, err = core.NewAssessor(core.Config{})
+		if err != nil {
+			return nil, err
+		}
+	}
+	pred := p.ControlPredicate
+	if pred == nil {
+		pred = control.And(control.SameKind(), control.SameRegion())
+	}
+	sc.Counter(obs.MetricBatchEntries).Add(int64(len(entries)))
+
+	out := &BatchAssessment{
+		Results: make([]*ChangeAssessment, len(entries)),
+		Errors:  make([]error, len(entries)),
+	}
+	states := make([]*batchEntryState, len(entries))
+	defer func() {
+		for _, st := range states {
+			if st != nil {
+				st.esc.End()
+			}
+		}
+	}()
+
+	// Phase 1 — sequential per-entry setup: validation, control
+	// selection, panel assembly. Sequential because SeriesProvider
+	// implementations need not be safe for concurrent use (the same
+	// contract AssessChangeContext honors); selection and assembly are
+	// memoized so entries with repeated signatures pay once.
+	selCache := map[string]selEntry{}
+	panelCache := map[panelCacheKey]*panelEntry{}
+	for i := range entries {
+		change := entries[i].Change
+		provider := entries[i].Provider
+		if provider == nil {
+			provider = p.Provider
+		}
+		st := &batchEntryState{change: change, provider: provider}
+		states[i] = st
+		st.esc = sc.Child(obs.SpanBatchEntry)
+		if change != nil {
+			st.esc.SetAttr("change", change.ID)
+		}
+		st.assessor = assessor.WithObserver(st.esc)
+		if provider == nil {
+			st.err = fmt.Errorf("litmus: pipeline needs a network and a series provider")
+			continue
+		}
+		if change == nil {
+			st.err = fmt.Errorf("litmus: batch entry %d has no change", i)
+			continue
+		}
+		if err := change.Validate(p.Network); err != nil {
+			st.err = err
+			continue
+		}
+		sk := batchSelKey(change)
+		se, ok := selCache[sk]
+		if !ok {
+			sel := &control.Selector{
+				Net:       p.Network,
+				Predicate: pred,
+				Exclude:   change.ImpactScope(p.Network),
+				MaxSize:   p.MaxControls,
+				Obs:       st.esc,
+			}
+			se.controls, se.err = sel.Select(change.Elements)
+			selCache[sk] = se
+		}
+		if se.err != nil {
+			st.err = fmt.Errorf("litmus: control selection: %w", se.err)
+			continue
+		}
+		st.out = &ChangeAssessment{
+			Change:       change,
+			ControlGroup: se.controls,
+			PerKPI:       make(map[KPI]GroupResult, len(kpis)),
+		}
+		st.panels = make([]entryPanels, len(kpis))
+		st.kpiErrs = make([]error, len(kpis))
+		st.shared = make([]*core.PanelFactors, len(kpis))
+		// Assemblies are memoized only for entries reading the pipeline's
+		// provider: a per-entry provider can serve different values for
+		// the same element, so its panels are never shared by signature —
+		// value-identical panels still share factorizations in phase 2.
+		pp := *p
+		pp.Provider = provider
+		cacheable := entries[i].Provider == nil
+		assembly := st.esc.Child(obs.SpanPanelAssembly)
+		for ki, metric := range kpis {
+			var pe *panelEntry
+			if cacheable {
+				key := panelCacheKey{sel: sk, kpi: ki, at: change.At.UnixNano()}
+				if hit := panelCache[key]; hit != nil {
+					sc.Counter(obs.MetricBatchPanelsShared).Add(1)
+					out.PanelsShared++
+					pe = hit
+				} else {
+					pe = assemblePanels(&pp, change, se.controls, metric, windowDays)
+					panelCache[key] = pe
+				}
+			} else {
+				pe = assemblePanels(&pp, change, se.controls, metric, windowDays)
+			}
+			st.failures = append(st.failures, pe.fails...)
+			if pe.err != nil {
+				st.kpiErrs[ki] = pe.err
+				st.failures = append(st.failures, AssessmentFailure{KPI: metric, Reason: core.ReasonOf(pe.err), Detail: pe.err.Error()})
+				continue
+			}
+			st.panels[ki] = entryPanels{studies: pe.studies, controls: pe.controls}
+		}
+		assembly.End()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Phase 2 — group (entry × KPI) assessments whose control panels are
+	// value-identical at the same change time, and prepare each
+	// multi-member group's factorizations once. Pointer identity (from
+	// the assembly cache) short-circuits; otherwise panels are matched by
+	// content hash plus full verification, so a hash collision costs a
+	// comparison, never a wrong share.
+	var groups []*factorGroup
+	byPtr := map[*Panel]*factorGroup{}
+	byHash := map[uint64][]*factorGroup{}
+	for i, st := range states {
+		if st.err != nil {
+			continue
+		}
+		for ki := range kpis {
+			if st.kpiErrs[ki] != nil {
+				continue
+			}
+			pan := st.panels[ki]
+			// Only groups the shared fast path can serve are worth
+			// grouping: a uniform time grid and at least one fully
+			// observed study element. Others fall back per element,
+			// exactly as the per-change path would.
+			if !pan.studies.Index().Equal(pan.controls.Index()) || !core.SharedEligible(pan.studies, st.change.At) {
+				continue
+			}
+			g := byPtr[pan.controls]
+			if g != nil && !g.at.Equal(st.change.At) {
+				g = nil
+			}
+			if g == nil {
+				h := panelContentHash(pan.controls, st.change.At)
+				for _, cand := range byHash[h] {
+					if cand.at.Equal(st.change.At) && panelsEqual(cand.rep, pan.controls) {
+						g = cand
+						break
+					}
+				}
+				if g == nil {
+					g = &factorGroup{rep: pan.controls, at: st.change.At}
+					groups = append(groups, g)
+					byHash[h] = append(byHash[h], g)
+				}
+				if _, ok := byPtr[pan.controls]; !ok {
+					byPtr[pan.controls] = g
+				}
+			}
+			g.members = append(g.members, groupRef{entry: i, kpi: ki})
+		}
+	}
+	prepAssessor := assessor.WithObserver(sc)
+	for _, g := range groups {
+		if len(g.members) < 2 {
+			// A panel no other entry touches gains nothing from external
+			// preparation; its assessment prepares (and shares across its
+			// own elements) exactly as the per-change path does.
+			continue
+		}
+		g.factors = prepAssessor.PrepPanelFactors(ctx, g.rep, g.at)
+		if g.factors == nil {
+			continue
+		}
+		out.FactorizationsReused += int64(len(g.members)) * g.factors.Factorizations()
+		for _, m := range g.members {
+			states[m.entry].shared[m.kpi] = g.factors
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Phase 3 — the assessment grid: pure computation on immutable
+	// panels, fanned out over every live (entry × KPI) pair. Per-iteration
+	// seeding makes each group result independent of scheduling, so the
+	// batch is deterministic for every worker count.
+	type workItem struct {
+		st *batchEntryState
+		ki int
+	}
+	var items []workItem
+	for _, st := range states {
+		if st.err != nil {
+			continue
+		}
+		st.results = make([]GroupResult, len(kpis))
+		st.errs = make([]error, len(kpis))
+		for ki := range kpis {
+			if st.kpiErrs[ki] == nil {
+				items = append(items, workItem{st, ki})
+			}
+		}
+	}
+	core.ForEachIndex(assessor.Config().Workers, len(items), func(n int) {
+		it := items[n]
+		pan := it.st.panels[it.ki]
+		it.st.results[it.ki], it.st.errs[it.ki] = it.st.assessor.AssessGroupPrepared(ctx, it.st.shared[it.ki], pan.studies, pan.controls, it.st.change.At, kpis[it.ki])
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Phase 4 — per-entry gathering, in the per-change path's exact
+	// order: KPI-level errors, then element-level degradations per voted
+	// KPI, then the decision.
+	for i, st := range states {
+		if st.err != nil {
+			out.Errors[i] = st.err
+			continue
+		}
+		var firstErr error
+		failures := st.failures
+		for ki, metric := range kpis {
+			err := st.kpiErrs[ki]
+			if err == nil && st.errs[ki] != nil {
+				err = st.errs[ki]
+				failures = append(failures, AssessmentFailure{KPI: metric, Reason: core.ReasonOf(err), Detail: err.Error()})
+			}
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("litmus: %v: %w", metric, err)
+				}
+				continue
+			}
+			for _, f := range st.results[ki].Failures {
+				failures = append(failures, AssessmentFailure{KPI: metric, Element: f.Element, Reason: f.Reason, Detail: f.Detail})
+			}
+			st.out.PerKPI[metric] = st.results[ki]
+		}
+		if len(st.out.PerKPI) == 0 {
+			out.Errors[i] = firstErr
+			continue
+		}
+		st.out.Failures = failures
+		st.out.Degraded = len(failures) > 0
+		st.out.Decision = decide(st.out.PerKPI)
+		st.esc.Counter(obs.Labeled(obs.MetricDecisions, "decision", st.out.Decision.String())).Add(1)
+		out.Results[i] = st.out
+	}
+	return out, nil
+}
+
+// assemblePanels runs the per-change path's panel assembly for one KPI
+// and packages the outcome for memoization.
+func assemblePanels(p *Pipeline, change *changelog.Change, controls []string, metric KPI, windowDays int) *panelEntry {
+	studies, controlsPanel, fails, err := p.panels(change, controls, metric, windowDays)
+	return &panelEntry{studies: studies, controls: controlsPanel, fails: fails, err: err}
+}
+
+// batchSelKey is the control-selection signature of a change: two
+// changes with the same elements and propagation flag select identical
+// control groups (the predicate, cap and network are pipeline-level).
+func batchSelKey(c *changelog.Change) string {
+	var b strings.Builder
+	for _, e := range c.Elements {
+		b.WriteString(e)
+		b.WriteByte(0)
+	}
+	if c.PropagateToDescendants {
+		b.WriteByte(1)
+	}
+	return b.String()
+}
+
+// panelContentHash fingerprints a control panel's assessment-relevant
+// content — time grid, column IDs in order, every value's exact bits —
+// plus the change time anchoring the before/after split. Equal content
+// hashes equal; collisions are resolved by panelsEqual before sharing.
+func panelContentHash(p *Panel, at time.Time) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	idx := p.Index()
+	w64(uint64(idx.Start.UnixNano()))
+	w64(uint64(idx.Step))
+	w64(uint64(idx.N))
+	w64(uint64(at.UnixNano()))
+	for _, id := range p.IDs() {
+		h.Write([]byte(id))
+		h.Write([]byte{0})
+		for _, v := range p.MustSeries(id).Values {
+			w64(math.Float64bits(v))
+		}
+	}
+	return h.Sum64()
+}
+
+// panelsEqual reports bitwise value identity of two panels: same index,
+// same column IDs in the same order, every observation's exact bits
+// equal (NaNs compare by payload, so panels with identical missing-data
+// patterns still match).
+func panelsEqual(a, b *Panel) bool {
+	if !a.Index().Equal(b.Index()) || a.Len() != b.Len() {
+		return false
+	}
+	aIDs, bIDs := a.IDs(), b.IDs()
+	for i := range aIDs {
+		if aIDs[i] != bIDs[i] {
+			return false
+		}
+	}
+	for _, id := range aIDs {
+		av, bv := a.MustSeries(id).Values, b.MustSeries(id).Values
+		if len(av) != len(bv) {
+			return false
+		}
+		for j := range av {
+			if math.Float64bits(av[j]) != math.Float64bits(bv[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}

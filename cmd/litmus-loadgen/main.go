@@ -41,13 +41,16 @@ var logger *slog.Logger
 
 func main() {
 	var (
-		n        = flag.Int("n", 200, "total number of assessment requests")
-		c        = flag.Int("c", 8, "concurrent client workers")
-		dup      = flag.Float64("dup", 0.25, "fraction of requests that repeat an earlier request (cache hits)")
-		addr     = flag.String("addr", "", "service base URL (empty = run an in-process server)")
-		out      = flag.String("o", "BENCH_4.json", "output JSON path")
-		sWorkers = flag.Int("server-workers", 4, "in-process server: assessment workers")
-		sQueue   = flag.Int("server-queue", 64, "in-process server: queue depth")
+		n         = flag.Int("n", 200, "total number of assessment requests")
+		c         = flag.Int("c", 8, "concurrent client workers")
+		dup       = flag.Float64("dup", 0.25, "fraction of requests that repeat an earlier request (cache hits)")
+		addr      = flag.String("addr", "", "service base URL (empty = run an in-process server)")
+		out       = flag.String("o", "", "output JSON path (default BENCH_4.json, BENCH_8.json with -batch)")
+		sWorkers  = flag.Int("server-workers", 4, "in-process server: assessment workers")
+		sQueue    = flag.Int("server-queue", 64, "in-process server: queue depth")
+		batch     = flag.Bool("batch", false, "run the batch-vs-singles benchmark (BENCH_8.json) instead of the latency load test")
+		batchN    = flag.Int("batch-entries", 1000, "-batch: changelog entries")
+		batchSigs = flag.Int("batch-signatures", 24, "-batch: distinct (study, change-time) signatures the entries spread over")
 	)
 	logFlags := obscli.RegisterLog("text")
 	flag.Parse()
@@ -56,6 +59,16 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "litmus-loadgen:", err)
 		os.Exit(2)
+	}
+	if *batch {
+		if *out == "" {
+			*out = "BENCH_8.json"
+		}
+		runBatchBench(*batchN, *batchSigs, *sWorkers, *sQueue, *out)
+		return
+	}
+	if *out == "" {
+		*out = "BENCH_4.json"
 	}
 	if *n <= 0 || *c <= 0 || *dup < 0 || *dup >= 1 {
 		fatalf("need -n > 0, -c > 0 and -dup in [0, 1)")

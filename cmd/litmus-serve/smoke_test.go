@@ -107,6 +107,43 @@ func TestServeSmoke(t *testing.T) {
 		t.Errorf("decision = %q, want %q", doc.Decision, wantDoc.Decision)
 	}
 
+	// One POST /v1/assess/batch round trip: the golden change plus a
+	// sibling rides through the shared batch path. The golden entry was
+	// just assessed, so it must come back cached with the exact golden
+	// bytes; the sibling must assess cleanly.
+	batchDoc, err := cl.AssessBatch(ctx, smokeBatchRequest(t))
+	if err != nil {
+		t.Fatalf("assessing batch over HTTP: %v", err)
+	}
+	if len(batchDoc.Entries) != 2 {
+		t.Fatalf("batch returned %d entries, want 2", len(batchDoc.Entries))
+	}
+	for i, e := range batchDoc.Entries {
+		if e.Error != "" {
+			t.Errorf("batch entry %d (%s) failed: %s", i, e.ChangeID, e.Error)
+		}
+		if len(e.Assessment) == 0 {
+			t.Errorf("batch entry %d (%s) has no assessment", i, e.ChangeID)
+		}
+	}
+	if gold := batchDoc.Entries[0]; gold.Error == "" {
+		if !gold.Cached {
+			t.Errorf("golden batch entry was not served from the cache")
+		}
+		// The batch envelope compacts the embedded documents, so compare
+		// modulo whitespace.
+		var wantAssess, gotAssess bytes.Buffer
+		if err := json.Compact(&wantAssess, result); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Compact(&gotAssess, gold.Assessment); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotAssess.Bytes(), wantAssess.Bytes()) {
+			t.Errorf("golden batch entry deviates from the single-submission document:\ngot:\n%s\nwant:\n%s", gold.Assessment, result)
+		}
+	}
+
 	// SIGTERM: the server must drain and exit zero.
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
@@ -192,5 +229,38 @@ func smokeRequest(t *testing.T) *serve.AssessRequest {
 		WindowDays: 14,
 		Assessor:   &serve.AssessorSpec{Seed: 9},
 		Controls:   &serve.ControlsSpec{Predicates: []string{"same-kind", "same-parent"}},
+	}
+}
+
+// smokeBatchRequest is the golden scenario reshaped as a two-entry
+// changelog: the golden change itself (already cached by the time the
+// batch runs) plus a clean sibling change on the next RNC.
+func smokeBatchRequest(t *testing.T) *serve.BatchAssessRequest {
+	t.Helper()
+	single := smokeRequest(t)
+	topo := netsim.DefaultTopologyConfig()
+	topo.Seed = 17
+	net := netsim.Build(topo)
+	rncs := net.OfKind(netsim.RNC)
+	if len(rncs) < 2 {
+		t.Fatal("golden topology has fewer than two RNCs")
+	}
+	sibling := serve.ChangeSpec{
+		ID:          "CHG-GOLD-B",
+		Type:        "software-upgrade",
+		Description: "smoke batch sibling change",
+		Elements:    net.Children(rncs[1])[:3],
+		At:          "2012-03-15T00:00:00Z",
+		TrueQuality: 0,
+	}
+	return &serve.BatchAssessRequest{
+		Topology:   single.Topology,
+		Generator:  single.Generator,
+		Index:      single.Index,
+		Changes:    []serve.ChangeSpec{single.Change, sibling},
+		KPIs:       single.KPIs,
+		WindowDays: single.WindowDays,
+		Assessor:   single.Assessor,
+		Controls:   single.Controls,
 	}
 }

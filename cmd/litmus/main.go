@@ -13,6 +13,14 @@
 // "timestamp,<id1>,<id2>,...". Timestamps must be RFC 3339 on a regular
 // grid. Use cmd/litmus-sim to generate a matching pair.
 //
+// Changelog mode: -changelog changes.json assesses every entry of a
+// JSON changelog (one change time per entry) against the same
+// study/controls pair — one verdict line per entry. Adding
+// -changelog-batch routes the entries through the engine's batch path
+// (Pipeline.AssessChangelog), which shares control selection, panel
+// assembly and before-window factorizations across entries with equal
+// signatures; results are bit-identical to the per-entry loop.
+//
 // Observability: -trace out.json writes the assessment's span tree as
 // JSON, -metrics prints a flame summary, per-stage timing table and a
 // Prometheus-text metrics dump on exit, and -pprof addr serves
@@ -40,22 +48,87 @@ import (
 // output stays on stdout. Initialized from -log-format/-log-level.
 var logger *slog.Logger
 
+// options holds the parsed command line. Flag registration is split from
+// main so tests can drive parsing and validation on a private FlagSet
+// (same pattern as cmd/litmus-eval).
+type options struct {
+	studyPath      string
+	controlsPath   string
+	changeStr      string
+	changelogPath  string
+	changelogBatch bool
+	kpiName        string
+	alpha          float64
+	floor          float64
+	iterations     int
+	fraction       float64
+	workers        int
+	windowDays     int
+	diagnose       bool
+	faultSpec      string
+	faultSeed      int64
+	faultRate      float64
+
+	// changeAt is the parsed form of changeStr, filled by validate in
+	// single-change mode.
+	changeAt time.Time
+}
+
+func registerOptions(fs *flag.FlagSet) *options {
+	o := &options{}
+	fs.StringVar(&o.studyPath, "study", "", "CSV file with the study element's series (timestamp,value)")
+	fs.StringVar(&o.controlsPath, "controls", "", "CSV file with control series (timestamp,id1,id2,...)")
+	fs.StringVar(&o.changeStr, "change", "", "change time, RFC 3339 (single-change mode)")
+	fs.StringVar(&o.changelogPath, "changelog", "", "JSON changelog file: assess every entry against the same study/controls pair")
+	fs.BoolVar(&o.changelogBatch, "changelog-batch", false, "route -changelog entries through the batch path (shared panels and factorizations) instead of a per-entry loop; results are identical")
+	fs.StringVar(&o.kpiName, "kpi", "voice-retainability", "KPI name (controls direction semantics)")
+	fs.Float64Var(&o.alpha, "alpha", 0.05, "two-sided significance level")
+	fs.Float64Var(&o.floor, "floor", 0, "practical-significance floor in KPI units (0 disables)")
+	fs.IntVar(&o.iterations, "iterations", 0, "sampling iterations (0 = default 50)")
+	fs.Float64Var(&o.fraction, "fraction", 0, "control sample fraction per iteration (0 = default 2/3)")
+	fs.IntVar(&o.workers, "workers", 0, "assessment worker pool size (0 = GOMAXPROCS; results are identical for any value)")
+	fs.IntVar(&o.windowDays, "window-days", 14, "changelog mode: before/after assessment window in days")
+	fs.BoolVar(&o.diagnose, "diagnose", false, "also print per-control quality diagnostics (single-change mode)")
+	fs.StringVar(&o.faultSpec, "faults", "", "inject data faults after loading: name[=rate],... or \"all\" (names: "+strings.Join(faults.KindNames(), ", ")+")")
+	fs.Int64Var(&o.faultSeed, "fault-seed", 1, "fault-injection seed (same seed, same corruption)")
+	fs.Float64Var(&o.faultRate, "fault-rate", 0, "default rate for -faults entries without an explicit rate (0 = "+fmt.Sprint(faults.DefaultRate)+")")
+	return o
+}
+
+// validate rejects inconsistent flag combinations and parses the change
+// time. It does not touch the filesystem — file errors surface at load
+// time, not here.
+func (o *options) validate() error {
+	if o.studyPath == "" || o.controlsPath == "" {
+		return fmt.Errorf("-study and -controls are required")
+	}
+	switch {
+	case o.changeStr == "" && o.changelogPath == "":
+		return fmt.Errorf("need -change (single-change mode) or -changelog (changelog mode)")
+	case o.changeStr != "" && o.changelogPath != "":
+		return fmt.Errorf("-change and -changelog are mutually exclusive")
+	}
+	if o.changelogBatch && o.changelogPath == "" {
+		return fmt.Errorf("-changelog-batch requires -changelog")
+	}
+	if o.diagnose && o.changelogPath != "" {
+		return fmt.Errorf("-diagnose applies to single-change mode only")
+	}
+	if o.changelogPath != "" && o.windowDays < 2 {
+		return fmt.Errorf("-window-days %d too short (need at least 2)", o.windowDays)
+	}
+	if o.changeStr != "" {
+		at, err := time.Parse(time.RFC3339, o.changeStr)
+		if err != nil {
+			return fmt.Errorf("invalid -change %q: %v", o.changeStr, err)
+		}
+		o.changeAt = at
+	}
+	return nil
+}
+
 func main() {
-	var (
-		studyPath    = flag.String("study", "", "CSV file with the study element's series (timestamp,value)")
-		controlsPath = flag.String("controls", "", "CSV file with control series (timestamp,id1,id2,...)")
-		changeStr    = flag.String("change", "", "change time, RFC 3339")
-		kpiName      = flag.String("kpi", "voice-retainability", "KPI name (controls direction semantics)")
-		alpha        = flag.Float64("alpha", 0.05, "two-sided significance level")
-		floor        = flag.Float64("floor", 0, "practical-significance floor in KPI units (0 disables)")
-		iterations   = flag.Int("iterations", 0, "sampling iterations (0 = default 50)")
-		fraction     = flag.Float64("fraction", 0, "control sample fraction per iteration (0 = default 2/3)")
-		workers      = flag.Int("workers", 0, "assessment worker pool size (0 = GOMAXPROCS; results are identical for any value)")
-		diagnose     = flag.Bool("diagnose", false, "also print per-control quality diagnostics")
-		faultSpec    = flag.String("faults", "", "inject data faults after loading: name[=rate],... or \"all\" (names: "+strings.Join(faults.KindNames(), ", ")+")")
-		faultSeed    = flag.Int64("fault-seed", 1, "fault-injection seed (same seed, same corruption)")
-		faultRate    = flag.Float64("fault-rate", 0, "default rate for -faults entries without an explicit rate (0 = "+fmt.Sprint(faults.DefaultRate)+")")
-	)
+	o := registerOptions(flag.CommandLine)
 	obsFlags := obscli.Register()
 	logFlags := obscli.RegisterLog("text")
 	flag.Parse()
@@ -65,24 +138,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "litmus:", err)
 		os.Exit(2)
 	}
-	if *studyPath == "" || *controlsPath == "" || *changeStr == "" {
+	if err := o.validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "litmus:", err)
 		flag.Usage()
 		os.Exit(2)
 	}
-	changeAt, err := time.Parse(time.RFC3339, *changeStr)
-	if err != nil {
-		fatalf("invalid -change %q: %v", *changeStr, err)
-	}
-	metric, err := kpi.Parse(*kpiName)
+	metric, err := kpi.Parse(o.kpiName)
 	if err != nil {
 		fatalf("%v", err)
 	}
 
-	study, err := loadSingleSeriesCSV(*studyPath)
+	study, err := loadSingleSeriesCSV(o.studyPath)
 	if err != nil {
 		fatalf("loading study series: %v", err)
 	}
-	controls, err := loadPanelCSV(*controlsPath)
+	controls, err := loadPanelCSV(o.controlsPath)
 	if err != nil {
 		fatalf("loading controls: %v", err)
 	}
@@ -93,16 +163,16 @@ func main() {
 	// Optional fault injection: corrupt the loaded data deterministically
 	// before assessment, to demonstrate (and let operators rehearse) the
 	// engine's graceful degradation on broken inputs.
-	fset, err := faults.Parse(*faultSpec, *faultSeed, *faultRate)
+	fset, err := faults.Parse(o.faultSpec, o.faultSeed, o.faultRate)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	if fset.Active() {
-		fmt.Printf("fault injection: %s (seed %d)\n", fset, *faultSeed)
-		if fset.DropsElement("study") {
+		fmt.Printf("fault injection: %s (seed %d)\n", fset, o.faultSeed)
+		if fset.DropsElement(studyElementID) {
 			fatalf("fault injection dropped the study element; nothing to assess")
 		}
-		study = fset.Series("study", study)
+		study = fset.Series(studyElementID, study)
 		controls = fset.Panel(controls)
 		if controls.Len() == 0 {
 			fatalf("fault injection dropped every control element; nothing to regress against")
@@ -110,11 +180,11 @@ func main() {
 	}
 
 	assessor, err := litmus.NewAssessor(litmus.Config{
-		Alpha:          *alpha,
-		EffectFloor:    *floor,
-		Iterations:     *iterations,
-		SampleFraction: *fraction,
-		Workers:        *workers,
+		Alpha:          o.alpha,
+		EffectFloor:    o.floor,
+		Iterations:     o.iterations,
+		SampleFraction: o.fraction,
+		Workers:        o.workers,
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -126,7 +196,19 @@ func main() {
 		fatalf("%v", err)
 	}
 	assessor = assessor.WithObserver(scope)
-	res, err := assessor.AssessElement("study", study, controls, changeAt, metric)
+
+	if o.changelogPath != "" {
+		failed := runChangelog(o, scope, metric, assessor, study, controls)
+		if err := obsFlags.Report(os.Stdout, scope); err != nil {
+			fatalf("writing observability report: %v", err)
+		}
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
+
+	res, err := assessor.AssessElement(studyElementID, study, controls, o.changeAt, metric)
 	if err != nil {
 		// Degradations are data-caused and machine-classified; surface
 		// the reason code so scripts can dispatch on it.
@@ -138,15 +220,15 @@ func main() {
 	fmt.Printf("litmus robust spatial regression: %s\n", res.Verdict)
 	fmt.Printf("  pre-change fit R²: %.3f  (control group: %d elements)\n", res.FitR2, controls.Len())
 
-	if so, err := litmus.StudyOnly(study, changeAt, metric, *alpha); err == nil {
+	if so, err := litmus.StudyOnly(study, o.changeAt, metric, o.alpha); err == nil {
 		fmt.Printf("study-group-only baseline:        %s\n", so)
 	}
-	if did, _, err := litmus.DiD(study, controls, changeAt, metric, *alpha); err == nil {
+	if did, _, err := litmus.DiD(study, controls, o.changeAt, metric, o.alpha); err == nil {
 		fmt.Printf("difference-in-differences:        %s\n", did)
 	}
 
-	if *diagnose {
-		d, err := litmus.DiagnoseControlsObserved(scope, study, controls, changeAt)
+	if o.diagnose {
+		d, err := litmus.DiagnoseControlsObserved(scope, study, controls, o.changeAt)
 		if err != nil {
 			fatalf("diagnostics failed: %v", err)
 		}

@@ -512,6 +512,22 @@ func (a *Assessor) AssessGroup(studies *timeseries.Panel, controls *timeseries.P
 // iterations, and a canceled assessment returns ctx.Err(). A background
 // context is the nil-cost path of AssessGroup.
 func (a *Assessor) AssessGroupContext(ctx context.Context, studies *timeseries.Panel, controls *timeseries.Panel, changeAt time.Time, metric kpi.KPI) (GroupResult, error) {
+	return a.assessGroup(ctx, nil, studies, controls, changeAt, metric)
+}
+
+// AssessGroupPrepared is AssessGroupContext reusing precomputed panel
+// factors from PrepPanelFactors — the cross-change extension of the
+// group's cross-element factorization sharing. When shared applies to
+// this assessment (value-identical control panel, same change time) the
+// per-iteration QR factorizations are adopted read-only instead of
+// recomputed; otherwise — shared is nil, the panel mismatches, or no
+// study element is eligible — the call degrades to exactly
+// AssessGroupContext. Results are bit-identical either way.
+func (a *Assessor) AssessGroupPrepared(ctx context.Context, shared *PanelFactors, studies *timeseries.Panel, controls *timeseries.Panel, changeAt time.Time, metric kpi.KPI) (GroupResult, error) {
+	return a.assessGroup(ctx, shared, studies, controls, changeAt, metric)
+}
+
+func (a *Assessor) assessGroup(ctx context.Context, shared *PanelFactors, studies *timeseries.Panel, controls *timeseries.Panel, changeAt time.Time, metric kpi.KPI) (GroupResult, error) {
 	if err := ctx.Err(); err != nil {
 		return GroupResult{}, err
 	}
@@ -530,7 +546,11 @@ func (a *Assessor) AssessGroupContext(ctx context.Context, studies *timeseries.P
 	cancelable := ctx.Done() != nil
 	perElement := make([]ElementResult, len(ids))
 	errs := make([]error, len(ids))
-	if gs := a.prepGroupShared(ctx, sc, studies, controls, changeAt); gs != nil {
+	gs := a.adoptPanelFactors(sc, shared, studies, controls, changeAt)
+	if gs == nil {
+		gs = a.prepGroupShared(ctx, sc, studies, controls, changeAt)
+	}
+	if gs != nil {
 		// Cross-element sharing: the per-iteration factorizations were
 		// computed once above (see group_shared.go); qualifying elements
 		// reuse them read-only and parallelize over iterations instead of

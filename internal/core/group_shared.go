@@ -13,6 +13,14 @@ package core
 // to the ordinary per-element AssessElement path; results are
 // bit-identical either way because the shared products are precisely the
 // values the per-element path would compute.
+//
+// The same observation extends across changes: the per-iteration
+// products depend only on the control panel's values, the change time
+// and the assessor configuration — never on the study group. A batch of
+// changes whose (control-set, KPI, window) signatures coincide therefore
+// shares one PanelFactors handle (see PrepPanelFactors and
+// AssessGroupPrepared), reducing a changelog's factorizations from
+// Iterations × Changes to Iterations per distinct control panel.
 
 import (
 	"context"
@@ -27,7 +35,7 @@ import (
 )
 
 // iterShared is one sampling iteration's element-independent products.
-// All fields are read-only after prepGroupShared returns; SolveInto and
+// All fields are read-only after prepPanelFactors returns; SolveInto and
 // LeveragesInto only read the factorization, so concurrent solves against
 // one iterShared are safe.
 type iterShared struct {
@@ -37,14 +45,26 @@ type iterShared struct {
 	ok     bool           // false for underdetermined draws (skipped)
 }
 
+// panelFactors is the studies-independent portion of a group's shared
+// preparation: everything derived from (control panel, change time,
+// assessor config) alone. One panelFactors is reusable read-only by
+// every group — and every change — assessed against a value-identical
+// control panel at the same change time.
+type panelFactors struct {
+	n, k       int
+	index      timeseries.Index
+	splitAt    time.Time
+	fitRows    []int
+	iters      []iterShared
+	factorized int64 // QR factorizations the compute pass performed
+}
+
 // groupShared is the per-group preparation shared by every qualifying
-// element: the fit rows (the whole before window), the sample size, and
-// the per-iteration products.
+// element: the panel factors plus this study group's eligibility mask
+// (aligned with the group's ID order).
 type groupShared struct {
-	k        int
-	fitRows  []int
-	eligible []bool // aligned with the group's ID order
-	iters    []iterShared
+	*panelFactors
+	eligible []bool
 }
 
 // allFinite reports whether xs contains only finite values — the
@@ -59,6 +79,22 @@ func allFinite(xs []float64) bool {
 	return true
 }
 
+// studyEligibility reports, per study element, whether its before window
+// is fully observed (the sharing qualification), plus whether any
+// element qualifies at all.
+func studyEligibility(studies *timeseries.Panel, changeAt time.Time) (eligible []bool, any bool) {
+	ids := studies.IDs()
+	eligible = make([]bool, len(ids))
+	for i, id := range ids {
+		yb, _ := studies.MustSeries(id).SplitAt(changeAt)
+		if allFinite(yb.Values) {
+			eligible[i] = true
+			any = true
+		}
+	}
+	return eligible, any
+}
+
 // prepGroupShared qualifies the group for cross-element factorization
 // sharing and, when at least one element qualifies, computes the shared
 // per-iteration products. It returns nil when the panel itself cannot be
@@ -70,6 +106,22 @@ func (a *Assessor) prepGroupShared(ctx context.Context, sc *obs.Scope, studies, 
 	if !studies.Index().Equal(controls.Index()) {
 		return nil
 	}
+	eligible, any := studyEligibility(studies, changeAt)
+	if !any {
+		return nil
+	}
+	pf := a.prepPanelFactors(ctx, sc, controls, changeAt)
+	if pf == nil {
+		return nil
+	}
+	return &groupShared{panelFactors: pf, eligible: eligible}
+}
+
+// prepPanelFactors computes the studies-independent per-iteration
+// products for one control panel split at changeAt. It returns nil when
+// the panel cannot take the shared path (too few controls, windows too
+// short, no admissible sample size).
+func (a *Assessor) prepPanelFactors(ctx context.Context, sc *obs.Scope, controls *timeseries.Panel, changeAt time.Time) *panelFactors {
 	n := controls.Len()
 	if n < a.cfg.MinControls {
 		return nil
@@ -83,30 +135,19 @@ func (a *Assessor) prepGroupShared(ctx context.Context, sc *obs.Scope, studies, 
 	if k < 1 {
 		return nil
 	}
-	ids := studies.IDs()
-	eligible := make([]bool, len(ids))
-	any := false
-	for i, id := range ids {
-		yb, _ := studies.MustSeries(id).SplitAt(changeAt)
-		if allFinite(yb.Values) {
-			eligible[i] = true
-			any = true
-		}
-	}
-	if !any {
-		return nil
-	}
 
 	prep := sc.Child(obs.SpanGroupPrep)
 	defer prep.End()
-	gs := &groupShared{
-		k:        k,
-		fitRows:  make([]int, lenB),
-		eligible: eligible,
-		iters:    make([]iterShared, a.cfg.Iterations),
+	pf := &panelFactors{
+		n:       n,
+		k:       k,
+		index:   controls.Index(),
+		splitAt: changeAt,
+		fitRows: make([]int, lenB),
+		iters:   make([]iterShared, a.cfg.Iterations),
 	}
-	for i := range gs.fitRows {
-		gs.fitRows[i] = i
+	for i := range pf.fitRows {
+		pf.fitRows[i] = i
 	}
 	xbFull := xBefore.DesignMatrix()
 	xaFull := xAfter.DesignMatrix()
@@ -117,7 +158,7 @@ func (a *Assessor) prepGroupShared(ctx context.Context, sc *obs.Scope, studies, 
 		if cancelable && ctx.Err() != nil {
 			return
 		}
-		st := &gs.iters[it]
+		st := &pf.iters[it]
 		cols := samples[it]
 		for attempt := 0; ; attempt++ {
 			st.xb = xbFull.SelectColsWithIntercept(nil, cols)
@@ -148,10 +189,86 @@ func (a *Assessor) prepGroupShared(ctx context.Context, sc *obs.Scope, studies, 
 		}
 		st.ok = true
 	})
+	pf.factorized = factorized.Load()
 	sc.Counter(obs.MetricBeforeFactorizations).Add(factorized.Load())
 	sc.Counter(obs.MetricControlsSampled).Add(int64(a.cfg.Iterations * k))
 	sc.Counter(obs.MetricIterationsResampled).Add(resampled.Load())
-	return gs
+	return pf
+}
+
+// PanelFactors is an opaque, immutable handle to the element- and
+// study-independent sampling products of one (control panel, change
+// time) pair: the per-iteration sampled designs, QR factorizations and
+// hat-matrix diagonals every assessment against that panel reuses. It is
+// safe for concurrent read-only use by any number of
+// AssessGroupPrepared calls.
+//
+// The handle carries no copy of the panel's values, so the caller must
+// only reuse it across panels that are value-identical (same column IDs,
+// same values, same index) at the same change time — the batch layer
+// guarantees this by keying its factor cache on panel content.
+// Index/shape/split mismatches are detected and fall back to a fresh
+// computation; value mismatches are not detectable and would silently
+// reuse the wrong designs.
+type PanelFactors struct {
+	pf *panelFactors
+}
+
+// Factorizations returns the number of QR factorizations the compute
+// pass performed — the work a reusing assessment skips.
+func (f *PanelFactors) Factorizations() int64 {
+	if f == nil || f.pf == nil {
+		return 0
+	}
+	return f.pf.factorized
+}
+
+// PrepPanelFactors computes the shareable per-iteration products for one
+// control panel split at changeAt, independent of any study group. It
+// returns nil when the panel cannot take the shared path (too few
+// controls, windows too short, no admissible sample size) — callers then
+// pass nil to AssessGroupPrepared, which behaves exactly like
+// AssessGroupContext.
+func (a *Assessor) PrepPanelFactors(ctx context.Context, controls *timeseries.Panel, changeAt time.Time) *PanelFactors {
+	pf := a.prepPanelFactors(ctx, a.obs, controls, changeAt)
+	if pf == nil {
+		return nil
+	}
+	return &PanelFactors{pf: pf}
+}
+
+// SharedEligible reports whether at least one study element qualifies
+// for the shared-factorization path (a fully observed before window) —
+// the precondition under which precomputing PanelFactors for the group's
+// control panel is useful rather than wasted work.
+func SharedEligible(studies *timeseries.Panel, changeAt time.Time) bool {
+	_, any := studyEligibility(studies, changeAt)
+	return any
+}
+
+// adoptPanelFactors wraps precomputed panel factors for one study group
+// when they apply to this exact assessment: the factors must describe a
+// control panel of the same index, column count and change-time split,
+// and at least one study element must be eligible for sharing. It
+// returns nil otherwise — the caller then recomputes from scratch, so a
+// stale or mismatched handle can cost time but never correctness.
+func (a *Assessor) adoptPanelFactors(sc *obs.Scope, shared *PanelFactors, studies, controls *timeseries.Panel, changeAt time.Time) *groupShared {
+	if shared == nil || shared.pf == nil {
+		return nil
+	}
+	pf := shared.pf
+	if !studies.Index().Equal(controls.Index()) ||
+		!controls.Index().Equal(pf.index) ||
+		controls.Len() != pf.n ||
+		!pf.splitAt.Equal(changeAt) {
+		return nil
+	}
+	eligible, any := studyEligibility(studies, changeAt)
+	if !any {
+		return nil
+	}
+	sc.Counter(obs.MetricBatchFactorizationsReused).Add(pf.factorized)
+	return &groupShared{panelFactors: pf, eligible: eligible}
 }
 
 // assessElementShared is AssessElement for an element whose before window

@@ -77,16 +77,34 @@ type SweepCell struct {
 	Litmus    CellMetrics `json:"litmus"`
 }
 
+// FaultKindCell is one (fault kind × corruption level) cell: decision
+// quality over the cases whose per-case draw selected that injector for
+// the study or a control element — each injector's damage profile,
+// unpooled. A case drawn by several injectors contributes to each of
+// their cells, so kind cells attribute damage and do not partition the
+// rate's case set.
+type FaultKindCell struct {
+	FaultKind string      `json:"fault_kind"`
+	FaultRate float64     `json:"fault_rate"`
+	Cases     int         `json:"cases"`
+	StudyOnly CellMetrics `json:"study_group_only"`
+	DiD       CellMetrics `json:"difference_in_differences"`
+	Litmus    CellMetrics `json:"litmus"`
+}
+
 // SweepResult aggregates a fault sweep. Cells are ordered rate-major in
 // the configured rate order, scenarios in Scenarios() order, with one
-// ScenarioAll aggregate per rate last.
+// ScenarioAll aggregate per rate last. FaultKindCells are rate-major in
+// sorted kind-name order and cover only corrupting rates — a clean rate
+// draws no injectors.
 type SweepResult struct {
-	Seed         int64       `json:"seed"`
-	FaultSpec    string      `json:"fault_spec"`
-	FaultSeed    int64       `json:"fault_seed"`
-	Rates        []float64   `json:"fault_rates"`
-	CasesPerRate int         `json:"cases_per_rate"`
-	Cells        []SweepCell `json:"cells"`
+	Seed           int64           `json:"seed"`
+	FaultSpec      string          `json:"fault_spec"`
+	FaultSeed      int64           `json:"fault_seed"`
+	Rates          []float64       `json:"fault_rates"`
+	CasesPerRate   int             `json:"cases_per_rate"`
+	Cells          []SweepCell     `json:"cells"`
+	FaultKindCells []FaultKindCell `json:"fault_kind_cells"`
 }
 
 // Cell returns the cell for (scenario, rate), or nil if absent.
@@ -94,6 +112,16 @@ func (r SweepResult) Cell(scenario string, rate float64) *SweepCell {
 	for i := range r.Cells {
 		if r.Cells[i].Scenario == scenario && r.Cells[i].FaultRate == rate {
 			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+// KindCell returns the per-fault-kind cell for (kind, rate), or nil.
+func (r SweepResult) KindCell(kind string, rate float64) *FaultKindCell {
+	for i := range r.FaultKindCells {
+		if r.FaultKindCells[i].FaultKind == kind && r.FaultKindCells[i].FaultRate == rate {
+			return &r.FaultKindCells[i]
 		}
 	}
 	return nil
@@ -159,65 +187,72 @@ func RunSweep(cfg SweepConfig) (SweepResult, error) {
 		}
 		out.CasesPerRate = res.TotalCases()
 		out.Cells = append(out.Cells, sweepCells(res, rate)...)
+		out.FaultKindCells = append(out.FaultKindCells, faultKindCells(res, rate)...)
 	}
 	return out, nil
+}
+
+// cellAcc accumulates one cell's confusion matrices and degradation
+// counts across the three algorithms.
+type cellAcc struct {
+	cases    int
+	matrices map[Algorithm]*Matrix
+	degraded map[Algorithm]int
+}
+
+func newCellAcc() *cellAcc {
+	a := &cellAcc{matrices: map[Algorithm]*Matrix{}, degraded: map[Algorithm]int{}}
+	for _, alg := range Algorithms() {
+		a.matrices[alg] = &Matrix{}
+	}
+	return a
+}
+
+func (a *cellAcc) add(c CaseResult) {
+	a.cases++
+	for _, alg := range Algorithms() {
+		if o, ok := c.Outcomes[alg]; ok {
+			a.matrices[alg].Add(o)
+		} else {
+			a.degraded[alg]++
+		}
+	}
+}
+
+func (a *cellAcc) metrics(alg Algorithm) CellMetrics {
+	m := a.matrices[alg]
+	d := a.degraded[alg]
+	return CellMetrics{
+		TP: m.TP, TN: m.TN, FP: m.FP, FN: m.FN,
+		Degraded:         d,
+		Accuracy:         m.Accuracy(),
+		AccuracyAll:      ratio(m.TP+m.TN, a.cases),
+		FPR:              m.FalsePositiveRate(),
+		FNR:              m.FalseNegativeRate(),
+		DegradedFraction: ratio(d, a.cases),
+	}
 }
 
 // sweepCells reduces one rate's run into its per-scenario cells plus the
 // aggregate.
 func sweepCells(res SyntheticResult, rate float64) []SweepCell {
-	type acc struct {
-		cases    int
-		matrices map[Algorithm]*Matrix
-		degraded map[Algorithm]int
-	}
-	newAcc := func() *acc {
-		a := &acc{matrices: map[Algorithm]*Matrix{}, degraded: map[Algorithm]int{}}
-		for _, alg := range Algorithms() {
-			a.matrices[alg] = &Matrix{}
-		}
-		return a
-	}
-	perScenario := map[Scenario]*acc{}
-	total := newAcc()
-	add := func(a *acc, c CaseResult) {
-		a.cases++
-		for _, alg := range Algorithms() {
-			if o, ok := c.Outcomes[alg]; ok {
-				a.matrices[alg].Add(o)
-			} else {
-				a.degraded[alg]++
-			}
-		}
-	}
+	perScenario := map[Scenario]*cellAcc{}
+	total := newCellAcc()
 	for _, c := range res.Cases {
 		if perScenario[c.Scenario] == nil {
-			perScenario[c.Scenario] = newAcc()
+			perScenario[c.Scenario] = newCellAcc()
 		}
-		add(perScenario[c.Scenario], c)
-		add(total, c)
+		perScenario[c.Scenario].add(c)
+		total.add(c)
 	}
-	cellOf := func(label string, a *acc) SweepCell {
-		metrics := func(alg Algorithm) CellMetrics {
-			m := a.matrices[alg]
-			d := a.degraded[alg]
-			return CellMetrics{
-				TP: m.TP, TN: m.TN, FP: m.FP, FN: m.FN,
-				Degraded:         d,
-				Accuracy:         m.Accuracy(),
-				AccuracyAll:      ratio(m.TP+m.TN, a.cases),
-				FPR:              m.FalsePositiveRate(),
-				FNR:              m.FalseNegativeRate(),
-				DegradedFraction: ratio(d, a.cases),
-			}
-		}
+	cellOf := func(label string, a *cellAcc) SweepCell {
 		return SweepCell{
 			Scenario:  label,
 			FaultRate: rate,
 			Cases:     a.cases,
-			StudyOnly: metrics(StudyOnlyAnalysis),
-			DiD:       metrics(DifferenceInDifferences),
-			Litmus:    metrics(LitmusRegression),
+			StudyOnly: a.metrics(StudyOnlyAnalysis),
+			DiD:       a.metrics(DifferenceInDifferences),
+			Litmus:    a.metrics(LitmusRegression),
 		}
 	}
 	var cells []SweepCell
@@ -227,5 +262,37 @@ func sweepCells(res SyntheticResult, rate float64) []SweepCell {
 		}
 	}
 	cells = append(cells, cellOf(ScenarioAll, total))
+	return cells
+}
+
+// faultKindCells breaks one rate's run down by the injectors each case
+// actually drew, in sorted kind-name order. Cases no injector touched
+// contribute to no kind cell; a case drawn by several injectors
+// contributes to each.
+func faultKindCells(res SyntheticResult, rate float64) []FaultKindCell {
+	perKind := map[faults.Kind]*cellAcc{}
+	for _, c := range res.Cases {
+		for _, k := range c.FaultKinds {
+			if perKind[k] == nil {
+				perKind[k] = newCellAcc()
+			}
+			perKind[k].add(c)
+		}
+	}
+	var cells []FaultKindCell
+	for _, name := range faults.KindNames() {
+		a := perKind[faults.Kind(name)]
+		if a == nil {
+			continue
+		}
+		cells = append(cells, FaultKindCell{
+			FaultKind: name,
+			FaultRate: rate,
+			Cases:     a.cases,
+			StudyOnly: a.metrics(StudyOnlyAnalysis),
+			DiD:       a.metrics(DifferenceInDifferences),
+			Litmus:    a.metrics(LitmusRegression),
+		})
+	}
 	return cells
 }

@@ -243,6 +243,93 @@ func TestSweepPartialFaultsKeepVerdictCounts(t *testing.T) {
 	}
 }
 
+// TestSweepFaultKindBreakdown checks the per-injector cells: none at a
+// clean rate, present and well-booked at a corrupting rate, sorted by
+// kind name, and — under a pinned single-injector spec — attributing
+// every degraded case to exactly that injector.
+func TestSweepFaultKindBreakdown(t *testing.T) {
+	res, err := RunSweep(SweepConfig{Base: sweepTestConfig(), Rates: []float64{0, 0.2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.FaultKindCells {
+		if c.FaultRate == 0 {
+			t.Fatalf("kind cell %q at rate 0: a clean rate draws no injectors", c.FaultKind)
+		}
+	}
+	var at02 []FaultKindCell
+	for _, c := range res.FaultKindCells {
+		if c.FaultRate == 0.2 {
+			at02 = append(at02, c)
+		}
+	}
+	if len(at02) == 0 {
+		t.Fatal("no kind cells at rate 0.2 under the default all-injector spec")
+	}
+	valid := map[string]bool{}
+	for _, n := range faults.KindNames() {
+		valid[n] = true
+	}
+	for i, c := range at02 {
+		if !valid[c.FaultKind] {
+			t.Errorf("unknown fault kind %q", c.FaultKind)
+		}
+		if i > 0 && at02[i-1].FaultKind >= c.FaultKind {
+			t.Errorf("kind cells out of order: %q before %q", at02[i-1].FaultKind, c.FaultKind)
+		}
+		if c.Cases == 0 || c.Cases > res.CasesPerRate {
+			t.Errorf("kind %q has %d cases (rate has %d)", c.FaultKind, c.Cases, res.CasesPerRate)
+		}
+		for _, alg := range Algorithms() {
+			m := kindCellMetricsFor(t, c, alg)
+			if m.TP+m.TN+m.FP+m.FN+m.Degraded != c.Cases {
+				t.Errorf("kind %q %v: verdicts+degraded != %d cases: %+v", c.FaultKind, alg, c.Cases, m)
+			}
+		}
+	}
+	if res.KindCell("no-such-kind", 0.2) != nil {
+		t.Error("KindCell returned a match for an unknown kind")
+	}
+
+	// A pinned dropelem=1 spec draws exactly one injector for every
+	// case, and every one of its cases degrades every algorithm.
+	pinned, err := RunSweep(SweepConfig{
+		Base:      DefaultSyntheticConfig().ScaleCases(0.002),
+		Rates:     []float64{0.5},
+		FaultSpec: "dropelem=1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(pinned.FaultKindCells); got != 1 {
+		t.Fatalf("pinned spec produced %d kind cells, want 1: %+v", got, pinned.FaultKindCells)
+	}
+	cell := pinned.KindCell(string(faults.DropElem), 0.5)
+	if cell == nil {
+		t.Fatal("no dropelem kind cell")
+	}
+	if cell.Cases != pinned.CasesPerRate {
+		t.Errorf("dropelem drew %d/%d cases at rate 1", cell.Cases, pinned.CasesPerRate)
+	}
+	if cell.Litmus.Degraded != cell.Cases || cell.Litmus.DegradedFraction != 1 {
+		t.Errorf("dropelem cell not fully degraded: %+v", cell.Litmus)
+	}
+}
+
+func kindCellMetricsFor(t *testing.T, c FaultKindCell, alg Algorithm) CellMetrics {
+	t.Helper()
+	switch alg {
+	case StudyOnlyAnalysis:
+		return c.StudyOnly
+	case DifferenceInDifferences:
+		return c.DiD
+	case LitmusRegression:
+		return c.Litmus
+	}
+	t.Fatalf("unknown algorithm %v", alg)
+	return CellMetrics{}
+}
+
 func TestSweepValidation(t *testing.T) {
 	base := DefaultSyntheticConfig().ScaleCases(0.002)
 	if _, err := RunSweep(SweepConfig{Base: base, Rates: []float64{1.5}}); err == nil {

@@ -310,6 +310,11 @@ type CaseResult struct {
 	// the canonical assessment JSON carries. An algorithm appears in
 	// either Outcomes or Failures, never both. Nil on clean runs.
 	Failures map[Algorithm]core.Failure
+	// FaultKinds lists, in canonical order, the injectors whose
+	// selection draw fired for this case's study or control elements —
+	// the case's damage profile. Nil on clean runs and for cases no
+	// injector touched.
+	FaultKinds []faults.Kind
 }
 
 // Degraded reports whether any algorithm failed to assess this case.
@@ -534,12 +539,14 @@ func runSyntheticCase(net *netsim.Network, assessor *core.Assessor, alpha float6
 	}
 
 	failures := map[Algorithm]core.Failure{}
+	var drawnKinds []faults.Kind
 	if cfg.Faults.Active() {
 		// Corrupt the observed data the way production telemetry breaks,
 		// on a per-case stream derived from (fault seed, case ordinal).
 		// Injection happens on the world; faults happen on the
 		// observation of it — ground truth is untouched.
 		cf := cfg.Faults.Derive(uint64(ordinal))
+		drawnKinds = cf.DrawnKinds(append([]string{study}, controls...))
 		if cf.DropsElement(study) {
 			for _, a := range Algorithms() {
 				failures[a] = core.Failure{Element: study, Reason: core.ReasonNoData, Detail: "study element dropped by fault injection"}
@@ -547,7 +554,7 @@ func runSyntheticCase(net *netsim.Network, assessor *core.Assessor, alpha float6
 			return CaseResult{
 				Scenario: sc, Region: region, KPI: metric, Expected: expected,
 				Observed: map[Algorithm]kpi.Impact{}, Outcomes: map[Algorithm]Outcome{},
-				Failures: failures,
+				Failures: failures, FaultKinds: drawnKinds,
 			}, nil
 		}
 		studySeries = cf.Series(study, studySeries)
@@ -600,7 +607,7 @@ func runSyntheticCase(net *netsim.Network, assessor *core.Assessor, alpha float6
 	return CaseResult{
 		Scenario: sc, Region: region, KPI: metric,
 		Expected: expected, Observed: observed, Outcomes: outcomes,
-		Failures: failures,
+		Failures: failures, FaultKinds: drawnKinds,
 	}, nil
 }
 

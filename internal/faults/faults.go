@@ -196,6 +196,39 @@ func (s *Set) Kinds() []Kind {
 	return out
 }
 
+// Drawn reports whether the injector's selection draw fires for the
+// element — the same draw Series/Panel/DropsElement consult, exposed so
+// evaluation harnesses can attribute damage to the injector that caused
+// it. True means the element was selected for corruption; the realized
+// damage can still be a no-op in edge cases (e.g. dupcol with a single
+// surviving column).
+func (s *Set) Drawn(kind Kind, id string) bool {
+	if s == nil {
+		return false
+	}
+	return s.affected(kind, id)
+}
+
+// DrawnKinds returns, in canonical order, the enabled injectors whose
+// selection draw fires for at least one of the given element IDs — the
+// damage profile of a case whose observed world consists of those
+// elements.
+func (s *Set) DrawnKinds(ids []string) []Kind {
+	if !s.Active() {
+		return nil
+	}
+	var out []Kind
+	for _, k := range s.Kinds() {
+		for _, id := range ids {
+			if s.affected(k, id) {
+				out = append(out, k)
+				break
+			}
+		}
+	}
+	return out
+}
+
 // String renders the set back into spec form (canonical kind order,
 // per-kind rates).
 func (s *Set) String() string {

@@ -405,6 +405,82 @@ func TestDerive(t *testing.T) {
 	}
 }
 
+// TestDrawnKinds checks the exported draw probe: Drawn mirrors the
+// internal selection draw (so DropsElement and Series corruption line up
+// with it), DrawnKinds reports the union over elements in canonical
+// order, and nil/clean sets draw nothing.
+func TestDrawnKinds(t *testing.T) {
+	s := New(9, 1, Missing, DropElem)
+	if !s.Drawn(Missing, "x") || !s.Drawn(DropElem, "x") {
+		t.Error("rate-1 injectors not drawn")
+	}
+	if s.Drawn(Gap, "x") {
+		t.Error("disabled injector drawn")
+	}
+	if s.Drawn(DropElem, "x") != s.DropsElement("x") {
+		t.Error("Drawn(DropElem) disagrees with DropsElement")
+	}
+	if got := s.DrawnKinds([]string{"x", "y"}); !reflect.DeepEqual(got, []Kind{Missing, DropElem}) {
+		t.Errorf("DrawnKinds = %v, want [missing dropelem]", got)
+	}
+
+	// At a partial rate the per-element draws differ, and the union over
+	// a set of elements is exactly the per-element OR.
+	p := New(7, 0.4, Gap)
+	ids := make([]string, 0, 40)
+	for i := 0; i < 40; i++ {
+		ids = append(ids, string(rune('a'+i%26))+string(rune('0'+i/26)))
+	}
+	var anyDrawn, anyClean bool
+	for _, id := range ids {
+		if p.Drawn(Gap, id) {
+			anyDrawn = true
+		} else {
+			anyClean = true
+		}
+	}
+	if !anyDrawn || !anyClean {
+		t.Fatalf("rate-0.4 draw not partial over %d elements", len(ids))
+	}
+	if got := p.DrawnKinds(ids); !reflect.DeepEqual(got, []Kind{Gap}) {
+		t.Errorf("DrawnKinds over mixed elements = %v, want [gap]", got)
+	}
+	clean := make([]string, 0, len(ids))
+	for _, id := range ids {
+		if !p.Drawn(Gap, id) {
+			clean = append(clean, id)
+		}
+	}
+	if got := p.DrawnKinds(clean); got != nil {
+		t.Errorf("DrawnKinds over undrawn elements = %v, want nil", got)
+	}
+
+	// Drawn agrees with the corruption Series actually applies.
+	base := testSeries(100)
+	for _, id := range ids {
+		changed := corruptionCount(base.Values, p.Series(id, base).Values) > 0
+		if changed != p.Drawn(Gap, id) {
+			t.Errorf("element %s: corrupted=%v but Drawn=%v", id, changed, p.Drawn(Gap, id))
+		}
+	}
+
+	var nilSet *Set
+	if nilSet.Drawn(Gap, "x") || nilSet.DrawnKinds([]string{"x"}) != nil {
+		t.Error("nil set drew an injector")
+	}
+}
+
+func corruptionCount(base, faulted []float64) int {
+	n := 0
+	for i := range base {
+		same := base[i] == faulted[i] || (math.IsNaN(base[i]) && math.IsNaN(faulted[i]))
+		if !same {
+			n++
+		}
+	}
+	return n
+}
+
 func FuzzParseSpec(f *testing.F) {
 	f.Add("gap", int64(1), 0.1)
 	f.Add("all", int64(0), 0.0)

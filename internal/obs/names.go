@@ -90,6 +90,19 @@ const (
 	// MetricEvalCases counts evaluation-harness cases, labeled
 	// scenario="..." (synthetic) or row="..." (known assessments).
 	MetricEvalCases = "litmus_eval_cases_total"
+	// MetricBatchEntries counts changelog entries submitted through the
+	// batch assessment path (Pipeline.AssessChangelog / POST
+	// /v1/assess/batch).
+	MetricBatchEntries = "litmus_batch_entries_total"
+	// MetricBatchPanelsShared counts panel assemblies a batch avoided
+	// because another entry of the same batch had already assembled the
+	// identical (control-set, KPI, window) panel.
+	MetricBatchPanelsShared = "litmus_batch_panels_shared_total"
+	// MetricBatchFactorizationsReused counts before-window QR
+	// factorizations a batch entry reused from another entry's identical
+	// control panel instead of recomputing — the cross-change extension
+	// of MetricBeforeFactorizations' cross-element sharing.
+	MetricBatchFactorizationsReused = "litmus_batch_factorizations_reused_total"
 
 	// MetricHTTPRequests counts assessment-service HTTP requests, labeled
 	// path="<route pattern>" and code="<status>".
@@ -134,6 +147,17 @@ const (
 	SpanServeJob = "serve-job"
 )
 
+// Batch-assessment span names.
+const (
+	// SpanAssessBatch covers one Pipeline.AssessChangelog call (the whole
+	// changelog batch); per-entry spans nest beneath it.
+	SpanAssessBatch = "assess-batch"
+	// SpanBatchEntry covers one changelog entry inside a batch
+	// assessment — the batch-path analogue of SpanAssessChange, carrying
+	// the same control-select / panel-assembly / assess-group children.
+	SpanBatchEntry = "batch-entry"
+)
+
 // helpText is the canonical one-line # HELP string for each metric's
 // base name, keyed by the constants above. WritePrometheus emits these
 // ahead of the # TYPE lines; keeping them here, next to the names,
@@ -157,6 +181,10 @@ var helpText = map[string]string{
 	MetricControlsDiagnosed:    "Controls evaluated by the diagnostics.",
 	MetricDecisions:            "Pipeline go/no-go decisions, labeled by decision.",
 	MetricEvalCases:            "Evaluation-harness cases, labeled by scenario or row.",
+
+	MetricBatchEntries:              "Changelog entries submitted through the batch assessment path.",
+	MetricBatchPanelsShared:         "Panel assemblies shared across entries of one batch.",
+	MetricBatchFactorizationsReused: "Before-window QR factorizations reused across batch entries with identical control panels.",
 
 	MetricHTTPRequests:    "Assessment-service HTTP requests, labeled by route pattern and status code.",
 	MetricQueueDepth:      "Jobs currently waiting in the bounded submission queue.",

@@ -8,23 +8,42 @@ import (
 	"repro/internal/eval"
 )
 
+// sweepAlgorithms names the three algorithm columns of every sweep row.
+var sweepAlgorithms = []string{"Study Group Only", "Diff in Differences", "Litmus"}
+
+// sweepRow renders one labeled metrics row (scenario or fault kind).
+func sweepRow(label string, cases int, metrics []eval.CellMetrics) string {
+	line := fmt.Sprintf("%-22s %6d", label, cases)
+	for _, m := range metrics {
+		line += fmt.Sprintf(" | %6.2f%% %6.2f%% %6.2f%% %6.2f%% %6.2f%%",
+			100*m.Accuracy, 100*m.AccuracyAll, 100*m.FPR, 100*m.FNR, 100*m.DegradedFraction)
+	}
+	return line
+}
+
+// sweepHeader renders the two header lines plus the rule under them.
+func sweepHeader(rowLabel string) []string {
+	top := fmt.Sprintf("%-22s %6s", "", "")
+	head := fmt.Sprintf("%-22s %6s", rowLabel, "cases")
+	for _, name := range sweepAlgorithms {
+		top += fmt.Sprintf(" | %-39s", name)
+		head += fmt.Sprintf(" | %7s %7s %7s %7s %7s", "acc", "accAll", "fpr", "fnr", "deg")
+	}
+	return []string{top, head, strings.Repeat("-", len(head))}
+}
+
 // WriteSweepTable renders a fault sweep as one block per corruption
 // rate: a row per scenario family (plus the aggregate), with each
 // algorithm's accuracy over the cases it assessed, accuracy over all
 // cases (degraded cases charged as wrong), false-positive rate,
-// false-negative rate and degraded fraction.
+// false-negative rate and degraded fraction. Corrupting rates get a
+// second block breaking the same metrics down by the fault kind each
+// case actually drew — the per-injector damage profile (kind rows
+// overlap: a case drawn by several injectors appears under each).
 func WriteSweepTable(w io.Writer, res eval.SweepResult) error {
 	if _, err := fmt.Fprintf(w, "Fault sweep — spec %q, fault seed %d, %d cases per rate\n",
 		res.FaultSpec, res.FaultSeed, res.CasesPerRate); err != nil {
 		return err
-	}
-	groups := []struct {
-		name string
-		get  func(eval.SweepCell) eval.CellMetrics
-	}{
-		{"Study Group Only", func(c eval.SweepCell) eval.CellMetrics { return c.StudyOnly }},
-		{"Diff in Differences", func(c eval.SweepCell) eval.CellMetrics { return c.DiD }},
-		{"Litmus", func(c eval.SweepCell) eval.CellMetrics { return c.Litmus }},
 	}
 	for _, rate := range res.Rates {
 		var cells []eval.SweepCell
@@ -39,21 +58,28 @@ func WriteSweepTable(w io.Writer, res eval.SweepResult) error {
 		if _, err := fmt.Fprintf(w, "\nFault rate %g\n", rate); err != nil {
 			return err
 		}
-		top := fmt.Sprintf("%-22s %6s", "", "")
-		head := fmt.Sprintf("%-22s %6s", "scenario", "cases")
-		for _, g := range groups {
-			top += fmt.Sprintf(" | %-39s", g.name)
-			head += fmt.Sprintf(" | %7s %7s %7s %7s %7s", "acc", "accAll", "fpr", "fnr", "deg")
-		}
-		lines := []string{top, head, strings.Repeat("-", len(head))}
+		lines := sweepHeader("scenario")
 		for _, c := range cells {
-			line := fmt.Sprintf("%-22s %6d", c.Scenario, c.Cases)
-			for _, g := range groups {
-				m := g.get(c)
-				line += fmt.Sprintf(" | %6.2f%% %6.2f%% %6.2f%% %6.2f%% %6.2f%%",
-					100*m.Accuracy, 100*m.AccuracyAll, 100*m.FPR, 100*m.FNR, 100*m.DegradedFraction)
+			lines = append(lines, sweepRow(c.Scenario, c.Cases, []eval.CellMetrics{c.StudyOnly, c.DiD, c.Litmus}))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(lines, "\n")); err != nil {
+			return err
+		}
+		var kindCells []eval.FaultKindCell
+		for _, c := range res.FaultKindCells {
+			if c.FaultRate == rate {
+				kindCells = append(kindCells, c)
 			}
-			lines = append(lines, line)
+		}
+		if len(kindCells) == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "\nBy fault kind drawn (rate %g)\n", rate); err != nil {
+			return err
+		}
+		lines = sweepHeader("fault kind")
+		for _, c := range kindCells {
+			lines = append(lines, sweepRow(c.FaultKind, c.Cases, []eval.CellMetrics{c.StudyOnly, c.DiD, c.Litmus}))
 		}
 		if _, err := fmt.Fprintln(w, strings.Join(lines, "\n")); err != nil {
 			return err

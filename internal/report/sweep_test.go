@@ -1,0 +1,61 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/eval"
+)
+
+// sweepFixture is a hand-built two-rate sweep: a clean rate with no kind
+// cells and a corrupting rate with two.
+func sweepFixture() eval.SweepResult {
+	m := eval.CellMetrics{TP: 3, TN: 4, FP: 1, FN: 2, Accuracy: 0.7, AccuracyAll: 0.7, FPR: 0.2, FNR: 0.4}
+	cell := func(scenario string, rate float64) eval.SweepCell {
+		return eval.SweepCell{Scenario: scenario, FaultRate: rate, Cases: 10, StudyOnly: m, DiD: m, Litmus: m}
+	}
+	kind := func(name string, rate float64) eval.FaultKindCell {
+		return eval.FaultKindCell{FaultKind: name, FaultRate: rate, Cases: 4, StudyOnly: m, DiD: m, Litmus: m}
+	}
+	return eval.SweepResult{
+		FaultSpec:    "all",
+		FaultSeed:    1,
+		Rates:        []float64{0, 0.2},
+		CasesPerRate: 10,
+		Cells: []eval.SweepCell{
+			cell("software-upgrade", 0), cell(eval.ScenarioAll, 0),
+			cell("software-upgrade", 0.2), cell(eval.ScenarioAll, 0.2),
+		},
+		FaultKindCells: []eval.FaultKindCell{kind("dropelem", 0.2), kind("gap", 0.2)},
+	}
+}
+
+func TestWriteSweepTableKindBreakdown(t *testing.T) {
+	var b strings.Builder
+	if err := WriteSweepTable(&b, sweepFixture()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Fault rate 0\n",
+		"Fault rate 0.2\n",
+		"By fault kind drawn (rate 0.2)",
+		"dropelem",
+		"gap",
+		"fault kind",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep table missing %q:\n%s", want, out)
+		}
+	}
+	// The clean rate has no kind block.
+	if strings.Contains(out, "By fault kind drawn (rate 0)") {
+		t.Errorf("clean rate rendered a kind block:\n%s", out)
+	}
+	// Kind rows carry the same metric columns as scenario rows.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "dropelem") && !strings.Contains(line, "70.00%") {
+			t.Errorf("kind row lost its metrics: %q", line)
+		}
+	}
+}

@@ -10,6 +10,10 @@
 //
 //	POST /v1/assess              submit a request; 202 queued, 200 cached,
 //	                             429 queue full (Retry-After set)
+//	POST /v1/assess/batch        submit a changelog against one shared
+//	                             world; entries are canonicalized to the
+//	                             same digests as single submissions, so
+//	                             cached entries are not recomputed
 //	GET  /v1/jobs/{id}           job status
 //	GET  /v1/jobs/{id}/result    canonical assessment document (200 when
 //	                             done, 409 while pending, 500 when failed)

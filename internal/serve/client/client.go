@@ -109,6 +109,76 @@ func (c *Client) Submit(ctx context.Context, req *serve.AssessRequest) (*serve.S
 	return &sub, nil
 }
 
+// SubmitBatch posts a changelog to POST /v1/assess/batch. The response
+// carries the batch job id plus per-entry digests and cached flags.
+func (c *Client) SubmitBatch(ctx context.Context, req *serve.BatchAssessRequest) (*serve.BatchSubmitResponse, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("encoding request: %w", err)
+	}
+	resp, err := c.do(ctx, http.MethodPost, "/v1/assess/batch", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return nil, decodeAPIError(resp)
+	}
+	var sub serve.BatchSubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		return nil, fmt.Errorf("decoding batch submit response: %w", err)
+	}
+	return &sub, nil
+}
+
+// AssessBatch submits a changelog and blocks until the batch job
+// finishes, returning the decoded per-entry result document. Queue-full
+// 429s are retried after the server's Retry-After hint.
+func (c *Client) AssessBatch(ctx context.Context, req *serve.BatchAssessRequest) (*serve.BatchResultDoc, error) {
+	var sub *serve.BatchSubmitResponse
+	for {
+		var err error
+		sub, err = c.SubmitBatch(ctx, req)
+		if err == nil {
+			break
+		}
+		apiErr, ok := err.(*APIError)
+		if !ok || apiErr.StatusCode != http.StatusTooManyRequests {
+			return nil, err
+		}
+		wait := apiErr.RetryAfter
+		if wait <= 0 {
+			wait = time.Second
+		}
+		if err := sleepCtx(ctx, wait); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		st, err := c.Job(ctx, sub.ID)
+		if err != nil {
+			return nil, err
+		}
+		switch st.Status {
+		case "done":
+			raw, err := c.Result(ctx, sub.ID)
+			if err != nil {
+				return nil, err
+			}
+			var doc serve.BatchResultDoc
+			if err := json.Unmarshal(raw, &doc); err != nil {
+				return nil, fmt.Errorf("decoding batch result: %w", err)
+			}
+			return &doc, nil
+		case "failed":
+			return nil, fmt.Errorf("job %s failed: %s", sub.ID, st.Error)
+		}
+		if err := sleepCtx(ctx, c.PollInterval); err != nil {
+			return nil, err
+		}
+	}
+}
+
 // Job fetches a job's status.
 func (c *Client) Job(ctx context.Context, id string) (*serve.JobStatus, error) {
 	resp, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil)

@@ -27,6 +27,12 @@ type job struct {
 	id  string
 	req *compiledRequest
 
+	// batch is non-nil for changelog jobs (POST /v1/assess/batch): the
+	// per-entry identities, the unique uncached entries to compute, and
+	// the results resolved from the cache at submit time. Batch jobs
+	// carry a nil req.
+	batch *batchState
+
 	state     string
 	cached    bool // answered from the result cache, no computation
 	degraded  bool // done, but with isolated per-KPI/per-element failures

@@ -90,6 +90,12 @@ func (s *Server) executeJob(ctx context.Context, j *job) (ar attemptResult, err 
 		return ar, err
 	}
 
+	if j.batch != nil {
+		br, err := s.executeBatch(ctx, scope, j)
+		br.span = ar.span
+		return br, err
+	}
+
 	p, change, err := j.req.buildPipeline(scope)
 	if err != nil {
 		// World generation is seeded and deterministic: rebuilding the

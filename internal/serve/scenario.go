@@ -18,16 +18,14 @@ import (
 	litmus "repro"
 )
 
-// buildPipeline materializes the request's world and returns the wired
-// pipeline plus the change record to assess. Unknown study elements (the
-// one validation that needs the topology) surface here, as a job error.
-func (c *compiledRequest) buildPipeline(scope *obs.Scope) (*litmus.Pipeline, *changelog.Change, error) {
-	net := netsim.Build(c.topo)
+// buildChange materializes the request's change record. Topology fit is
+// not checked here — callers validate against their network.
+func (c *compiledRequest) buildChange() (*changelog.Change, error) {
 	changeType, err := changelog.ParseType(c.norm.Change.Type)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	change := &changelog.Change{
+	return &changelog.Change{
 		ID:                     c.norm.Change.ID,
 		Type:                   changeType,
 		Description:            c.norm.Change.Description,
@@ -36,6 +34,17 @@ func (c *compiledRequest) buildPipeline(scope *obs.Scope) (*litmus.Pipeline, *ch
 		PropagateToDescendants: c.norm.Change.PropagateToDescendants,
 		TrueQuality:            c.norm.Change.TrueQuality,
 		TrueLoadMult:           c.norm.Change.TrueLoadMult,
+	}, nil
+}
+
+// buildPipeline materializes the request's world and returns the wired
+// pipeline plus the change record to assess. Unknown study elements (the
+// one validation that needs the topology) surface here, as a job error.
+func (c *compiledRequest) buildPipeline(scope *obs.Scope) (*litmus.Pipeline, *changelog.Change, error) {
+	net := netsim.Build(c.topo)
+	change, err := c.buildChange()
+	if err != nil {
+		return nil, nil, err
 	}
 	if err := change.Validate(net); err != nil {
 		return nil, nil, fmt.Errorf("change does not fit the requested topology: %w", err)

@@ -161,6 +161,7 @@ func (s *Server) Config() Config { return s.cfg }
 
 func (s *Server) routes() {
 	s.route("POST /v1/assess", s.handleSubmit)
+	s.route("POST /v1/assess/batch", s.handleSubmitBatch)
 	s.route("GET /v1/jobs/{id}", s.handleJob)
 	s.route("GET /v1/jobs/{id}/result", s.handleResult)
 	s.route("GET /v1/jobs/{id}/trace", s.handleTrace)

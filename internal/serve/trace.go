@@ -147,6 +147,24 @@ type JobTrace struct {
 	Degradations []litmus.AssessmentFailureDoc `json:"degradations,omitempty"`
 	// Spans holds one entry per execution attempt, oldest first.
 	Spans []TraceAttempt `json:"spans,omitempty"`
+	// Entries is present for batch jobs: the submitted changelog in
+	// order, each entry's canonical digest and submit-time disposition.
+	// The per-entry queue-wait and run detail lives in the attempt span
+	// trees above as "batch-entry" children of the assess-batch span —
+	// cached entries never enter the engine, so they have no span.
+	Entries []BatchTraceEntry `json:"entries,omitempty"`
+}
+
+// BatchTraceEntry is one changelog entry's identity in a batch job
+// trace.
+type BatchTraceEntry struct {
+	ID       string `json:"id,omitempty"`
+	ChangeID string `json:"changeId,omitempty"`
+	// Cached marks entries resolved from the result cache at submit
+	// time — they carry no engine span in the attempt trees.
+	Cached bool `json:"cached,omitempty"`
+	// Error is the entry's compile-time validation error.
+	Error string `json:"error,omitempty"`
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
@@ -181,6 +199,17 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		}
 		tr.Degradations = append(tr.Degradations, j.failures...)
 		spans = append(spans, j.spans...)
+		if j.batch != nil {
+			for _, e := range j.batch.entries {
+				_, cached := j.batch.resolved[e.digest]
+				tr.Entries = append(tr.Entries, BatchTraceEntry{
+					ID:       e.digest,
+					ChangeID: e.changeID,
+					Cached:   e.digest != "" && cached,
+					Error:    e.compileErr,
+				})
+			}
+		}
 	}
 	s.mu.Unlock()
 	if !ok {
