@@ -11,6 +11,13 @@
 // Requests are the golden scenario with the generator seed varied per
 // request; -dup controls the fraction of requests that reuse a previous
 // seed and therefore exercise the result cache and in-flight dedup.
+//
+// -servers takes a comma-separated list of service base URLs and routes
+// every request to the consistent-hash owner of its canonical digest
+// (failing over when the owner is down), so a multi-node deployment
+// behaves as one coherent cache. -shard runs the sharded-serving
+// benchmark instead: the same workload against 1 vs 3 in-process nodes,
+// reported as BENCH_9.json.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,6 +41,7 @@ import (
 	"repro/internal/obscli"
 	"repro/internal/serve"
 	"repro/internal/serve/client"
+	"repro/internal/serve/shard"
 )
 
 // logger carries the command's structured diagnostics (stderr); the
@@ -51,6 +60,11 @@ func main() {
 		batch     = flag.Bool("batch", false, "run the batch-vs-singles benchmark (BENCH_8.json) instead of the latency load test")
 		batchN    = flag.Int("batch-entries", 1000, "-batch: changelog entries")
 		batchSigs = flag.Int("batch-signatures", 24, "-batch: distinct (study, change-time) signatures the entries spread over")
+		servers   = flag.String("servers", "", "comma-separated service base URLs; route each request to its consistent-hash owner (overrides -addr)")
+		shardRun  = flag.Bool("shard", false, "run the sharded-serving benchmark (BENCH_9.json): 1 vs 3 in-process nodes")
+		shardRnds = flag.Int("shard-rounds", 5, "-shard: passes over the request corpus")
+		shardReqs = flag.Int("shard-requests", 120, "-shard: distinct requests per round (must exceed -shard-cache)")
+		shardCap  = flag.Int("shard-cache", 80, "-shard: per-node result-cache and job-retention size")
 	)
 	logFlags := obscli.RegisterLog("text")
 	flag.Parse()
@@ -67,6 +81,13 @@ func main() {
 		runBatchBench(*batchN, *batchSigs, *sWorkers, *sQueue, *out)
 		return
 	}
+	if *shardRun {
+		if *out == "" {
+			*out = "BENCH_9.json"
+		}
+		runShardBench(*shardRnds, *shardReqs, *shardCap, *c, *out)
+		return
+	}
 	if *out == "" {
 		*out = "BENCH_4.json"
 	}
@@ -74,29 +95,52 @@ func main() {
 		fatalf("need -n > 0, -c > 0 and -dup in [0, 1)")
 	}
 
-	baseURL := *addr
-	var reg *obs.Registry
-	if baseURL == "" {
-		s := serve.New(serve.Config{Workers: *sWorkers, QueueDepth: *sQueue, RetryAfter: 50 * time.Millisecond})
-		reg = s.Registry()
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			fatalf("listen: %v", err)
-		}
-		httpServer := &http.Server{Handler: s.Handler()}
-		go func() { _ = httpServer.Serve(ln) }()
-		defer func() {
-			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-			defer cancel()
-			_ = httpServer.Shutdown(ctx)
-			_ = s.Shutdown(ctx)
-		}()
-		baseURL = "http://" + ln.Addr().String()
-		logger.Info("in-process server started", "url", baseURL, "workers", *sWorkers, "queue", *sQueue)
-	}
-
-	cl := client.New(baseURL, nil)
 	ctx := context.Background()
+	var assess func(context.Context, *serve.AssessRequest) ([]byte, error)
+	var rt *shard.Router
+	var reg *obs.Registry
+	if *servers != "" {
+		var endpoints []string
+		for _, ep := range strings.Split(*servers, ",") {
+			if ep = strings.TrimSpace(ep); ep != "" {
+				endpoints = append(endpoints, ep)
+			}
+		}
+		var err error
+		rt, err = shard.NewRouter(endpoints, shard.RouterOptions{})
+		if err != nil {
+			fatalf("router: %v", err)
+		}
+		waitCtx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+		if err := rt.WaitReady(waitCtx); err != nil {
+			cancel()
+			fatalf("waiting for servers: %v", err)
+		}
+		cancel()
+		assess = rt.Assess
+		logger.Info("routing by canonical digest", "servers", len(endpoints))
+	} else {
+		baseURL := *addr
+		if baseURL == "" {
+			s := serve.New(serve.Config{Workers: *sWorkers, QueueDepth: *sQueue, RetryAfter: 50 * time.Millisecond})
+			reg = s.Registry()
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				fatalf("listen: %v", err)
+			}
+			httpServer := &http.Server{Handler: s.Handler()}
+			go func() { _ = httpServer.Serve(ln) }()
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				defer cancel()
+				_ = httpServer.Shutdown(ctx)
+				_ = s.Shutdown(ctx)
+			}()
+			baseURL = "http://" + ln.Addr().String()
+			logger.Info("in-process server started", "url", baseURL, "workers", *sWorkers, "queue", *sQueue)
+		}
+		assess = client.New(baseURL, nil).Assess
+	}
 
 	// Request corpus: every (1/dup)-th request repeats seed 1; the rest
 	// get fresh seeds — a deterministic duplicate mix, no RNG needed.
@@ -127,7 +171,7 @@ func main() {
 			for i := range work {
 				req := goldenStyleRequest(seeds[i])
 				t0 := time.Now()
-				if _, err := cl.Assess(ctx, req); err != nil {
+				if _, err := assess(ctx, req); err != nil {
 					logger.Warn("request failed", "request", i, "error", err.Error())
 					failures.Add(1)
 					continue
@@ -184,6 +228,12 @@ func main() {
 		inner["cache_hits"] = counter(obs.MetricCacheHits)
 		inner["cache_misses"] = counter(obs.MetricCacheMisses)
 		inner["queue_rejected"] = counter(obs.MetricQueueRejected)
+	}
+	if rt != nil {
+		st := rt.Stats()
+		inner := report["litmus_serve_loadgen"].(map[string]any)
+		inner["routed"] = st.Routed
+		inner["router_failovers"] = st.Failovers
 	}
 	payload, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

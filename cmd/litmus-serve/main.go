@@ -9,7 +9,12 @@
 //
 // Flags tune the queue depth, worker count, result-cache size, per-job
 // timeout and 429 Retry-After hint; -pprof mounts /debug/pprof on the
-// same listener. -flight-record turns on the flight recorder: the full
+// same listener. -journal-dir makes jobs durable: every submission and
+// completion is appended to a crash-safe journal there (segments rotate
+// at -journal-max-bytes), and on boot the journal is replayed —
+// completed results come back into the cache, unfinished jobs are
+// re-enqueued, and /readyz serves 503 "replaying" until replay lands.
+// -flight-record turns on the flight recorder: the full
 // metrics registry is snapshotted every -flight-interval into rotating
 // binary segments under -flight-dir (decode them with litmus-rec).
 // Diagnostics are structured log/slog records on stderr — JSON by
@@ -34,9 +39,11 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/obs/flightrec"
 	"repro/internal/obscli"
 	"repro/internal/serve"
+	"repro/internal/serve/journal"
 )
 
 func main() {
@@ -49,6 +56,8 @@ func main() {
 		retryAfter     = flag.Duration("retry-after", 0, "backoff hint sent with 429 responses (0 = default 1s)")
 		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
 		enablePprof    = flag.Bool("pprof", false, "mount /debug/pprof on the service listener")
+		journalDir     = flag.String("journal-dir", "", "durable job journal directory (empty = no journal)")
+		journalMaxSeg  = flag.Int64("journal-max-bytes", 0, "journal segment rotation threshold in bytes (0 = default 4MiB)")
 		flightRecord   = flag.Bool("flight-record", false, "snapshot the metrics registry into rotating binary segments")
 		flightDir      = flag.String("flight-dir", "flight", "flight-recorder segment directory")
 		flightInterval = flag.Duration("flight-interval", 0, "flight-recorder snapshot interval (0 = default 1s)")
@@ -62,6 +71,30 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The registry is created up front so the journal and the server share
+	// one: journal counters (appends, replays, compactions) land on the
+	// same /metrics page as the job counters.
+	reg := obs.NewRegistry()
+	var jr *journal.Journal
+	if *journalDir != "" {
+		// Retain as many journaled results as the cache holds — replaying
+		// more than the cache can admit would be wasted journal space.
+		retain := *cacheSize
+		if retain <= 0 {
+			retain = 256
+		}
+		jr, err = journal.Open(journal.Options{
+			Dir:             *journalDir,
+			MaxSegmentBytes: *journalMaxSeg,
+			RetainResults:   retain,
+			Registry:        reg,
+		})
+		if err != nil {
+			fatal(log, "opening journal", err)
+		}
+		log.Info("journal open", "dir", jr.Dir())
+	}
+
 	s := serve.New(serve.Config{
 		QueueDepth:  *queueDepth,
 		Workers:     *workers,
@@ -70,6 +103,8 @@ func main() {
 		RetryAfter:  *retryAfter,
 		EnablePprof: *enablePprof,
 		Logger:      log,
+		Registry:    reg,
+		Journal:     jr,
 	})
 
 	var rec *flightrec.Recorder
@@ -113,6 +148,16 @@ func main() {
 		log.Error("http shutdown", "error", err.Error())
 	}
 	drainErr := s.Shutdown(ctx)
+	if jr != nil {
+		// Closed after the drain: the last in-flight completions have been
+		// journaled by then, and Close fsyncs the active segment so a clean
+		// shutdown never depends on the OS flushing the page cache.
+		if err := jr.Close(); err != nil {
+			log.Error("closing journal", "error", err.Error())
+		} else {
+			log.Info("journal closed", "dir", jr.Dir())
+		}
+	}
 	if rec != nil {
 		// Closed after the drain so the final sample records the drained
 		// state; Close itself appends that last snapshot.

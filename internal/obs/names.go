@@ -138,6 +138,16 @@ const (
 	// MetricJobPanics counts per-job panics recovered by the worker; the
 	// job fails with a stack-annotated error, the worker survives.
 	MetricJobPanics = "litmus_job_panics_total"
+	// MetricJournalAppends counts records appended to the durability
+	// journal (job submissions and completions).
+	MetricJournalAppends = "litmus_journal_appends_total"
+	// MetricJournalReplayed counts completed results repopulated into
+	// the result cache from the journal during boot replay.
+	MetricJournalReplayed = "litmus_journal_replayed_total"
+	// MetricJournalCompactions counts background journal compactions
+	// (sealed segments rewritten with superseded/expired entries
+	// dropped).
+	MetricJournalCompactions = "litmus_journal_compactions_total"
 )
 
 // Serving-layer span names.
@@ -197,6 +207,10 @@ var helpText = map[string]string{
 	MetricJobs:            "Finished assessment jobs, labeled by terminal status.",
 	MetricJobRetries:      "Worker-side retries of transiently failed assessment jobs.",
 	MetricJobPanics:       "Per-job panics recovered by a worker.",
+
+	MetricJournalAppends:     "Records appended to the durability journal.",
+	MetricJournalReplayed:    "Completed results repopulated from the journal during boot replay.",
+	MetricJournalCompactions: "Background journal compactions of sealed segments.",
 }
 
 // Help returns the canonical # HELP text for a metric's base name, or

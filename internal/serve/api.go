@@ -365,13 +365,38 @@ func compile(req *AssessRequest) (*compiledRequest, error) {
 // clients, and a truncated key colliding would silently serve one
 // request's cached assessment as another's.
 func (c *compiledRequest) hash() string {
+	sum := sha256.Sum256(c.canonicalJSON())
+	return "j" + hex.EncodeToString(sum[:])
+}
+
+// canonicalJSON renders the normalized request — the bytes the hash
+// covers, and the journal's submit payload. Compiling these bytes again
+// reproduces the same canonical form (normalization is idempotent), so
+// a journaled submission replays to the same job id.
+func (c *compiledRequest) canonicalJSON() []byte {
 	b, err := json.Marshal(c.norm)
 	if err != nil {
 		// The normalized form is plain data; Marshal cannot fail on it.
 		panic("serve: marshaling normalized request: " + err.Error())
 	}
-	sum := sha256.Sum256(b)
-	return "j" + hex.EncodeToString(sum[:])
+	return b
+}
+
+// CanonicalJobID returns the job id req would get from POST /v1/assess
+// — the canonical request digest that keys the result cache and, for
+// sharded deployments, the consistent-hash routing key (see
+// shard.Router). req is not mutated. Every error is a validation error,
+// identical to the HTTP 400 the service would return.
+func CanonicalJobID(req *AssessRequest) (string, error) {
+	r := *req
+	// compile canonicalizes the KPI list in place; detach the slice so
+	// the caller's request stays untouched.
+	r.KPIs = append([]string(nil), req.KPIs...)
+	c, err := compile(&r)
+	if err != nil {
+		return "", err
+	}
+	return c.hash(), nil
 }
 
 // SubmitResponse is the POST /v1/assess response body.

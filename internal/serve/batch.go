@@ -35,6 +35,7 @@ import (
 	"repro/internal/kpi"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/serve/journal"
 
 	litmus "repro"
 )
@@ -309,6 +310,7 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 					s.finished.Remove(j.finishedElem)
 					j.finishedElem = nil
 				}
+				s.journalBatchSubmitLocked(id, &req)
 				s.mu.Unlock()
 				resp := respBase
 				resp.Status = stateQueued
@@ -350,6 +352,7 @@ func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 	j.batch = &batchState{entries: bc.entries, pending: pending, resolved: resolved}
 	if ok, _ := s.enqueueLocked(w, j, now); ok {
 		s.jobs[id] = j
+		s.journalBatchSubmitLocked(id, &req)
 		s.mu.Unlock()
 		s.reg.Counter(obs.MetricCacheHits).Add(int64(len(resolved)))
 		s.reg.Counter(obs.MetricCacheMisses).Add(int64(len(pending)))
@@ -478,10 +481,13 @@ func (s *Server) executeBatch(ctx context.Context, scope *obs.Scope, j *job) (ar
 			}
 		}
 		// Populate the per-entry result cache so future singles and
-		// batches hit it.
+		// batches hit it, journaling each computed entry first: if the
+		// batch job itself is later cut short, the entries it finished
+		// still survive replay.
 		s.mu.Lock()
 		for d, o := range outcomes {
 			if o.errText == "" {
+				s.journalAppendLocked(journal.Record{Kind: journal.KindComplete, Digest: d, Degraded: o.degraded, Payload: o.result})
 				s.cache.put(d, cachedResult{result: o.result, degraded: o.degraded})
 			}
 		}

@@ -43,6 +43,10 @@ func New(baseURL string, httpc *http.Client) *Client {
 	}
 }
 
+// BaseURL returns the service base URL this client targets — the
+// identity shard routing uses for ring membership.
+func (c *Client) BaseURL() string { return c.baseURL }
+
 // APIError is a non-2xx response from the service.
 type APIError struct {
 	StatusCode int

@@ -1,0 +1,448 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Defaults.
+const (
+	DefaultMaxSegmentBytes = 4 << 20
+	DefaultRetainResults   = 1024
+)
+
+const (
+	segmentGlob = "journal-*.ljr"
+	compactTmp  = "journal-compact.tmp"
+)
+
+// segmentName renders the file name of segment seq.
+func segmentName(seq uint64) string { return fmt.Sprintf("journal-%08d.ljr", seq) }
+
+// Options parameterizes a Journal.
+type Options struct {
+	// Dir is the segment directory (created if missing).
+	Dir string
+	// MaxSegmentBytes rotates the active segment beyond this size
+	// (default DefaultMaxSegmentBytes).
+	MaxSegmentBytes int64
+	// RetainResults bounds how many completed results compaction keeps
+	// (newest first; default DefaultRetainResults). Callers align it
+	// with the serve tier's result-cache size so the journal retains
+	// what a boot can actually repopulate.
+	RetainResults int
+	// Registry receives the journal counters
+	// (litmus_journal_{appends,compactions}_total). Nil records nothing.
+	Registry *obs.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSegmentBytes <= 0 {
+		o.MaxSegmentBytes = DefaultMaxSegmentBytes
+	}
+	if o.RetainResults <= 0 {
+		o.RetainResults = DefaultRetainResults
+	}
+	return o
+}
+
+// Journal is a durable append-only record of job state transitions.
+// Open it, Append on every transition, Replay on boot, Close on
+// shutdown. Append and Replay are safe for concurrent use.
+type Journal struct {
+	opts Options
+
+	mu     sync.Mutex
+	file   *os.File // active segment
+	seq    uint64   // sequence of the active segment
+	size   int64    // bytes written to the active segment
+	closed bool
+
+	compactWG   sync.WaitGroup
+	compactBusy bool
+}
+
+// Open opens (or creates) the journal in opts.Dir. A torn or corrupt
+// tail on the newest segment — the signature of a crash mid-append — is
+// truncated back to the last clean frame; stale compaction temporaries
+// are removed. The returned journal appends to the newest segment.
+func Open(opts Options) (*Journal, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("journal: Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: creating dir: %w", err)
+	}
+	// A crash mid-compaction leaves the temporary behind; the sealed
+	// segments it was built from are still intact, so drop it.
+	_ = os.Remove(filepath.Join(opts.Dir, compactTmp))
+
+	j := &Journal{opts: opts}
+	names, err := segmentFiles(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		if err := j.openSegmentLocked(1); err != nil {
+			return nil, err
+		}
+		return j, nil
+	}
+	last := names[len(names)-1]
+	var seq uint64
+	if _, err := fmt.Sscanf(filepath.Base(last), "journal-%d.ljr", &seq); err != nil {
+		return nil, fmt.Errorf("journal: unparseable segment name %q", last)
+	}
+	clean, err := repairTail(last)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: opening active segment: %w", err)
+	}
+	j.file, j.seq, j.size = f, seq, clean
+	return j, nil
+}
+
+// repairTail truncates path back to its clean frame prefix and returns
+// the resulting size. A segment whose magic itself is damaged is reset
+// to an empty segment (magic only) — its frames are unrecoverable, and
+// by the determinism contract their loss costs recomputation, never
+// wrong answers.
+func repairTail(path string) (int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("journal: reading segment: %w", err)
+	}
+	_, clean, derr := DecodeSegment(data)
+	switch derr.(type) {
+	case nil:
+		return clean, nil
+	case *CorruptError:
+		if err := os.Truncate(path, clean); err != nil {
+			return 0, fmt.Errorf("journal: truncating torn tail: %w", err)
+		}
+		return clean, nil
+	default: // ErrBadMagic
+		if err := os.WriteFile(path, []byte(Magic), 0o644); err != nil {
+			return 0, fmt.Errorf("journal: resetting damaged segment: %w", err)
+		}
+		return int64(len(Magic)), nil
+	}
+}
+
+// openSegmentLocked creates segment seq and makes it active.
+func (j *Journal) openSegmentLocked(seq uint64) error {
+	f, err := os.Create(filepath.Join(j.opts.Dir, segmentName(seq)))
+	if err != nil {
+		return fmt.Errorf("journal: creating segment: %w", err)
+	}
+	if _, err := f.WriteString(Magic); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: writing segment magic: %w", err)
+	}
+	j.file, j.seq, j.size = f, seq, int64(len(Magic))
+	return nil
+}
+
+// Append writes one record durably: the whole frame goes out in a
+// single write syscall, so a crash can only tear the frame currently
+// being written — never a previously appended one. Rotation to a fresh
+// segment happens when the active one exceeds MaxSegmentBytes, and each
+// rotation kicks the background compactor over the sealed segments.
+func (j *Journal) Append(rec Record) error {
+	frame, err := appendFrame(nil, &rec)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("journal: append after Close")
+	}
+	if j.size >= j.opts.MaxSegmentBytes {
+		if err := j.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	n, err := j.file.Write(frame)
+	j.size += int64(n)
+	if err != nil {
+		return fmt.Errorf("journal: appending record: %w", err)
+	}
+	if j.opts.Registry != nil {
+		j.opts.Registry.Counter(obs.MetricJournalAppends).Add(1)
+	}
+	return nil
+}
+
+// rotateLocked seals the active segment, opens the next one, and starts
+// the background compactor if it is not already running.
+func (j *Journal) rotateLocked() error {
+	if err := j.file.Sync(); err != nil {
+		return fmt.Errorf("journal: syncing sealed segment: %w", err)
+	}
+	if err := j.file.Close(); err != nil {
+		return fmt.Errorf("journal: closing sealed segment: %w", err)
+	}
+	j.file = nil
+	if err := j.openSegmentLocked(j.seq + 1); err != nil {
+		return err
+	}
+	if !j.compactBusy {
+		j.compactBusy = true
+		j.compactWG.Add(1)
+		go func() {
+			defer j.compactWG.Done()
+			_ = j.Compact()
+			j.mu.Lock()
+			j.compactBusy = false
+			j.mu.Unlock()
+		}()
+	}
+	return nil
+}
+
+// Replay streams every surviving record, oldest first, through fn. A
+// corrupt frame inside a sealed segment ends that segment's replay
+// (everything before it is used, later segments still replay) — by the
+// determinism contract a skipped record costs a recomputation, never a
+// wrong answer. Replay of the active segment sees every record appended
+// before the call.
+func (j *Journal) Replay(fn func(Record) error) error {
+	j.mu.Lock()
+	names, err := segmentFiles(j.opts.Dir)
+	j.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return fmt.Errorf("journal: reading segment: %w", err)
+		}
+		recs, _, derr := DecodeSegment(data)
+		if derr == ErrBadMagic {
+			continue
+		}
+		for _, rec := range recs {
+			if err := fn(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Compact rewrites the sealed segments (every segment but the active
+// one) into a single segment, folding each digest's history down to its
+// final state:
+//
+//   - pending (last event is a submit, or a submit whose newest complete
+//     is a cancellation): the submit survives, so the job is re-enqueued
+//     on the next boot; the canceled-complete marker is dropped.
+//   - done: only the newest done complete survives, and only for the
+//     newest RetainResults completed digests overall — the journal
+//     mirrors the serve tier's cache bound instead of growing without
+//     limit.
+//   - failed: nothing survives. Replay neither resurrects nor
+//     re-enqueues deterministic failures, so their records carry no
+//     information past compaction; a later resubmit re-pends the digest
+//     (the fold is order-aware).
+//
+// Record order is preserved, the temporary is fsynced and renamed into
+// place, and the replaced segments are deleted afterwards; a crash at
+// any point leaves a journal that replays to the same state.
+func (j *Journal) Compact() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil
+	}
+	names, err := segmentFiles(j.opts.Dir)
+	if err != nil {
+		j.mu.Unlock()
+		return err
+	}
+	active := filepath.Join(j.opts.Dir, segmentName(j.seq))
+	j.mu.Unlock()
+
+	var sealed []string
+	for _, name := range names {
+		if name != active {
+			sealed = append(sealed, name)
+		}
+	}
+	if len(sealed) < 2 {
+		return nil // nothing worth rewriting
+	}
+
+	// Sealed segments are immutable, so reading them needs no lock.
+	type ref struct{ seg, idx int }
+	var all [][]Record
+	for _, name := range sealed {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return fmt.Errorf("journal: reading segment: %w", err)
+		}
+		recs, _, derr := DecodeSegment(data)
+		if derr == ErrBadMagic {
+			recs = nil
+		}
+		all = append(all, recs)
+	}
+
+	// Fold each digest's events in order down to its final state.
+	type state struct {
+		pending                     ref // last submit, valid when hasPending
+		done                        ref // newest done complete, valid when hasDone
+		hasPending, hasDone, failed bool
+	}
+	states := map[string]*state{}
+	var doneOrder []string // digests in order of their newest done complete
+	for si, recs := range all {
+		for ri, rec := range recs {
+			st := states[rec.Digest]
+			if st == nil {
+				st = &state{}
+				states[rec.Digest] = st
+			}
+			switch {
+			case rec.Kind == KindSubmit || rec.Kind == KindBatchSubmit:
+				st.pending, st.hasPending, st.failed = ref{si, ri}, true, false
+			case rec.Canceled:
+				// Cancellation keeps the digest pending; the marker itself
+				// never survives compaction.
+			case rec.Failed:
+				st.hasPending, st.failed = false, true
+			default: // done
+				st.done, st.hasDone = ref{si, ri}, true
+				st.hasPending, st.failed = false, false
+				doneOrder = append(doneOrder, rec.Digest)
+			}
+		}
+	}
+	// Expire all but the newest RetainResults done digests. doneOrder
+	// lists every done complete in append order; ranking by a digest's
+	// last appearance ranks by its newest result.
+	lastPos := map[string]int{}
+	for i, d := range doneOrder {
+		lastPos[d] = i
+	}
+	var doneDigests []string
+	for d, st := range states {
+		if st.hasDone {
+			doneDigests = append(doneDigests, d)
+		}
+	}
+	sort.Slice(doneDigests, func(a, b int) bool { return lastPos[doneDigests[a]] < lastPos[doneDigests[b]] })
+	expired := map[string]bool{}
+	if drop := len(doneDigests) - j.opts.RetainResults; drop > 0 {
+		for _, d := range doneDigests[:drop] {
+			expired[d] = true
+		}
+	}
+
+	keep := map[ref]bool{}
+	for d, st := range states {
+		if st.hasPending {
+			keep[st.pending] = true
+		}
+		if st.hasDone && !expired[d] {
+			keep[st.done] = true
+		}
+	}
+	var out []Record
+	for si, recs := range all {
+		for ri, rec := range recs {
+			if keep[ref{si, ri}] {
+				out = append(out, rec)
+			}
+		}
+	}
+
+	tmpPath := filepath.Join(j.opts.Dir, compactTmp)
+	tmp, err := os.Create(tmpPath)
+	if err != nil {
+		return fmt.Errorf("journal: creating compaction temp: %w", err)
+	}
+	buf := []byte(Magic)
+	for i := range out {
+		if buf, err = appendFrame(buf, &out[i]); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return err
+		}
+	}
+	if _, err := tmp.Write(buf); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("journal: writing compacted segment: %w", err)
+	}
+
+	// Swap under the lock so Replay never lists the directory mid-swap.
+	// The compacted records land under the newest sealed name; renaming
+	// is atomic, and deleting the older segments afterwards is safe —
+	// until they are gone, replay just sees records the compacted
+	// segment repeats, and replay is idempotent.
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := os.Rename(tmpPath, sealed[len(sealed)-1]); err != nil {
+		return fmt.Errorf("journal: installing compacted segment: %w", err)
+	}
+	for _, name := range sealed[:len(sealed)-1] {
+		if err := os.Remove(name); err != nil {
+			return fmt.Errorf("journal: removing compacted segment: %w", err)
+		}
+	}
+	if j.opts.Registry != nil {
+		j.opts.Registry.Counter(obs.MetricJournalCompactions).Add(1)
+	}
+	return nil
+}
+
+// Close waits for any background compaction, syncs and closes the
+// active segment. Safe to call more than once.
+func (j *Journal) Close() error {
+	j.compactWG.Wait()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if j.file == nil {
+		return nil
+	}
+	err := j.file.Sync()
+	if cerr := j.file.Close(); err == nil {
+		err = cerr
+	}
+	j.file = nil
+	return err
+}
+
+// Dir returns the journal's segment directory.
+func (j *Journal) Dir() string { return j.opts.Dir }
+
+// segmentFiles lists the directory's segment files, oldest first.
+func segmentFiles(dir string) ([]string, error) {
+	names, err := filepath.Glob(filepath.Join(dir, segmentGlob))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	return names, nil
+}

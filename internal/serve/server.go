@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/serve/journal"
 
 	litmus "repro"
 )
@@ -49,6 +50,14 @@ type Config struct {
 	MaxJobAttempts int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// Journal, when non-nil, makes jobs durable: every submission and
+	// completion is appended to the journal, and on boot the server
+	// replays it — completed results repopulate the result cache and
+	// unfinished jobs are re-enqueued (see durability.go). The caller
+	// owns the journal's lifecycle: Open it before New, Close it after
+	// Shutdown returns. /readyz reports 503 "replaying" until replay
+	// finishes.
+	Journal *journal.Journal
 	// Registry receives the service and engine metrics (default: a fresh
 	// registry, exposed on /metrics either way).
 	Registry *obs.Registry
@@ -97,6 +106,12 @@ type Server struct {
 	baseCtx    context.Context
 	cancelBase context.CancelFunc
 
+	// journal is the optional durability layer; replayDone is closed
+	// once boot replay has finished (immediately when there is no
+	// journal) and gates /readyz.
+	journal    *journal.Journal
+	replayDone chan struct{}
+
 	mu          sync.Mutex
 	jobs        map[string]*job
 	finished    *list.List // job ids in completion order, oldest first
@@ -104,6 +119,7 @@ type Server struct {
 	queue       chan *job
 	draining    bool
 	queueClosed bool
+	replayed    int // completed results repopulated by boot replay
 
 	wg sync.WaitGroup
 
@@ -138,6 +154,11 @@ func newServer(cfg Config) *Server {
 		cache:    newLRUCache(cfg.CacheSize),
 		queue:    make(chan *job, cfg.QueueDepth),
 	}
+	s.journal = cfg.Journal
+	s.replayDone = make(chan struct{})
+	if s.journal == nil {
+		close(s.replayDone)
+	}
 	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
 	s.routes()
 	return s
@@ -147,6 +168,10 @@ func (s *Server) start() {
 	s.wg.Add(s.cfg.Workers)
 	for i := 0; i < s.cfg.Workers; i++ {
 		go s.worker()
+	}
+	if s.journal != nil {
+		s.wg.Add(1)
+		go s.replayJournal()
 	}
 }
 
@@ -317,6 +342,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 					s.finished.Remove(j.finishedElem)
 					j.finishedElem = nil
 				}
+				s.journalSubmitLocked(id, j.req)
 				s.mu.Unlock()
 				annotate(w, id, traceID)
 				setTraceparent(w, traceID)
@@ -349,6 +375,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j.traceID = traceID
 	if ok, resp := s.enqueueLocked(w, j, now); ok {
 		s.jobs[id] = j
+		s.journalSubmitLocked(id, compiled)
 		s.mu.Unlock()
 		s.reg.Counter(obs.MetricCacheMisses).Add(1)
 		annotate(w, id, traceID)
@@ -460,16 +487,32 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	depth := len(s.queue)
+	replayed := s.replayed
 	s.mu.Unlock()
 	if draining {
 		writeError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	select {
+	case <-s.replayDone:
+	default:
+		// Boot replay is still repopulating the cache: not ready yet.
+		// The count is live, so pollers see replay progress.
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":          "replaying",
+			"replayedResults": replayed,
+		})
+		return
+	}
+	body := map[string]any{
 		"status":     "ready",
 		"queueDepth": depth,
 		"queueCap":   s.cfg.QueueDepth,
-	})
+	}
+	if s.journal != nil {
+		body["replayedResults"] = replayed
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -545,10 +588,22 @@ func (s *Server) runJob(j *job) {
 	j.retries = retries
 	j.spans = spans
 	j.failures = ar.failures
+	// Journal the terminal state before it becomes client-visible: a
+	// crash after the state flips but before the append could otherwise
+	// lose a result a client already saw. Cancellations keep the digest
+	// pending in the journal, so replay re-enqueues the work.
 	if err != nil {
+		rec := journal.Record{Kind: journal.KindComplete, Digest: j.id, Payload: []byte(err.Error())}
+		if statusLabel == "canceled" {
+			rec.Canceled = true
+		} else {
+			rec.Failed = true
+		}
+		s.journalAppendLocked(rec)
 		j.state = stateFailed
 		j.err = err.Error()
 	} else {
+		s.journalAppendLocked(journal.Record{Kind: journal.KindComplete, Digest: j.id, Degraded: ar.degraded, Payload: ar.result})
 		j.state = stateDone
 		j.degraded = ar.degraded
 		j.result = ar.result

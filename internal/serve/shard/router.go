@@ -1,0 +1,238 @@
+package shard
+
+// Router: the client side of sharded serving. One Router fronts N
+// service endpoints; every request is keyed by its canonical digest
+// (serve.CanonicalJobID — the exact id the server itself would assign)
+// and sent to the ring owner, so identical requests from any client
+// land on the same node and share one cached result. When the owner is
+// unreachable the Router walks the key's failover sequence and lets any
+// healthy node recompute — by the determinism contract the substitute
+// answer is bit-identical, the cluster just spends one extra
+// computation while the owner is away.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/serve/client"
+)
+
+// RouterOptions parameterizes a Router. The zero value is usable.
+type RouterOptions struct {
+	// HTTPClient is shared by every per-node client (default
+	// http.DefaultClient).
+	HTTPClient *http.Client
+	// Replicas is the ring's virtual points per node (default
+	// DefaultReplicas).
+	Replicas int
+	// PollInterval is each node client's job-status polling cadence
+	// (default: the client package's own default).
+	PollInterval time.Duration
+}
+
+// Router routes assessment traffic across a fixed set of service
+// endpoints by consistent-hashed canonical digest. Safe for concurrent
+// use.
+type Router struct {
+	ring    *Ring
+	httpc   *http.Client
+	clients map[string]*client.Client
+
+	mu        sync.Mutex
+	routed    map[string]int64 // endpoint → requests sent (incl. failover targets)
+	failovers int64
+}
+
+// RouteStats is a snapshot of the router's traffic: how many requests
+// each endpoint received, and how many owner failovers occurred.
+type RouteStats struct {
+	Routed    map[string]int64
+	Failovers int64
+}
+
+// NewRouter builds a router over the given endpoint URLs (each the base
+// URL of one litmus-serve instance). The endpoint strings are the ring
+// node names: every router configured with the same set — in any order —
+// routes every digest identically.
+func NewRouter(endpoints []string, opts RouterOptions) (*Router, error) {
+	ring, err := NewRing(endpoints, opts.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	httpc := opts.HTTPClient
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	rt := &Router{
+		ring:    ring,
+		httpc:   httpc,
+		clients: make(map[string]*client.Client, len(endpoints)),
+		routed:  make(map[string]int64, len(endpoints)),
+	}
+	for _, ep := range ring.Nodes() {
+		c := client.New(ep, httpc)
+		if opts.PollInterval > 0 {
+			c.PollInterval = opts.PollInterval
+		}
+		rt.clients[ep] = c
+	}
+	return rt, nil
+}
+
+// Ring returns the router's consistent-hash ring.
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// Endpoints returns the routed endpoints in configuration order.
+func (rt *Router) Endpoints() []string { return rt.ring.Nodes() }
+
+// Stats returns a snapshot of per-endpoint routing counts.
+func (rt *Router) Stats() RouteStats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	routed := make(map[string]int64, len(rt.routed))
+	for ep, n := range rt.routed {
+		routed[ep] = n
+	}
+	return RouteStats{Routed: routed, Failovers: rt.failovers}
+}
+
+func (rt *Router) recordRoute(endpoint string, failover bool) {
+	rt.mu.Lock()
+	rt.routed[endpoint]++
+	if failover {
+		rt.failovers++
+	}
+	rt.mu.Unlock()
+}
+
+// failoverable reports whether err warrants trying the next node in the
+// sequence. Transport errors and 503s (node down, draining, or still
+// replaying its journal) do; deterministic API answers — validation
+// 400s, job-failed 500s, 404s — would repeat identically on every node,
+// so they surface immediately.
+func failoverable(err error) bool {
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.StatusCode == http.StatusServiceUnavailable
+	}
+	return true
+}
+
+// route runs fn against each node in key's failover sequence until one
+// answers or the error is deterministic.
+func (rt *Router) route(ctx context.Context, key string, fn func(*client.Client) error) error {
+	var lastErr error
+	for i, ep := range rt.ring.Sequence(key) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		rt.recordRoute(ep, i > 0)
+		err := fn(rt.clients[ep])
+		if err == nil {
+			return nil
+		}
+		if !failoverable(err) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("shard: all %d nodes failed for %s: %w", len(rt.clients), key, lastErr)
+}
+
+// Assess submits req to the owner of its canonical digest and blocks
+// until the result is available, failing over to the next nodes in the
+// digest's sequence when the owner is unreachable.
+func (rt *Router) Assess(ctx context.Context, req *serve.AssessRequest) ([]byte, error) {
+	id, err := serve.CanonicalJobID(req)
+	if err != nil {
+		return nil, err
+	}
+	var result []byte
+	err = rt.route(ctx, id, func(c *client.Client) error {
+		b, err := c.Assess(ctx, req)
+		if err == nil {
+			result = b
+		}
+		return err
+	})
+	return result, err
+}
+
+// Submit posts req to the owner of its canonical digest (with
+// failover) and returns the owning endpoint alongside the submit
+// response, so the caller can poll the same node.
+func (rt *Router) Submit(ctx context.Context, req *serve.AssessRequest) (*serve.SubmitResponse, string, error) {
+	id, err := serve.CanonicalJobID(req)
+	if err != nil {
+		return nil, "", err
+	}
+	var sub *serve.SubmitResponse
+	var served string
+	err = rt.route(ctx, id, func(c *client.Client) error {
+		s, err := c.Submit(ctx, req)
+		if err == nil {
+			sub = s
+			served = c.BaseURL()
+		}
+		return err
+	})
+	return sub, served, err
+}
+
+// Job fetches a job's status from the node owning id.
+func (rt *Router) Job(ctx context.Context, id string) (*serve.JobStatus, error) {
+	var st *serve.JobStatus
+	err := rt.route(ctx, id, func(c *client.Client) error {
+		s, err := c.Job(ctx, id)
+		if err == nil {
+			st = s
+		}
+		return err
+	})
+	return st, err
+}
+
+// Result fetches a finished job's result bytes from the node owning id.
+func (rt *Router) Result(ctx context.Context, id string) ([]byte, error) {
+	var raw []byte
+	err := rt.route(ctx, id, func(c *client.Client) error {
+		b, err := c.Result(ctx, id)
+		if err == nil {
+			raw = b
+		}
+		return err
+	})
+	return raw, err
+}
+
+// WaitReady blocks until every endpoint answers /readyz with 200 — i.e.
+// every node has finished its journal replay and is accepting work — or
+// ctx expires.
+func (rt *Router) WaitReady(ctx context.Context) error {
+	for _, ep := range rt.ring.Nodes() {
+		for {
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, ep+"/readyz", nil)
+			if err != nil {
+				return err
+			}
+			resp, err := rt.httpc.Do(req)
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					break
+				}
+			}
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("shard: %s not ready: %w", ep, ctx.Err())
+			case <-time.After(25 * time.Millisecond):
+			}
+		}
+	}
+	return nil
+}
