@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: ci vet lint build test race race-obs chaos fuzz-seed eval-sweep bench bench-workers bench-obs bench-json serve-smoke crash-smoke bench-serve bench-batch bench-shard clean
+.PHONY: ci vet lint build test race race-obs chaos chaos-cluster fuzz-seed eval-sweep bench bench-workers bench-obs bench-json serve-smoke crash-smoke bench-serve bench-batch bench-shard clean
 
 ci: vet build test race chaos fuzz-seed
 
@@ -51,11 +51,24 @@ race-obs:
 chaos:
 	$(GO) test -race -run 'Chaos|Degrad|Fault|Panic|Retr' ./...
 
+# Cluster chaos suite under the race detector: three real service
+# nodes behind deterministic netchaos TCP fault proxies, driven through
+# the resilient router while latency, drip, reset, stall, partition,
+# and kill episodes are applied link by link. Zero requests lost under
+# any single-node fault, every completed answer byte-identical to the
+# clean cluster's, hedging bounds the slow-node p99, and each proxy's
+# realized fault schedule reproduces from (spec, seed, link). Writes
+# CHAOS_CLUSTER.json — the per-scenario stats artifact CI uploads.
+chaos-cluster:
+	LITMUS_CLUSTER_CHAOS=1 LITMUS_CLUSTER_CHAOS_OUT=$(CURDIR)/CHAOS_CLUSTER.json \
+		$(GO) test -race -run TestClusterChaos -count=1 -v -timeout 20m ./internal/serve/shard
+	@echo wrote CHAOS_CLUSTER.json
+
 # Replay the committed fuzz seed corpora as unit tests (no fuzzing
 # engine; catches regressions in the never-panic contracts). Use
 # `go test -fuzz=FuzzReadSeries ./cmd/litmus` etc. for real fuzzing.
 fuzz-seed:
-	$(GO) test ./cmd/litmus ./internal/stats ./internal/faults ./internal/serve/journal -run '^Fuzz'
+	$(GO) test ./cmd/litmus ./internal/stats ./internal/faults ./internal/serve/journal ./internal/netchaos -run '^Fuzz'
 
 # Scaled-down fault sweep under the race detector: the Table-4 grid
 # plus the adversarial scenario families at corruption rates

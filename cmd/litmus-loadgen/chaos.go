@@ -1,0 +1,109 @@
+package main
+
+// -chaos mode: the latency load test against an in-process cluster
+// whose links run through deterministic netchaos TCP fault proxies.
+// The first -chaos-faulty links get -chaos-spec applied after the
+// cluster is ready, so the report shows how the resilient router
+// (breakers, bounded failover, optional hedging) rides out the fault —
+// and the same -chaos-seed reproduces the same fault schedule.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/netchaos"
+	"repro/internal/serve"
+	"repro/internal/serve/shard"
+)
+
+// startChaosCluster boots `nodes` in-process service nodes, each behind
+// its own client→n<i> fault proxy, waits for readiness through the
+// clean links, then applies spec to the first `faulty` links. It
+// returns the resilient router over the proxied endpoints, a hook that
+// snapshots per-link chaos stats for the report, and a cleanup func.
+func startChaosCluster(nodes, faulty int, specStr string, seed int64, workers, queue int, hedge bool) (*shard.Router, func() map[string]any, func()) {
+	if nodes < 2 {
+		fatalf("-chaos needs at least 2 nodes, got %d", nodes)
+	}
+	if faulty < 0 || faulty >= nodes {
+		fatalf("-chaos-faulty must be in [0, nodes): %d of %d would leave no clean node", faulty, nodes)
+	}
+	spec, err := netchaos.ParseSpec(specStr)
+	if err != nil {
+		fatalf("-chaos-spec: %v", err)
+	}
+
+	servers := make([]*serve.Server, nodes)
+	httpServers := make([]*http.Server, nodes)
+	proxies := make([]*netchaos.Proxy, nodes)
+	endpoints := make([]string, nodes)
+	for i := range servers {
+		s := serve.New(serve.Config{Workers: workers, QueueDepth: queue, RetryAfter: 50 * time.Millisecond})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatalf("listen: %v", err)
+		}
+		hs := &http.Server{Handler: s.Handler()}
+		go func() { _ = hs.Serve(ln) }()
+		px, err := netchaos.NewProxy("client", fmt.Sprintf("n%d", i), ln.Addr().String(), nil, seed+int64(i))
+		if err != nil {
+			fatalf("netchaos proxy: %v", err)
+		}
+		servers[i], httpServers[i], proxies[i], endpoints[i] = s, hs, px, px.URL()
+	}
+	cleanup := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		for i := range servers {
+			_ = proxies[i].Close()
+			_ = httpServers[i].Shutdown(ctx)
+			_ = servers[i].Shutdown(ctx)
+		}
+	}
+
+	// Keep-alives off: netchaos draws one fault per connection, so each
+	// request must dial through its proxy to feel the live spec.
+	rt, err := shard.NewRouter(endpoints, shard.RouterOptions{
+		HTTPClient:       &http.Client{Transport: &http.Transport{DisableKeepAlives: true}},
+		BreakerThreshold: 2,
+		BreakerCooldown:  250 * time.Millisecond,
+		AttemptTimeout:   2 * time.Second,
+		Hedge:            hedge,
+		HedgeMinDelay:    25 * time.Millisecond,
+	})
+	if err != nil {
+		cleanup()
+		fatalf("router: %v", err)
+	}
+	waitCtx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := rt.WaitReady(waitCtx); err != nil {
+		cleanup()
+		fatalf("waiting for chaos cluster: %v", err)
+	}
+	for i := 0; i < faulty; i++ {
+		proxies[i].SetSpec(spec)
+	}
+	logger.Info("chaos cluster started", "nodes", nodes, "faulty", faulty, "spec", spec.String(), "seed", seed, "hedge", hedge)
+
+	info := func() map[string]any {
+		links := make(map[string]any, nodes)
+		for _, px := range proxies {
+			src, dst := px.Link()
+			entry := map[string]any{"conns": px.Conns()}
+			if s := px.Spec(); s != nil {
+				entry["spec"] = s.String()
+			}
+			links[src+"->"+dst] = entry
+		}
+		return map[string]any{
+			"seed":   seed,
+			"faulty": faulty,
+			"links":  links,
+		}
+	}
+	return rt, info, cleanup
+}

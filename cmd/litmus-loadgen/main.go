@@ -30,10 +30,12 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/netsim"
@@ -61,6 +63,13 @@ func main() {
 		batchN    = flag.Int("batch-entries", 1000, "-batch: changelog entries")
 		batchSigs = flag.Int("batch-signatures", 24, "-batch: distinct (study, change-time) signatures the entries spread over")
 		servers   = flag.String("servers", "", "comma-separated service base URLs; route each request to its consistent-hash owner (overrides -addr)")
+		srvFile   = flag.String("servers-file", "", "file of service base URLs (one per line, # comments); re-read on SIGHUP and applied live to the ring")
+		hedge     = flag.Bool("hedge", false, "routed modes: hedge slow requests to the next ring node (first answer wins)")
+		chaosRun  = flag.Bool("chaos", false, "run the load against in-process nodes behind deterministic netchaos fault proxies")
+		chaosSpec = flag.String("chaos-spec", "latency=30ms,jitter=20ms", "-chaos: netchaos fault spec for the faulted links")
+		chaosSeed = flag.Int64("chaos-seed", 42, "-chaos: fault-schedule seed (same seed = same schedule)")
+		chaosN    = flag.Int("chaos-nodes", 3, "-chaos: in-process nodes")
+		chaosBad  = flag.Int("chaos-faulty", 1, "-chaos: how many node links get the fault spec")
 		shardRun  = flag.Bool("shard", false, "run the sharded-serving benchmark (BENCH_9.json): 1 vs 3 in-process nodes")
 		shardRnds = flag.Int("shard-rounds", 5, "-shard: passes over the request corpus")
 		shardReqs = flag.Int("shard-requests", 120, "-shard: distinct requests per round (must exceed -shard-cache)")
@@ -90,6 +99,9 @@ func main() {
 	}
 	if *out == "" {
 		*out = "BENCH_4.json"
+		if *chaosRun {
+			*out = "CHAOS_LOAD.json"
+		}
 	}
 	if *n <= 0 || *c <= 0 || *dup < 0 || *dup >= 1 {
 		fatalf("need -n > 0, -c > 0 and -dup in [0, 1)")
@@ -99,15 +111,23 @@ func main() {
 	var assess func(context.Context, *serve.AssessRequest) ([]byte, error)
 	var rt *shard.Router
 	var reg *obs.Registry
-	if *servers != "" {
-		var endpoints []string
-		for _, ep := range strings.Split(*servers, ",") {
-			if ep = strings.TrimSpace(ep); ep != "" {
-				endpoints = append(endpoints, ep)
+	var chaosInfo func() map[string]any
+	if *chaosRun {
+		var cleanup func()
+		rt, chaosInfo, cleanup = startChaosCluster(*chaosN, *chaosBad, *chaosSpec, *chaosSeed, *sWorkers, *sQueue, *hedge)
+		defer cleanup()
+		assess = rt.Assess
+	} else if *servers != "" || *srvFile != "" {
+		endpoints := splitServers(*servers)
+		if *srvFile != "" {
+			fromFile, err := readServersFile(*srvFile)
+			if err != nil {
+				fatalf("%v", err)
 			}
+			endpoints = append(endpoints, fromFile...)
 		}
 		var err error
-		rt, err = shard.NewRouter(endpoints, shard.RouterOptions{})
+		rt, err = shard.NewRouter(endpoints, shard.RouterOptions{Hedge: *hedge})
 		if err != nil {
 			fatalf("router: %v", err)
 		}
@@ -117,6 +137,27 @@ func main() {
 			fatalf("waiting for servers: %v", err)
 		}
 		cancel()
+		if *srvFile != "" {
+			// Live membership: SIGHUP re-reads the file and reshapes the
+			// ring in place — survivors keep their health/breaker state,
+			// and only keys touching changed nodes move owners.
+			hup := make(chan os.Signal, 1)
+			signal.Notify(hup, syscall.SIGHUP)
+			go func() {
+				for range hup {
+					eps, err := readServersFile(*srvFile)
+					if err != nil {
+						logger.Warn("membership reload failed", "error", err.Error())
+						continue
+					}
+					if err := rt.SetEndpoints(eps); err != nil {
+						logger.Warn("membership rejected", "error", err.Error())
+						continue
+					}
+					logger.Info("membership updated", "servers", len(eps))
+				}
+			}()
+		}
 		assess = rt.Assess
 		logger.Info("routing by canonical digest", "servers", len(endpoints))
 	} else {
@@ -234,6 +275,14 @@ func main() {
 		inner := report["litmus_serve_loadgen"].(map[string]any)
 		inner["routed"] = st.Routed
 		inner["router_failovers"] = st.Failovers
+		inner["router_breaker_skips"] = st.BreakerSkips
+		inner["router_breaker_transitions"] = st.BreakerTransitions
+		inner["router_breaker_open"] = st.BreakerOpen
+		inner["router_hedges"] = st.Hedges
+		inner["router_hedge_wins"] = st.HedgeWins
+	}
+	if chaosInfo != nil {
+		report["litmus_serve_loadgen"].(map[string]any)["chaos"] = chaosInfo()
 	}
 	payload, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -248,6 +297,38 @@ func main() {
 	if failures.Load() > 0 {
 		os.Exit(1)
 	}
+}
+
+// splitServers parses a comma-separated endpoint list, dropping empties.
+func splitServers(s string) []string {
+	var endpoints []string
+	for _, ep := range strings.Split(s, ",") {
+		if ep = strings.TrimSpace(ep); ep != "" {
+			endpoints = append(endpoints, ep)
+		}
+	}
+	return endpoints
+}
+
+// readServersFile reads a membership file: one base URL per line, blank
+// lines and #-comments ignored.
+func readServersFile(path string) ([]string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	var endpoints []string
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		endpoints = append(endpoints, line)
+	}
+	if len(endpoints) == 0 {
+		return nil, fmt.Errorf("%s lists no servers", path)
+	}
+	return endpoints, nil
 }
 
 // goldenStyleRequest is the golden scenario with a per-request generator

@@ -1,0 +1,68 @@
+package netchaos
+
+// FuzzParseSpec: the spec grammar must never panic, and every accepted
+// spec must round-trip through its canonical String form and draw
+// deterministic schedules. The committed corpus under
+// testdata/fuzz/FuzzParseSpec replays as unit tests via `make
+// fuzz-seed`; run `go test -fuzz=FuzzParseSpec ./internal/netchaos` for
+// real fuzzing.
+
+import (
+	"reflect"
+	"testing"
+)
+
+func FuzzParseSpec(f *testing.F) {
+	f.Add("latency=50ms", int64(1))
+	f.Add("latency=50ms,jitter=10ms,stall=0.1,reset=0.05,drip=0.2", int64(42))
+	f.Add("partition=a->b", int64(0))
+	f.Add("partition=*->b,partition=a->*,partition=a->b", int64(-3))
+	f.Add("latency=50ms,reset=0.05,partition=a->b", int64(7))
+	f.Add(" latency = 1h2m3s , drip = 1 ", int64(99))
+	f.Add(",,,=,latency=,partition=->", int64(5))
+	f.Add("reset=1e-9,stall=0.9999999", int64(11))
+	f.Add("LATENCY=50ms", int64(2))
+	f.Add("partition=a->b->c", int64(3))
+	f.Fuzz(func(t *testing.T, spec string, seed int64) {
+		s, err := ParseSpec(spec)
+		if err != nil {
+			if s != nil {
+				t.Fatalf("error with non-nil spec: %+v", s)
+			}
+			return
+		}
+		if s == nil {
+			return
+		}
+		// Canonical round trip: String must re-parse to the same spec
+		// (nil when the spec is inert — String renders it empty).
+		again, err := ParseSpec(s.String())
+		if err != nil {
+			t.Fatalf("round trip of %q (from %q) failed: %v", s.String(), spec, err)
+		}
+		if !s.Active() {
+			if again != nil {
+				t.Fatalf("inert spec round-tripped to %+v", again)
+			}
+		} else if !reflect.DeepEqual(s, again) {
+			t.Fatalf("round trip changed spec: %+v vs %+v (spec %q)", s, again, spec)
+		}
+		// Draws are deterministic and structurally sane for any spec.
+		for n := uint64(0); n < 8; n++ {
+			a := s.Draw(seed, "client", "n0", n)
+			b := s.Draw(seed, "client", "n0", n)
+			if a != b {
+				t.Fatalf("ordinal %d: non-deterministic draw: %+v vs %+v", n, a, b)
+			}
+			if a.Latency < 0 {
+				t.Fatalf("ordinal %d: negative latency %v", n, a.Latency)
+			}
+			if a.ResetAfter < 0 || a.ResetAfter >= resetWindow {
+				t.Fatalf("ordinal %d: reset offset %d outside [0, %d)", n, a.ResetAfter, resetWindow)
+			}
+			if !a.Reset && a.ResetAfter != 0 {
+				t.Fatalf("ordinal %d: reset offset without reset: %+v", n, a)
+			}
+		}
+	})
+}

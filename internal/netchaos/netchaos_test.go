@@ -1,0 +1,390 @@
+package netchaos
+
+// Spec-parser contract (grammar, round trip, rejection), schedule
+// determinism (draws a pure function of spec/seed/link/ordinal), and
+// proxy behavior per fault family against a real HTTP upstream.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Spec
+	}{
+		{"latency=50ms", Spec{Latency: 50 * time.Millisecond}},
+		{"latency=50ms,jitter=10ms", Spec{Latency: 50 * time.Millisecond, Jitter: 10 * time.Millisecond}},
+		{"stall=0.1,reset=0.05,drip=0.2", Spec{Stall: 0.1, Reset: 0.05, Drip: 0.2}},
+		{"partition=a->b", Spec{Partitions: []Partition{{"a", "b"}}}},
+		{"partition=*->b,partition=a->*", Spec{Partitions: []Partition{{"*", "b"}, {"a", "*"}}}},
+		{" latency = 1s , reset = 1 ", Spec{Latency: time.Second, Reset: 1}},
+		{"latency=50ms,reset=0.05,partition=a->b", Spec{
+			Latency: 50 * time.Millisecond, Reset: 0.05,
+			Partitions: []Partition{{"a", "b"}},
+		}},
+	}
+	for _, c := range cases {
+		got, err := ParseSpec(c.spec)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", c.spec, err)
+			continue
+		}
+		if got == nil || !reflect.DeepEqual(*got, c.want) {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+		// Canonical round trip.
+		again, err := ParseSpec(got.String())
+		if err != nil {
+			t.Errorf("round trip of %q (%q): %v", c.spec, got.String(), err)
+			continue
+		}
+		if !reflect.DeepEqual(got, again) {
+			t.Errorf("round trip of %q changed spec: %+v vs %+v", c.spec, got, again)
+		}
+	}
+
+	for _, empty := range []string{"", "   ", ",,,"} {
+		if s, err := ParseSpec(empty); err != nil || s != nil {
+			t.Errorf("ParseSpec(%q) = %+v, %v — want nil, nil", empty, s, err)
+		}
+	}
+
+	for _, bad := range []string{
+		"latency",            // no value
+		"latency=",           // empty value
+		"latency=fast",       // bad duration
+		"latency=-5ms",       // negative duration
+		"reset=1.5",          // probability > 1
+		"reset=-0.1",         // probability < 0
+		"reset=NaN",          // NaN
+		"stall=yes",          // not a float
+		"partition=a",        // no ->
+		"partition=->b",      // empty src
+		"partition=a->",      // empty dst
+		"partition=a->b->c",  // double arrow
+		"jitterbug=1ms",      // unknown fault
+		"latency=50ms,x=0.1", // unknown in a list
+	} {
+		if s, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted: %+v", bad, s)
+		}
+	}
+}
+
+func TestSpecPartitioned(t *testing.T) {
+	s := &Spec{Partitions: []Partition{{"a", "b"}, {"*", "c"}, {"d", "*"}}}
+	cases := []struct {
+		src, dst string
+		want     bool
+	}{
+		{"a", "b", true},
+		{"b", "a", false}, // directional
+		{"x", "c", true},  // wildcard src
+		{"d", "x", true},  // wildcard dst
+		{"x", "y", false},
+	}
+	for _, c := range cases {
+		if got := s.Partitioned(c.src, c.dst); got != c.want {
+			t.Errorf("Partitioned(%s, %s) = %v, want %v", c.src, c.dst, got, c.want)
+		}
+	}
+	if (*Spec)(nil).Partitioned("a", "b") {
+		t.Error("nil spec partitioned")
+	}
+}
+
+// TestDrawDeterministic pins the schedule contract: draws are a pure
+// function of (spec, seed, src, dst, ordinal) — repeated draws agree,
+// and each of seed, link side, and ordinal shifts the stream.
+func TestDrawDeterministic(t *testing.T) {
+	spec := &Spec{Latency: 10 * time.Millisecond, Jitter: 8 * time.Millisecond, Stall: 0.3, Reset: 0.4, Drip: 0.3}
+	for n := uint64(0); n < 64; n++ {
+		a := spec.Draw(42, "client", "n0", n)
+		b := spec.Draw(42, "client", "n0", n)
+		if a != b {
+			t.Fatalf("ordinal %d: repeated draw differs: %+v vs %+v", n, a, b)
+		}
+	}
+	distinct := func(label string, other ConnFault) {
+		t.Helper()
+		base := spec.Draw(42, "client", "n0", 7)
+		if base == other {
+			t.Errorf("%s did not shift the draw: %+v", label, base)
+		}
+	}
+	distinct("seed", spec.Draw(43, "client", "n0", 7))
+	distinct("src", spec.Draw(42, "client2", "n0", 7))
+	distinct("dst", spec.Draw(42, "client", "n1", 7))
+	distinct("ordinal", spec.Draw(42, "client", "n0", 8))
+
+	// ScheduleFor is Draw applied elementwise.
+	ords := []uint64{0, 3, 5, 7, 11}
+	sched := spec.ScheduleFor(42, "client", "n0", ords)
+	for i, n := range ords {
+		if sched[i] != spec.Draw(42, "client", "n0", n) {
+			t.Fatalf("ScheduleFor[%d] diverges from Draw(%d)", i, n)
+		}
+	}
+
+	// Jittered latency stays non-negative even when jitter exceeds the
+	// base latency.
+	wide := &Spec{Latency: time.Millisecond, Jitter: 50 * time.Millisecond}
+	for n := uint64(0); n < 256; n++ {
+		if f := wide.Draw(1, "a", "b", n); f.Latency < 0 {
+			t.Fatalf("ordinal %d: negative latency %v", n, f.Latency)
+		}
+	}
+}
+
+// upstream boots a plain HTTP server answering every request with a
+// body of the given size, and returns it with its host:port.
+func upstream(t *testing.T, bodySize int) (*httptest.Server, string) {
+	t.Helper()
+	body := strings.Repeat("x", bodySize)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, body)
+	}))
+	t.Cleanup(ts.Close)
+	u, err := url.Parse(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts, u.Host
+}
+
+func mustProxy(t *testing.T, src, dst, target string, spec *Spec, seed int64) *Proxy {
+	t.Helper()
+	p, err := NewProxy(src, dst, target, spec, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+// shortClient is an HTTP client with keep-alives off (one connection
+// per request, so each request gets its own fault draw) and a bounded
+// overall timeout.
+func shortClient(timeout time.Duration) *http.Client {
+	return &http.Client{
+		Transport: &http.Transport{DisableKeepAlives: true},
+		Timeout:   timeout,
+	}
+}
+
+func TestProxyTransparentRelay(t *testing.T) {
+	_, host := upstream(t, 64)
+	p := mustProxy(t, "client", "n0", host, nil, 1)
+	resp, err := shortClient(5 * time.Second).Get(p.URL())
+	if err != nil {
+		t.Fatalf("through transparent proxy: %v", err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil || len(b) != 64 {
+		t.Fatalf("body through proxy: %d bytes, err %v", len(b), err)
+	}
+	if p.Conns() != 1 {
+		t.Fatalf("proxy saw %d connections, want 1", p.Conns())
+	}
+}
+
+func TestProxyLatency(t *testing.T) {
+	_, host := upstream(t, 64)
+	p := mustProxy(t, "client", "n0", host, &Spec{Latency: 60 * time.Millisecond}, 1)
+	t0 := time.Now()
+	resp, err := shortClient(5 * time.Second).Get(p.URL())
+	if err != nil {
+		t.Fatalf("through latency proxy: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if elapsed := time.Since(t0); elapsed < 60*time.Millisecond {
+		t.Fatalf("request took %v — latency not injected", elapsed)
+	}
+}
+
+func TestProxyStallBlackholes(t *testing.T) {
+	_, host := upstream(t, 64)
+	p := mustProxy(t, "client", "n0", host, &Spec{Stall: 1}, 1)
+	t0 := time.Now()
+	_, err := shortClient(150 * time.Millisecond).Get(p.URL())
+	if err == nil {
+		t.Fatal("stalled request succeeded")
+	}
+	if elapsed := time.Since(t0); elapsed < 100*time.Millisecond {
+		t.Fatalf("stalled request failed after only %v — not a blackhole", elapsed)
+	}
+	sched := p.Schedule()
+	if len(sched) == 0 || !sched[0].Stall {
+		t.Fatalf("schedule does not record the stall: %+v", sched)
+	}
+}
+
+func TestProxyPartitionBlackholes(t *testing.T) {
+	_, host := upstream(t, 64)
+	spec, err := ParseSpec("partition=client->n0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := mustProxy(t, "client", "n0", host, spec, 1)
+	if _, err := shortClient(150 * time.Millisecond).Get(p.URL()); err == nil {
+		t.Fatal("request crossed a partitioned link")
+	}
+	// The same spec on a non-matching link is transparent.
+	q := mustProxy(t, "client", "n1", host, spec, 1)
+	resp, err := shortClient(5 * time.Second).Get(q.URL())
+	if err != nil {
+		t.Fatalf("non-partitioned link blocked: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestProxyResetTearsMidBody(t *testing.T) {
+	// Body far larger than resetWindow, so every drawn prefix tears it.
+	_, host := upstream(t, 64<<10)
+	p := mustProxy(t, "client", "n0", host, &Spec{Reset: 1}, 1)
+	resp, err := shortClient(5 * time.Second).Get(p.URL())
+	if err == nil {
+		// Headers may arrive before the tear; the body read must fail.
+		_, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+	}
+	if err == nil {
+		t.Fatal("reset connection delivered the full response")
+	}
+	if sched := p.Schedule(); len(sched) == 0 || !sched[0].Reset {
+		t.Fatalf("schedule does not record the reset: %+v", sched)
+	}
+}
+
+func TestProxyDripDelivers(t *testing.T) {
+	const size = 4 << 10 // 16 drip chunks ≈ 32ms of pacing
+	_, host := upstream(t, size)
+	p := mustProxy(t, "client", "n0", host, &Spec{Drip: 1}, 1)
+	t0 := time.Now()
+	resp, err := shortClient(10 * time.Second).Get(p.URL())
+	if err != nil {
+		t.Fatalf("dripped request failed: %v", err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || len(b) != size {
+		t.Fatalf("dripped body: %d bytes, err %v", len(b), err)
+	}
+	if elapsed := time.Since(t0); elapsed < 20*time.Millisecond {
+		t.Fatalf("dripped response arrived in %v — pacing not applied", elapsed)
+	}
+}
+
+func TestProxyDeadUpstreamFailsFast(t *testing.T) {
+	ts, host := upstream(t, 64)
+	ts.Close() // node killed
+	p := mustProxy(t, "client", "n0", host, nil, 1)
+	t0 := time.Now()
+	if _, err := shortClient(5 * time.Second).Get(p.URL()); err == nil {
+		t.Fatal("request to dead upstream succeeded")
+	}
+	if elapsed := time.Since(t0); elapsed > 2*time.Second {
+		t.Fatalf("dead upstream took %v to fail — want a fast sever", elapsed)
+	}
+}
+
+// TestProxyScheduleReproducible is the acceptance contract: the same
+// seed reproduces the same fault schedule byte-for-byte — realized
+// schedules match the pure recomputation, and two proxies with the same
+// identity draw identically.
+func TestProxyScheduleReproducible(t *testing.T) {
+	_, host := upstream(t, 256)
+	spec := &Spec{Latency: time.Millisecond, Jitter: time.Millisecond, Stall: 0.2, Reset: 0.2, Drip: 0.2}
+	a := mustProxy(t, "client", "n0", host, spec, 99)
+	b := mustProxy(t, "client", "n0", host, spec, 99)
+
+	httpc := shortClient(200 * time.Millisecond)
+	const conns = 24
+	for i := 0; i < conns; i++ {
+		for _, p := range []*Proxy{a, b} {
+			resp, err := httpc.Get(p.URL())
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			// Stalled/reset connections fail — irrelevant here; only the
+			// draws matter.
+		}
+	}
+	schedA, schedB := a.Schedule(), b.Schedule()
+	if len(schedA) != conns || len(schedB) != conns {
+		t.Fatalf("schedules have %d/%d rows, want %d", len(schedA), len(schedB), conns)
+	}
+	if !reflect.DeepEqual(schedA, schedB) {
+		t.Fatalf("same seed drew different schedules:\n%+v\nvs\n%+v", schedA, schedB)
+	}
+	ords := make([]uint64, conns)
+	for i := range ords {
+		ords[i] = uint64(i)
+	}
+	if want := spec.ScheduleFor(99, "client", "n0", ords); !reflect.DeepEqual(schedA, want) {
+		t.Fatalf("realized schedule diverges from ScheduleFor:\n%+v\nvs\n%+v", schedA, want)
+	}
+}
+
+// TestProxyCloseSeversStalls: Close must unhang blackholed connections
+// and return promptly — no leaked relay goroutines.
+func TestProxyCloseSeversStalls(t *testing.T) {
+	_, host := upstream(t, 64)
+	p, err := NewProxy("client", "n0", host, &Spec{Stall: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := shortClient(10 * time.Second).Get(p.URL())
+		errc <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the connection blackhole
+	done := make(chan struct{})
+	go func() {
+		p.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close hung on a blackholed connection")
+	}
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("blackholed request succeeded")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blackholed client still hanging after Close")
+	}
+}
+
+func TestSetSpecSwapsLive(t *testing.T) {
+	_, host := upstream(t, 64)
+	p := mustProxy(t, "client", "n0", host, nil, 1)
+	httpc := shortClient(150 * time.Millisecond)
+	if _, err := httpc.Get(p.URL()); err != nil {
+		t.Fatalf("transparent phase: %v", err)
+	}
+	p.SetSpec(&Spec{Stall: 1})
+	if _, err := httpc.Get(p.URL()); err == nil {
+		t.Fatal("stall phase let a request through")
+	}
+	p.SetSpec(nil)
+	if _, err := shortClient(5 * time.Second).Get(p.URL()); err != nil {
+		t.Fatalf("back-to-transparent phase: %v", err)
+	}
+}

@@ -1,0 +1,222 @@
+package netchaos
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Proxy is a TCP fault proxy for one directed link: it listens on an
+// ephemeral loopback port, forwards every accepted connection to the
+// target address, and injects the faults its spec draws for that
+// connection. The spec is swappable at runtime (SetSpec) so one proxy
+// can walk a scenario through phases; the seed and link identity are
+// fixed at construction — they are the schedule's identity.
+//
+// Safe for concurrent use. Close stops the listener, severs every open
+// connection, and waits for the relay goroutines to drain.
+type Proxy struct {
+	src, dst string
+	seed     int64
+	target   string
+	ln       net.Listener
+
+	spec    atomic.Pointer[Spec] // nil = transparent relay
+	ordinal atomic.Uint64
+
+	mu       sync.Mutex
+	schedule []ConnFault
+	conns    map[net.Conn]struct{}
+
+	closed chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewProxy starts a fault proxy for the src→dst link in front of the
+// TCP address target (host:port). A nil spec relays transparently until
+// SetSpec installs faults.
+func NewProxy(src, dst, target string, spec *Spec, seed int64) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("netchaos: listen: %w", err)
+	}
+	p := &Proxy{
+		src:    src,
+		dst:    dst,
+		seed:   seed,
+		target: target,
+		ln:     ln,
+		conns:  map[net.Conn]struct{}{},
+		closed: make(chan struct{}),
+	}
+	p.spec.Store(spec)
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address (host:port).
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// URL returns the proxy's address as an http:// base URL — what a
+// router lists as the fronted node's endpoint.
+func (p *Proxy) URL() string { return "http://" + p.Addr() }
+
+// Link returns the directed link identity (src, dst) the proxy fronts.
+func (p *Proxy) Link() (src, dst string) { return p.src, p.dst }
+
+// SetSpec atomically replaces the fault spec. Connections already in
+// flight keep the draws they were accepted with; new connections draw
+// from the new spec at their own ordinals.
+func (p *Proxy) SetSpec(spec *Spec) { p.spec.Store(spec) }
+
+// Spec returns the current fault spec (nil = transparent).
+func (p *Proxy) Spec() *Spec { return p.spec.Load() }
+
+// Schedule returns a copy of the realized fault schedule: one row per
+// accepted connection, in accept order. Under the same (spec, seed,
+// link) the rows equal Spec.ScheduleFor over the same ordinals.
+func (p *Proxy) Schedule() []ConnFault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]ConnFault(nil), p.schedule...)
+}
+
+// Conns returns how many connections the proxy has accepted.
+func (p *Proxy) Conns() uint64 { return p.ordinal.Load() }
+
+// Close stops accepting, severs every open connection, and waits for
+// the relay goroutines to finish.
+func (p *Proxy) Close() error {
+	select {
+	case <-p.closed:
+		return nil
+	default:
+	}
+	close(p.closed)
+	err := p.ln.Close()
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+// track registers a connection for forced close on Close; the returned
+// func unregisters it.
+func (p *Proxy) track(c net.Conn) func() {
+	p.mu.Lock()
+	p.conns[c] = struct{}{}
+	p.mu.Unlock()
+	return func() {
+		p.mu.Lock()
+		delete(p.conns, c)
+		p.mu.Unlock()
+	}
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n := p.ordinal.Add(1) - 1
+		fault := p.spec.Load().Draw(p.seed, p.src, p.dst, n)
+		p.mu.Lock()
+		p.schedule = append(p.schedule, fault)
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go p.serve(conn, fault)
+	}
+}
+
+// sleep waits d or until the proxy closes; reports false on close.
+func (p *Proxy) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-p.closed:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+func (p *Proxy) serve(client net.Conn, fault ConnFault) {
+	defer p.wg.Done()
+	untrack := p.track(client)
+	defer untrack()
+	defer client.Close()
+
+	if fault.Blackholed() {
+		// A partition or stall looks alive at the TCP level and dead
+		// above it: bytes are read and dropped, nothing ever comes back.
+		// The client escapes via its own deadline, or when the proxy
+		// closes.
+		io.Copy(io.Discard, client)
+		return
+	}
+	if !p.sleep(fault.Latency) {
+		return
+	}
+	upstream, err := net.DialTimeout("tcp", p.target, 10*time.Second)
+	if err != nil {
+		// Node gone (killed, refusing): sever the client immediately so
+		// the failure is a fast transport error, not a hang.
+		return
+	}
+	untrackUp := p.track(upstream)
+	defer untrackUp()
+	defer upstream.Close()
+
+	// Client → upstream: always transparent (requests are small; the
+	// interesting faults live on the response path).
+	go func() {
+		io.Copy(upstream, client)
+		// Half-close toward the upstream so it sees EOF on reads while
+		// the response can still flow back.
+		if tc, ok := upstream.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+	}()
+
+	switch {
+	case fault.Reset:
+		if fault.ResetAfter > 0 {
+			io.CopyN(client, upstream, int64(fault.ResetAfter))
+		}
+		// Tear the connection with an RST, not a graceful FIN: zero
+		// linger discards unsent data and resets on close.
+		if tc, ok := client.(*net.TCPConn); ok {
+			tc.SetLinger(0)
+		}
+	case fault.Drip:
+		buf := make([]byte, dripChunk)
+		for {
+			n, err := upstream.Read(buf)
+			if n > 0 {
+				if _, werr := client.Write(buf[:n]); werr != nil {
+					return
+				}
+			}
+			if err != nil {
+				return
+			}
+			if !p.sleep(dripDelay) {
+				return
+			}
+		}
+	default:
+		io.Copy(client, upstream)
+	}
+}

@@ -144,6 +144,8 @@ func TestWritePrometheusHelp(t *testing.T) {
 		MetricCacheHits, MetricCacheMisses, MetricJobSeconds,
 		MetricJobQueueSeconds, MetricJobRunSeconds, MetricJobs,
 		MetricJobRetries, MetricJobPanics,
+		MetricJournalAppends, MetricJournalReplayed, MetricJournalCompactions,
+		MetricRouterBreakerTransitions, MetricRouterHedges, MetricRouterHedgeWins,
 	} {
 		if Help(name) == "" {
 			t.Errorf("metric %s has no help text", name)

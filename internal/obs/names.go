@@ -148,6 +148,18 @@ const (
 	// (sealed segments rewritten with superseded/expired entries
 	// dropped).
 	MetricJournalCompactions = "litmus_journal_compactions_total"
+
+	// MetricRouterBreakerTransitions counts shard-router circuit-breaker
+	// state changes, labeled endpoint="<url>" and
+	// to="closed|open|half-open".
+	MetricRouterBreakerTransitions = "litmus_router_breaker_transitions_total"
+	// MetricRouterHedges counts hedged backup requests fired by the
+	// shard router (the owner exceeded the adaptive latency percentile).
+	MetricRouterHedges = "litmus_router_hedges_total"
+	// MetricRouterHedgeWins counts hedged backups whose answer arrived
+	// before the owner's — byte-identical either way, by the determinism
+	// contract.
+	MetricRouterHedgeWins = "litmus_router_hedge_wins_total"
 )
 
 // Serving-layer span names.
@@ -211,6 +223,10 @@ var helpText = map[string]string{
 	MetricJournalAppends:     "Records appended to the durability journal.",
 	MetricJournalReplayed:    "Completed results repopulated from the journal during boot replay.",
 	MetricJournalCompactions: "Background journal compactions of sealed segments.",
+
+	MetricRouterBreakerTransitions: "Shard-router circuit-breaker state changes, labeled by endpoint and target state.",
+	MetricRouterHedges:             "Hedged backup requests fired by the shard router.",
+	MetricRouterHedgeWins:          "Hedged backups whose answer arrived before the owner's.",
 }
 
 // Help returns the canonical # HELP text for a metric's base name, or

@@ -183,6 +183,23 @@ func (c *Client) AssessBatch(ctx context.Context, req *serve.BatchAssessRequest)
 	}
 }
 
+// Ready probes GET /readyz. nil means the node is accepting work; a
+// non-200 (e.g. 503 while the journal is still replaying) returns an
+// *APIError carrying any Retry-After hint, and transport failures
+// surface as-is — so callers can back off exactly the way Assess does
+// on 429.
+func (c *Client) Ready(ctx context.Context) error {
+	resp, err := c.do(ctx, http.MethodGet, "/readyz", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		return nil
+	}
+	return decodeAPIError(resp)
+}
+
 // Job fetches a job's status.
 func (c *Client) Job(ctx context.Context, id string) (*serve.JobStatus, error) {
 	resp, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil)
